@@ -1,0 +1,63 @@
+// Fig. 3 reproduction: RePlAce runtime breakdown on bigblue4.
+//
+// Paper shape: GP (initial placement + nonlinear optimization) takes
+// ~90% of the total runtime, with GP-IP alone ~21-30%; LG and DP take the
+// small remainder (DP here is our own, not NTUplace3). The RePlAce-mode
+// config uses the iterative spread initial placement, which is the GP-IP
+// phase being measured.
+#include "bench_util.h"
+#include "common/timer.h"
+#include "db/metrics.h"
+#include "gen/netlist_generator.h"
+#include "io/bookshelf_writer.h"
+
+#include <filesystem>
+
+int main() {
+  using namespace dreamplace;
+  using namespace dreamplace::bench;
+
+  const double scale = benchScale(0.01);
+  const SuiteEntry entry = findSuiteEntry("bigblue4", scale);
+  std::printf("Fig. 3: RePlAce-mode runtime breakdown on %s "
+              "(%d cells, scale %.3f)\n\n",
+              entry.name.c_str(), entry.config.numCells, scale);
+
+  auto db = generateNetlist(entry.config);
+  TimingRegistry::instance().clear();
+
+  PlacerOptions options;
+  options.gp = replaceModeGp();
+  Timer total_timer;
+  const FlowResult result = placeDesign(*db, options);
+
+  // IO phase: benchmark write + read, as the tables' IO column does.
+  Timer io_timer;
+  namespace fs = std::filesystem;
+  const fs::path dir = fs::temp_directory_path() / "dp_fig3_io";
+  writeBookshelf(*db, dir.string(), "bigblue4");
+  const double io = io_timer.elapsed();
+  fs::remove_all(dir);
+
+  const auto& registry = TimingRegistry::instance();
+  const double gp_ip = registry.total("gp/init");
+  const double gp_total = result.gpSeconds;
+  const double gp_nl = gp_total - gp_ip;
+  const double grand = total_timer.elapsed() + io;
+
+  auto pct = [&](double v) { return 100.0 * v / grand; };
+  std::printf("%-22s %10s %8s\n", "phase", "seconds", "share");
+  std::printf("%-22s %10.2f %7.1f%%\n", "GP-IP (initial place)", gp_ip,
+              pct(gp_ip));
+  std::printf("%-22s %10.2f %7.1f%%\n", "GP-Nonlinear", gp_nl, pct(gp_nl));
+  std::printf("%-22s %10.2f %7.1f%%\n", "Legalization", result.lgSeconds,
+              pct(result.lgSeconds));
+  std::printf("%-22s %10.2f %7.1f%%\n", "Detailed placement",
+              result.dpSeconds, pct(result.dpSeconds));
+  std::printf("%-22s %10.2f %7.1f%%\n", "IO", io, pct(io));
+  std::printf("\npaper shape check: GP total share = %.1f%% "
+              "(paper: ~90%%), GP-IP share of GP = %.1f%% "
+              "(paper: 25-30%%)\n",
+              pct(gp_total), 100.0 * gp_ip / gp_total);
+  return 0;
+}

@@ -1,0 +1,70 @@
+// Fig. 8 reproduction: average GP runtime ratio vs number of CPU threads,
+// normalized to the fast-kernel float64 configuration.
+//
+// Caveat (documented in EXPERIMENTS.md): this machine exposes a single
+// hardware core, so thread counts > 1 measure OpenMP overhead, not
+// speedup — the paper's saturation-at-~20-threads shape cannot appear.
+// The bench still sweeps thread counts so that on a multicore host the
+// figure regenerates as intended.
+#include <omp.h>
+
+#include "bench_util.h"
+#include "gen/netlist_generator.h"
+
+int main() {
+  using namespace dreamplace;
+  using namespace dreamplace::bench;
+
+  const double scale = benchScale(0.005);
+  const auto suite = ispd2005Suite(scale);
+  std::printf("Fig. 8: GP runtime ratio vs thread count "
+              "(scale %.3f, %d hardware threads)\n\n",
+              scale, omp_get_num_procs());
+
+  // Reference: fast kernels, float64, default threads.
+  double reference = 0;
+  for (const SuiteEntry& entry : suite) {
+    auto db = generateNetlist(entry.config);
+    GlobalPlacer<double> placer(*db, dreamplaceFastGp());
+    Timer timer;
+    placer.run();
+    reference += timer.elapsed();
+  }
+  std::printf("reference (fast kernels, float64, default threads): %.2fs "
+              "total\n\n", reference);
+
+  struct Config {
+    const char* name;
+    GlobalPlacerOptions gp;
+  };
+  const Config configs[] = {
+      {"replace-mode", replaceModeGp()},
+      {"dreamplace", dreamplaceCpuGp()},
+  };
+
+  std::printf("%-14s", "threads");
+  for (const auto& config : configs) {
+    std::printf(" %14s", config.name);
+  }
+  std::printf("   (ratio vs reference)\n");
+
+  const int max_threads = std::max(4, omp_get_num_procs());
+  for (int threads = 1; threads <= max_threads; threads *= 2) {
+    omp_set_num_threads(threads);
+    std::printf("%-14d", threads);
+    for (const auto& config : configs) {
+      double total = 0;
+      for (const SuiteEntry& entry : suite) {
+        auto db = generateNetlist(entry.config);
+        GlobalPlacer<double> placer(*db, config.gp);
+        Timer timer;
+        placer.run();
+        total += timer.elapsed();
+      }
+      std::printf(" %14.2f", total / reference);
+    }
+    std::printf("\n");
+  }
+  omp_set_num_threads(omp_get_num_procs());
+  return 0;
+}

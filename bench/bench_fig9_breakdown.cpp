@@ -1,0 +1,76 @@
+// Fig. 9 reproduction: DREAMPlace runtime breakdown (fast config,
+// float32) on bigblue4.
+//
+// Paper shape: (a) across the whole flow, DP dominates (~82%) while
+// GP+LG shrink to a few percent; (b) within one GP forward/backward
+// pass, density-related computation outweighs wirelength (73.4% vs
+// 26.5%), and with the fast DCT the spectral solve is no longer the
+// density bottleneck.
+#include <filesystem>
+
+#include "bench_util.h"
+#include "common/timer.h"
+#include "gen/netlist_generator.h"
+#include "io/bookshelf_writer.h"
+
+int main() {
+  using namespace dreamplace;
+  using namespace dreamplace::bench;
+
+  const double scale = benchScale(0.01);
+  const SuiteEntry entry = findSuiteEntry("bigblue4", scale);
+  std::printf("Fig. 9: DREAMPlace (fast, float32) breakdown on %s "
+              "(%d cells)\n\n",
+              entry.name.c_str(), entry.config.numCells);
+
+  auto db = generateNetlist(entry.config);
+  TimingRegistry::instance().clear();
+
+  PlacerOptions options;
+  options.precision = Precision::kFloat32;
+  options.gp = dreamplaceFastGp();
+  Timer total_timer;
+  const FlowResult result = placeDesign(*db, options);
+
+  Timer io_timer;
+  namespace fs = std::filesystem;
+  const fs::path dir = fs::temp_directory_path() / "dp_fig9_io";
+  writeBookshelf(*db, dir.string(), "bigblue4");
+  const double io = io_timer.elapsed();
+  fs::remove_all(dir);
+
+  const double grand = total_timer.elapsed() + io;
+  auto pct = [&](double v) { return 100.0 * v / grand; };
+  std::printf("(a) flow breakdown\n");
+  std::printf("%-22s %10s %8s\n", "phase", "seconds", "share");
+  std::printf("%-22s %10.2f %7.1f%%\n", "Global placement",
+              result.gpSeconds, pct(result.gpSeconds));
+  std::printf("%-22s %10.2f %7.1f%%\n", "Legalization", result.lgSeconds,
+              pct(result.lgSeconds));
+  std::printf("%-22s %10.2f %7.1f%%\n", "Detailed placement",
+              result.dpSeconds, pct(result.dpSeconds));
+  std::printf("%-22s %10.2f %7.1f%%\n", "IO", io, pct(io));
+
+  const auto& reg = TimingRegistry::instance();
+  const double wl = reg.total("gp/op/wirelength");
+  const double density = reg.total("gp/op/density");
+  const double scatter = reg.total("gp/op/density/scatter");
+  const double poisson = reg.total("gp/op/density/poisson");
+  const double gather = reg.total("gp/op/density/gather");
+  const double pass = wl + density;
+  std::printf("\n(b) one GP forward+backward pass (accumulated)\n");
+  std::printf("%-26s %10.2f %7.1f%%\n", "wirelength fwd+bwd", wl,
+              100.0 * wl / pass);
+  std::printf("%-26s %10.2f %7.1f%%\n", "density fwd+bwd", density,
+              100.0 * density / pass);
+  std::printf("    %-22s %10.2f %7.1f%% of density\n", "density map",
+              scatter, 100.0 * scatter / density);
+  std::printf("    %-22s %10.2f %7.1f%% of density\n", "spectral solve",
+              poisson, 100.0 * poisson / density);
+  std::printf("    %-22s %10.2f %7.1f%% of density\n", "force gather",
+              gather, 100.0 * gather / density);
+  std::printf("\npaper shape check: density share of pass = %.1f%% "
+              "(paper: 73.4%%), DP share of flow = %.1f%% (paper: ~82%%)\n",
+              100.0 * density / pass, pct(result.dpSeconds));
+  return 0;
+}

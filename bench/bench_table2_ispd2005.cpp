@@ -1,0 +1,55 @@
+// Table II reproduction: ISPD 2005 suite, float64.
+//
+// Paper columns: per design, {RePlAce 40 threads, DREAMPlace CPU,
+// DREAMPlace V100} x {HPWL, GP, LG, DP, Total}. Here the three configs are
+// the algorithmic stand-ins described in bench_util.h; designs are the
+// scaled ISPD2005-like synthetic suite. Expected shape: identical HPWL
+// within a fraction of a percent across configs, with GP runtime ordering
+// RePlAce-mode > DREAMPlace CPU > DREAMPlace fast.
+#include <vector>
+
+#include "bench_util.h"
+#include "gen/netlist_generator.h"
+
+int main() {
+  using namespace dreamplace;
+  using namespace dreamplace::bench;
+
+  const double scale = benchScale(0.01);
+  std::printf("Table II: ISPD 2005 suite (scale %.3f of paper sizes, "
+              "float64)\n", scale);
+
+  struct Config {
+    const char* name;
+    GlobalPlacerOptions gp;
+  };
+  const Config configs[] = {
+      {"RePlAce-mode (reference)", replaceModeGp()},
+      {"DREAMPlace (CPU kernels)", dreamplaceCpuGp()},
+      {"DREAMPlace (fast kernels)", dreamplaceFastGp()},
+  };
+
+  std::vector<std::vector<FlowRow>> all_rows(3);
+  for (int c = 0; c < 3; ++c) {
+    printFlowHeader(configs[c].name);
+    for (const SuiteEntry& entry : ispd2005Suite(scale)) {
+      auto db = generateNetlist(entry.config);
+      PlacerOptions options;
+      options.precision = Precision::kFloat64;
+      options.gp = configs[c].gp;
+      FlowRow row;
+      row.design = entry.name;
+      row.cellsK = db->numMovable() / 1000.0;
+      row.netsK = db->numNets() / 1000.0;
+      row.result = placeDesign(*db, options);
+      printFlowRow(row);
+      all_rows[c].push_back(row);
+    }
+  }
+
+  std::printf("\n=== ratios vs DREAMPlace (fast kernels) ===\n");
+  printRatio(all_rows[0], all_rows[2], "RePlAce-mode");
+  printRatio(all_rows[1], all_rows[2], "DREAMPlace CPU");
+  printRatio(all_rows[2], all_rows[2], "DREAMPlace fast");
+  return 0;
+}

@@ -1,0 +1,188 @@
+// Gradient-descent solvers (paper Secs. III-D, IV-C).
+//
+// NesterovLipschitz reimplements the ePlace/RePlAce solver: Nesterov's
+// accelerated method with a Lipschitz-constant backtracking line search.
+// Adam, SGD+momentum, and RMSProp mirror the native PyTorch solvers the
+// paper compares against in Table IV, including the per-iteration learning
+// rate decay used there.
+#pragma once
+
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "autograd/objective.h"
+
+namespace dreamplace {
+
+/// Common optimizer interface: owns the parameter vector; step() performs
+/// one iteration and returns the objective value observed.
+template <typename T>
+class Optimizer {
+ public:
+  virtual ~Optimizer() = default;
+
+  virtual double step() = 0;
+  virtual const std::vector<T>& params() const = 0;
+  virtual std::vector<T>& mutableParams() = 0;
+  virtual std::string name() const = 0;
+  /// Re-arms internal state after an external parameter change (e.g. the
+  /// routability loop moving cells between restarts).
+  virtual void reset() = 0;
+};
+
+/// Nesterov's method with Lipschitz step-size estimation (ePlace).
+template <typename T>
+class NesterovOptimizer final : public Optimizer<T> {
+ public:
+  struct Options {
+    double initialStep = 0.0;   ///< 0 => probe with a small perturbation.
+    double backtrackTolerance = 0.95;  ///< accept when alphaNew >= tol*alpha.
+    int maxBacktracks = 10;
+    /// Optional feasibility projection applied to every new iterate
+    /// (projected gradient descent; the placer uses it to keep cell
+    /// centers inside the die).
+    std::function<void(std::vector<T>&)> projection;
+  };
+
+  NesterovOptimizer(ObjectiveFunction<T>& objective, std::vector<T> initial,
+                    Options options = {});
+
+  double step() override;
+  const std::vector<T>& params() const override { return u_; }
+  std::vector<T>& mutableParams() override { return u_; }
+  std::string name() const override { return "nesterov"; }
+  void reset() override;
+
+  /// Number of objective evaluations so far (line search costs extra).
+  long evaluations() const { return evaluations_; }
+
+ private:
+  double evalAt(const std::vector<T>& point, std::vector<T>& grad);
+  double estimateInitialStep();
+
+  ObjectiveFunction<T>& objective_;
+  Options options_;
+  std::vector<T> u_;        // major solution u_k
+  std::vector<T> u_prev_;   // u_{k-1}
+  std::vector<T> v_;        // reference solution v_k
+  std::vector<T> v_prev_;   // v_{k-1}
+  std::vector<T> grad_v_;   // gradient at v_k
+  std::vector<T> grad_v_prev_;
+  std::vector<T> v_cand_;   // candidate reference for line search
+  std::vector<T> grad_cand_;
+  std::vector<T> u_cand_;
+  double a_ = 1.0;          // momentum coefficient a_k
+  double alpha_ = 0.0;      // current step size
+  bool first_step_ = true;
+  long evaluations_ = 0;
+};
+
+/// Adam (Kingma & Ba) with optional multiplicative learning-rate decay.
+template <typename T>
+class AdamOptimizer final : public Optimizer<T> {
+ public:
+  struct Options {
+    double lr = 0.01;
+    double beta1 = 0.9;
+    double beta2 = 0.999;
+    double eps = 1e-8;
+    double lrDecay = 1.0;  ///< lr *= lrDecay after each step (Table IV).
+   /// Optional feasibility projection applied after each update.
+    std::function<void(std::vector<T>&)> projection;
+  };
+
+  AdamOptimizer(ObjectiveFunction<T>& objective, std::vector<T> initial,
+                Options options = {});
+
+  double step() override;
+  const std::vector<T>& params() const override { return params_; }
+  std::vector<T>& mutableParams() override { return params_; }
+  std::string name() const override { return "adam"; }
+  void reset() override;
+
+ private:
+  ObjectiveFunction<T>& objective_;
+  Options options_;
+  std::vector<T> params_;
+  std::vector<T> grad_;
+  std::vector<double> m_;
+  std::vector<double> v_;
+  double lr_ = 0.0;
+  long t_ = 0;
+};
+
+/// Stochastic gradient descent with classical momentum.
+template <typename T>
+class SgdMomentumOptimizer final : public Optimizer<T> {
+ public:
+  struct Options {
+    double lr = 0.01;
+    double momentum = 0.9;
+    double lrDecay = 1.0;
+   /// Optional feasibility projection applied after each update.
+    std::function<void(std::vector<T>&)> projection;
+  };
+
+  SgdMomentumOptimizer(ObjectiveFunction<T>& objective,
+                       std::vector<T> initial, Options options = {});
+
+  double step() override;
+  const std::vector<T>& params() const override { return params_; }
+  std::vector<T>& mutableParams() override { return params_; }
+  std::string name() const override { return "sgd_momentum"; }
+  void reset() override;
+
+ private:
+  ObjectiveFunction<T>& objective_;
+  Options options_;
+  std::vector<T> params_;
+  std::vector<T> grad_;
+  std::vector<double> velocity_;
+  double lr_ = 0.0;
+};
+
+/// RMSProp (Tieleman & Hinton) with optional learning-rate decay.
+template <typename T>
+class RmsPropOptimizer final : public Optimizer<T> {
+ public:
+  struct Options {
+    double lr = 0.01;
+    double alpha = 0.99;
+    double eps = 1e-8;
+    double lrDecay = 1.0;
+   /// Optional feasibility projection applied after each update.
+    std::function<void(std::vector<T>&)> projection;
+  };
+
+  RmsPropOptimizer(ObjectiveFunction<T>& objective, std::vector<T> initial,
+                   Options options = {});
+
+  double step() override;
+  const std::vector<T>& params() const override { return params_; }
+  std::vector<T>& mutableParams() override { return params_; }
+  std::string name() const override { return "rmsprop"; }
+  void reset() override;
+
+ private:
+  ObjectiveFunction<T>& objective_;
+  Options options_;
+  std::vector<T> params_;
+  std::vector<T> grad_;
+  std::vector<double> meanSquare_;
+  double lr_ = 0.0;
+};
+
+/// Factory used by the solver-comparison benchmark (Table IV).
+enum class SolverKind { kNesterov, kAdam, kSgdMomentum, kRmsProp };
+
+template <typename T>
+std::unique_ptr<Optimizer<T>> makeOptimizer(SolverKind kind,
+                                            ObjectiveFunction<T>& objective,
+                                            std::vector<T> initial,
+                                            double lr, double lrDecay);
+
+const char* solverName(SolverKind kind);
+
+}  // namespace dreamplace

@@ -1,0 +1,70 @@
+// Basic 2-D geometry value types used throughout the placer.
+#pragma once
+
+#include <algorithm>
+#include <cmath>
+
+namespace dreamplace {
+
+template <typename T>
+struct Point {
+  T x{};
+  T y{};
+
+  friend bool operator==(const Point&, const Point&) = default;
+};
+
+/// Axis-aligned rectangle with [lo, hi) semantics on both axes.
+template <typename T>
+struct Box {
+  T xl{};
+  T yl{};
+  T xh{};
+  T yh{};
+
+  constexpr T width() const { return xh - xl; }
+  constexpr T height() const { return yh - yl; }
+  constexpr T area() const { return width() * height(); }
+  constexpr T centerX() const { return (xl + xh) / T(2); }
+  constexpr T centerY() const { return (yl + yh) / T(2); }
+
+  constexpr bool contains(T x, T y) const {
+    return x >= xl && x < xh && y >= yl && y < yh;
+  }
+
+  constexpr bool containsBox(const Box& other) const {
+    return other.xl >= xl && other.xh <= xh && other.yl >= yl &&
+           other.yh <= yh;
+  }
+
+  constexpr bool overlaps(const Box& other) const {
+    return xl < other.xh && other.xl < xh && yl < other.yh && other.yl < yh;
+  }
+
+  /// Overlap area with another box; zero if disjoint.
+  constexpr T overlapArea(const Box& other) const {
+    const T w = std::min(xh, other.xh) - std::max(xl, other.xl);
+    const T h = std::min(yh, other.yh) - std::max(yl, other.yl);
+    return (w > T(0) && h > T(0)) ? w * h : T(0);
+  }
+
+  friend bool operator==(const Box&, const Box&) = default;
+};
+
+/// Overlap length of 1-D intervals [al, ah) and [bl, bh); zero if disjoint.
+template <typename T>
+constexpr T overlapLength(T al, T ah, T bl, T bh) {
+  const T len = std::min(ah, bh) - std::max(al, bl);
+  return len > T(0) ? len : T(0);
+}
+
+/// Clamp helper mirroring std::clamp but tolerant of lo > hi (returns lo).
+template <typename T>
+constexpr T clampSafe(T value, T lo, T hi) {
+  if (hi < lo) {
+    return lo;
+  }
+  return std::clamp(value, lo, hi);
+}
+
+}  // namespace dreamplace

@@ -1,0 +1,71 @@
+#include "common/log.h"
+
+#include <atomic>
+#include <cstdio>
+#include <cstdlib>
+#include <mutex>
+
+namespace dreamplace {
+
+namespace {
+std::atomic<LogLevel> g_level{LogLevel::kInfo};
+std::mutex g_mutex;
+
+const char* prefix(LogLevel level) {
+  switch (level) {
+    case LogLevel::kDebug:
+      return "[DEBUG] ";
+    case LogLevel::kInfo:
+      return "[INFO ] ";
+    case LogLevel::kWarn:
+      return "[WARN ] ";
+    case LogLevel::kError:
+      return "[ERROR] ";
+    default:
+      return "";
+  }
+}
+}  // namespace
+
+void setLogLevel(LogLevel level) { g_level.store(level); }
+LogLevel logLevel() { return g_level.load(); }
+
+namespace detail {
+void vlog(LogLevel level, const char* fmt, std::va_list args) {
+  if (level < g_level.load()) {
+    return;
+  }
+  // Logs go to stderr: benches and examples print result tables on
+  // stdout, and the two streams must stay separable.
+  std::lock_guard<std::mutex> lock(g_mutex);
+  std::fputs(prefix(level), stderr);
+  std::vfprintf(stderr, fmt, args);
+  std::fputc('\n', stderr);
+  std::fflush(stderr);
+}
+}  // namespace detail
+
+#define DP_DEFINE_LOG(name, level)            \
+  void name(const char* fmt, ...) {           \
+    std::va_list args;                        \
+    va_start(args, fmt);                      \
+    detail::vlog(level, fmt, args);           \
+    va_end(args);                             \
+  }
+
+DP_DEFINE_LOG(logDebug, LogLevel::kDebug)
+DP_DEFINE_LOG(logInfo, LogLevel::kInfo)
+DP_DEFINE_LOG(logWarn, LogLevel::kWarn)
+DP_DEFINE_LOG(logError, LogLevel::kError)
+
+#undef DP_DEFINE_LOG
+
+void logFatal(const char* fmt, ...) {
+  std::va_list args;
+  va_start(args, fmt);
+  detail::vlog(LogLevel::kError, fmt, args);
+  va_end(args);
+  std::abort();
+}
+
+}  // namespace dreamplace

@@ -1,0 +1,57 @@
+// Lightweight leveled logging for the placer.
+//
+// The placer is a long-running numerical loop; logging must be cheap when
+// disabled and line-buffered when enabled so progress is visible during runs.
+#pragma once
+
+#include <cstdarg>
+#include <string>
+
+namespace dreamplace {
+
+enum class LogLevel : int {
+  kDebug = 0,
+  kInfo = 1,
+  kWarn = 2,
+  kError = 3,
+  kSilent = 4,
+};
+
+/// Global log threshold; messages below it are dropped.
+void setLogLevel(LogLevel level);
+LogLevel logLevel();
+
+/// printf-style logging. All calls are thread-safe (single write per line).
+void logDebug(const char* fmt, ...) __attribute__((format(printf, 1, 2)));
+void logInfo(const char* fmt, ...) __attribute__((format(printf, 1, 2)));
+void logWarn(const char* fmt, ...) __attribute__((format(printf, 1, 2)));
+void logError(const char* fmt, ...) __attribute__((format(printf, 1, 2)));
+
+/// Fatal error: logs and aborts. Used for programming errors (broken
+/// invariants), not user input errors.
+[[noreturn]] void logFatal(const char* fmt, ...)
+    __attribute__((format(printf, 1, 2)));
+
+namespace detail {
+void vlog(LogLevel level, const char* fmt, std::va_list args);
+}  // namespace detail
+
+}  // namespace dreamplace
+
+/// Assertion macro that stays active in release builds; placement invariants
+/// are cheap to check relative to the numerical work they guard.
+#define DP_ASSERT(cond, ...)                                           \
+  do {                                                                 \
+    if (!(cond)) {                                                     \
+      ::dreamplace::logFatal("assertion failed: %s (%s:%d) ", #cond,   \
+                             __FILE__, __LINE__);                      \
+    }                                                                  \
+  } while (0)
+
+#define DP_ASSERT_MSG(cond, fmt, ...)                                      \
+  do {                                                                     \
+    if (!(cond)) {                                                         \
+      ::dreamplace::logFatal("assertion failed: %s (%s:%d): " fmt, #cond,  \
+                             __FILE__, __LINE__, ##__VA_ARGS__);           \
+    }                                                                      \
+  } while (0)

@@ -1,0 +1,83 @@
+// Deterministic random number generation.
+//
+// Placement runs must be reproducible run-to-run for regression comparison
+// (the paper's future-work section even calls out determinism). All
+// stochastic choices in the library flow through this PCG32-based engine
+// seeded explicitly by the caller.
+#pragma once
+
+#include <cstdint>
+#include <limits>
+
+namespace dreamplace {
+
+/// PCG32 generator (O'Neill, 2014): small state, good statistical quality,
+/// and identical streams across platforms, unlike std::mt19937 + libstdc++
+/// distributions which are not portable bit-for-bit.
+class Rng {
+ public:
+  using result_type = std::uint32_t;
+
+  explicit Rng(std::uint64_t seed = 0x853c49e6748fea9bULL,
+               std::uint64_t stream = 0xda3e39cb94b95bdbULL) {
+    state_ = 0U;
+    inc_ = (stream << 1U) | 1U;
+    next();
+    state_ += seed;
+    next();
+  }
+
+  static constexpr result_type min() { return 0; }
+  static constexpr result_type max() {
+    return std::numeric_limits<result_type>::max();
+  }
+
+  result_type operator()() { return next(); }
+
+  /// Uniform in [0, 1).
+  double uniform() {
+    return static_cast<double>(next()) * 0x1.0p-32;
+  }
+
+  /// Uniform in [lo, hi).
+  double uniform(double lo, double hi) { return lo + (hi - lo) * uniform(); }
+
+  /// Uniform integer in [0, n). Uses rejection to avoid modulo bias.
+  std::uint32_t uniformInt(std::uint32_t n) {
+    if (n == 0) {
+      return 0;
+    }
+    const std::uint32_t threshold = (0U - n) % n;
+    for (;;) {
+      std::uint32_t r = next();
+      if (r >= threshold) {
+        return r % n;
+      }
+    }
+  }
+
+  /// Standard normal via Box-Muller (cached second value).
+  double normal();
+
+  /// Normal with given mean and standard deviation.
+  double normal(double mean, double stddev) {
+    return mean + stddev * normal();
+  }
+
+ private:
+  result_type next() {
+    std::uint64_t old = state_;
+    state_ = old * 6364136223846793005ULL + inc_;
+    auto xorshifted =
+        static_cast<std::uint32_t>(((old >> 18U) ^ old) >> 27U);
+    auto rot = static_cast<std::uint32_t>(old >> 59U);
+    return (xorshifted >> rot) | (xorshifted << ((0U - rot) & 31U));
+  }
+
+  std::uint64_t state_ = 0;
+  std::uint64_t inc_ = 0;
+  bool has_cached_normal_ = false;
+  double cached_normal_ = 0.0;
+};
+
+}  // namespace dreamplace

@@ -1,0 +1,59 @@
+#include "common/timer.h"
+
+#include <cstdio>
+
+namespace dreamplace {
+
+TimingRegistry& TimingRegistry::instance() {
+  static TimingRegistry registry;
+  return registry;
+}
+
+void TimingRegistry::add(const std::string& key, double seconds) {
+  totals_[key] += seconds;
+}
+
+double TimingRegistry::total(const std::string& key) const {
+  auto it = totals_.find(key);
+  return it == totals_.end() ? 0.0 : it->second;
+}
+
+double TimingRegistry::totalPrefix(const std::string& prefix) const {
+  double sum = 0.0;
+  // std::map is ordered, so the matching keys form a contiguous range.
+  for (auto it = totals_.lower_bound(prefix); it != totals_.end(); ++it) {
+    if (it->first.compare(0, prefix.size(), prefix) != 0) {
+      break;
+    }
+    sum += it->second;
+  }
+  return sum;
+}
+
+std::map<std::string, double> TimingRegistry::snapshot() const {
+  return totals_;
+}
+
+void TimingRegistry::clear() { totals_.clear(); }
+
+std::string TimingRegistry::report() const {
+  double grand = 0.0;
+  for (const auto& [key, seconds] : totals_) {
+    // Only count top-level keys toward the grand total; nested scopes are
+    // already included in their parents.
+    if (key.find('/') == std::string::npos) {
+      grand += seconds;
+    }
+  }
+  std::string out;
+  char line[256];
+  for (const auto& [key, seconds] : totals_) {
+    double pct = grand > 0.0 ? 100.0 * seconds / grand : 0.0;
+    std::snprintf(line, sizeof(line), "%-40s %10.3fs %6.1f%%\n", key.c_str(),
+                  seconds, pct);
+    out += line;
+  }
+  return out;
+}
+
+}  // namespace dreamplace

@@ -1,0 +1,70 @@
+// Wall-clock timing with a hierarchical accumulation registry.
+//
+// The paper reports per-stage runtime (GP / LG / DP / IO columns of
+// Tables II-V) and runtime breakdowns (Figs. 3 and 9). The registry
+// accumulates named scopes so a flow run can print those breakdowns
+// without threading timers through every API.
+#pragma once
+
+#include <chrono>
+#include <map>
+#include <string>
+#include <vector>
+
+namespace dreamplace {
+
+/// Simple monotonic stopwatch.
+class Timer {
+ public:
+  Timer() : start_(Clock::now()) {}
+
+  void reset() { start_ = Clock::now(); }
+
+  /// Elapsed seconds since construction or last reset().
+  double elapsed() const {
+    return std::chrono::duration<double>(Clock::now() - start_).count();
+  }
+
+ private:
+  using Clock = std::chrono::steady_clock;
+  Clock::time_point start_;
+};
+
+/// Process-wide accumulator of named timing scopes.
+///
+/// Scope keys are '/'-separated paths, e.g. "gp/density/fft". Accumulation
+/// is additive across calls; the registry can be cleared between runs.
+class TimingRegistry {
+ public:
+  static TimingRegistry& instance();
+
+  void add(const std::string& key, double seconds);
+  double total(const std::string& key) const;
+  /// Sum of all keys that start with `prefix`.
+  double totalPrefix(const std::string& prefix) const;
+  std::map<std::string, double> snapshot() const;
+  void clear();
+
+  /// Pretty-print all accumulated scopes as "key  seconds  percent".
+  std::string report() const;
+
+ private:
+  TimingRegistry() = default;
+  std::map<std::string, double> totals_;
+};
+
+/// RAII scope that adds its lifetime to the registry under `key`.
+class ScopedTimer {
+ public:
+  explicit ScopedTimer(std::string key) : key_(std::move(key)) {}
+  ~ScopedTimer() { TimingRegistry::instance().add(key_, timer_.elapsed()); }
+
+  ScopedTimer(const ScopedTimer&) = delete;
+  ScopedTimer& operator=(const ScopedTimer&) = delete;
+
+ private:
+  std::string key_;
+  Timer timer_;
+};
+
+}  // namespace dreamplace

@@ -1,0 +1,23 @@
+// Fundamental index and scalar typedefs shared across subsystems.
+#pragma once
+
+#include <cstdint>
+#include <limits>
+
+namespace dreamplace {
+
+/// Index into the flat cell/net/pin arrays. Signed so that -1 can mark
+/// "no element"; 32-bit indices keep the SoA database compact (the paper
+/// scales to 10M cells, well within int32 range).
+using Index = std::int32_t;
+
+inline constexpr Index kInvalidIndex = -1;
+
+/// Database coordinate unit. Bookshelf coordinates are integers in site
+/// units, but placement is continuous, so the database stores doubles.
+using Coord = double;
+
+template <typename T>
+inline constexpr T kInf = std::numeric_limits<T>::infinity();
+
+}  // namespace dreamplace

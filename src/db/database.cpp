@@ -1,0 +1,197 @@
+#include "db/database.h"
+
+#include <algorithm>
+#include <numeric>
+
+#include "common/log.h"
+
+namespace dreamplace {
+
+Index Database::addCell(std::string name, Coord width, Coord height,
+                        bool movable) {
+  DP_ASSERT_MSG(!finalized_, "addCell after finalize");
+  DP_ASSERT_MSG(width > 0 && height > 0, "cell %s has non-positive size",
+                name.c_str());
+  cell_name_.push_back(std::move(name));
+  cell_width_.push_back(width);
+  cell_height_.push_back(height);
+  cell_x_.push_back(0);
+  cell_y_.push_back(0);
+  cell_movable_.push_back(movable ? 1 : 0);
+  return numCells() - 1;
+}
+
+Index Database::addNet(std::string name, double weight) {
+  DP_ASSERT_MSG(!finalized_, "addNet after finalize");
+  net_name_.push_back(std::move(name));
+  net_weight_.push_back(weight);
+  return static_cast<Index>(net_name_.size()) - 1;
+}
+
+Index Database::addPin(Index net, Index cell, Coord offsetX, Coord offsetY) {
+  DP_ASSERT_MSG(!finalized_, "addPin after finalize");
+  DP_ASSERT(net >= 0 && net < static_cast<Index>(net_name_.size()));
+  DP_ASSERT(cell >= 0 && cell < numCells());
+  pin_cell_.push_back(cell);
+  pin_net_.push_back(net);
+  pin_offset_x_.push_back(offsetX);
+  pin_offset_y_.push_back(offsetY);
+  return static_cast<Index>(pin_cell_.size()) - 1;
+}
+
+void Database::setCellPosition(Index cell, Coord x, Coord y) {
+  DP_ASSERT(cell >= 0 && cell < numCells());
+  cell_x_[cell] = x;
+  cell_y_[cell] = y;
+}
+
+void Database::finalize() {
+  DP_ASSERT_MSG(!finalized_, "finalize called twice");
+
+  const Index n = numCells();
+  // Stable movable-first permutation: newIndex[oldIndex].
+  std::vector<Index> order(n);
+  std::iota(order.begin(), order.end(), 0);
+  std::stable_sort(order.begin(), order.end(), [&](Index a, Index b) {
+    return cell_movable_[a] > cell_movable_[b];
+  });
+  std::vector<Index> new_index(n);
+  for (Index i = 0; i < n; ++i) {
+    new_index[order[i]] = i;
+  }
+
+  auto permute = [&](auto& vec) {
+    using V = std::remove_reference_t<decltype(vec)>;
+    V out(vec.size());
+    for (Index i = 0; i < n; ++i) {
+      out[i] = std::move(vec[order[i]]);
+    }
+    vec = std::move(out);
+  };
+  permute(cell_name_);
+  permute(cell_width_);
+  permute(cell_height_);
+  permute(cell_x_);
+  permute(cell_y_);
+  permute(cell_movable_);
+  num_movable_ = static_cast<Index>(
+      std::count(cell_movable_.begin(), cell_movable_.end(), 1));
+
+  for (Index& c : pin_cell_) {
+    c = new_index[c];
+  }
+
+  // Group pins by net into CSR order.
+  const Index num_nets = static_cast<Index>(net_name_.size());
+  const Index num_pins = static_cast<Index>(pin_cell_.size());
+  net_pin_start_.assign(num_nets + 1, 0);
+  for (Index p = 0; p < num_pins; ++p) {
+    ++net_pin_start_[pin_net_[p] + 1];
+  }
+  std::partial_sum(net_pin_start_.begin(), net_pin_start_.end(),
+                   net_pin_start_.begin());
+
+  std::vector<Index> cursor(net_pin_start_.begin(), net_pin_start_.end() - 1);
+  std::vector<Index> pc(num_pins);
+  std::vector<Index> pn(num_pins);
+  std::vector<Coord> px(num_pins);
+  std::vector<Coord> py(num_pins);
+  for (Index p = 0; p < num_pins; ++p) {
+    const Index slot = cursor[pin_net_[p]]++;
+    pc[slot] = pin_cell_[p];
+    pn[slot] = pin_net_[p];
+    px[slot] = pin_offset_x_[p];
+    py[slot] = pin_offset_y_[p];
+  }
+  pin_cell_ = std::move(pc);
+  pin_net_ = std::move(pn);
+  pin_offset_x_ = std::move(px);
+  pin_offset_y_ = std::move(py);
+
+  buildCellPinCsr();
+
+  name_index_.reserve(n);
+  for (Index i = 0; i < n; ++i) {
+    name_index_.emplace_back(cell_name_[i], i);
+  }
+  std::sort(name_index_.begin(), name_index_.end());
+
+  finalized_ = true;
+  validate();
+}
+
+void Database::buildCellPinCsr() {
+  const Index n = numCells();
+  const Index num_pins = numPins();
+  cell_pin_start_.assign(n + 1, 0);
+  for (Index p = 0; p < num_pins; ++p) {
+    ++cell_pin_start_[pin_cell_[p] + 1];
+  }
+  std::partial_sum(cell_pin_start_.begin(), cell_pin_start_.end(),
+                   cell_pin_start_.begin());
+  cell_pins_.resize(num_pins);
+  std::vector<Index> cursor(cell_pin_start_.begin(),
+                            cell_pin_start_.end() - 1);
+  for (Index p = 0; p < num_pins; ++p) {
+    cell_pins_[cursor[pin_cell_[p]]++] = p;
+  }
+}
+
+void Database::validate() const {
+  DP_ASSERT_MSG(die_area_.width() > 0 && die_area_.height() > 0,
+                "die area is empty");
+  for (Index i = 0; i < numCells(); ++i) {
+    DP_ASSERT(cell_width_[i] > 0 && cell_height_[i] > 0);
+  }
+  for (Index e = 0; e < numNets(); ++e) {
+    DP_ASSERT_MSG(netDegree(e) >= 1, "net %s has no pins",
+                  net_name_[e].c_str());
+  }
+  for (Index p = 0; p < numPins(); ++p) {
+    DP_ASSERT(pin_cell_[p] >= 0 && pin_cell_[p] < numCells());
+    DP_ASSERT(pin_net_[p] >= 0 && pin_net_[p] < numNets());
+  }
+}
+
+Index Database::findCell(const std::string& name) const {
+  auto it = std::lower_bound(
+      name_index_.begin(), name_index_.end(), name,
+      [](const auto& entry, const std::string& key) {
+        return entry.first < key;
+      });
+  if (it != name_index_.end() && it->first == name) {
+    return it->second;
+  }
+  return kInvalidIndex;
+}
+
+Coord Database::totalMovableArea() const {
+  Coord area = 0;
+  for (Index i = 0; i < num_movable_; ++i) {
+    area += cellArea(i);
+  }
+  return area;
+}
+
+Coord Database::totalFixedArea() const {
+  Coord area = 0;
+  for (Index i = num_movable_; i < numCells(); ++i) {
+    Box<Coord> box = cellBox(i);
+    // Clip to the die; pads may sit on or outside the boundary.
+    box.xl = std::max(box.xl, die_area_.xl);
+    box.yl = std::max(box.yl, die_area_.yl);
+    box.xh = std::min(box.xh, die_area_.xh);
+    box.yh = std::min(box.yh, die_area_.yh);
+    if (box.width() > 0 && box.height() > 0) {
+      area += box.area();
+    }
+  }
+  return area;
+}
+
+Coord Database::utilization() const {
+  const Coord whitespace = die_area_.area() - totalFixedArea();
+  return whitespace > 0 ? totalMovableArea() / whitespace : 1.0;
+}
+
+}  // namespace dreamplace

@@ -1,0 +1,410 @@
+#include "dp/detailed_placer.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <numeric>
+#include <unordered_set>
+
+#include "common/log.h"
+#include "common/timer.h"
+#include "db/metrics.h"
+#include "dp/independent_set.h"
+#include "lg/macro_legalizer.h"
+
+namespace dreamplace {
+
+namespace {
+
+/// Evaluates the HPWL of the given nets with up to two cells' positions
+/// overridden (the candidate move), without touching the database.
+class DeltaEvaluator {
+ public:
+  explicit DeltaEvaluator(const Database& db) : db_(db) {}
+
+  void setOverride(int slot, Index cell, Coord x, Coord y) {
+    cells_[slot] = cell;
+    xs_[slot] = x;
+    ys_[slot] = y;
+  }
+  void clearOverrides() { cells_[0] = cells_[1] = kInvalidIndex; }
+
+  double netsHpwl(const std::vector<Index>& nets) const {
+    double total = 0.0;
+    for (Index e : nets) {
+      const Index begin = db_.netPinBegin(e);
+      const Index end = db_.netPinEnd(e);
+      if (end - begin < 2) {
+        continue;
+      }
+      double xl = std::numeric_limits<double>::infinity();
+      double xh = -xl, yl = xl, yh = -xl;
+      for (Index p = begin; p < end; ++p) {
+        const Index c = db_.pinCell(p);
+        double base_x = db_.cellX(c);
+        double base_y = db_.cellY(c);
+        if (c == cells_[0]) {
+          base_x = xs_[0];
+          base_y = ys_[0];
+        } else if (c == cells_[1]) {
+          base_x = xs_[1];
+          base_y = ys_[1];
+        }
+        const double px = base_x + db_.cellWidth(c) / 2 + db_.pinOffsetX(p);
+        const double py = base_y + db_.cellHeight(c) / 2 + db_.pinOffsetY(p);
+        xl = std::min(xl, px);
+        xh = std::max(xh, px);
+        yl = std::min(yl, py);
+        yh = std::max(yh, py);
+      }
+      total += db_.netWeight(e) * ((xh - xl) + (yh - yl));
+    }
+    return total;
+  }
+
+ private:
+  const Database& db_;
+  Index cells_[2] = {kInvalidIndex, kInvalidIndex};
+  Coord xs_[2] = {0, 0};
+  Coord ys_[2] = {0, 0};
+};
+
+/// Union of the nets incident to the given cells, deduplicated.
+std::vector<Index> incidentNets(const Database& db,
+                                std::initializer_list<Index> cells) {
+  std::vector<Index> nets;
+  for (Index c : cells) {
+    for (Index s = db.cellPinBegin(c); s < db.cellPinEnd(c); ++s) {
+      nets.push_back(db.pinNet(db.cellPinAt(s)));
+    }
+  }
+  std::sort(nets.begin(), nets.end());
+  nets.erase(std::unique(nets.begin(), nets.end()), nets.end());
+  return nets;
+}
+
+/// Row occupancy: cells of each row sorted by x. Fixed cells (pads,
+/// macros) are included as immovable entries so window/swap moves never
+/// pack over them.
+struct RowIndex {
+  std::vector<std::vector<Index>> rows;
+  std::vector<char> movableEntry;  ///< Per cell: participates in DP moves.
+  Coord rowHeight = 0;
+  Coord yBase = 0;
+
+  bool isMovableEntry(Index i) const { return movableEntry[i] != 0; }
+
+  void build(const Database& db) {
+    rowHeight = db.rowHeight();
+    yBase = db.rows().front().y;
+    rows.assign(db.rows().size(), {});
+    movableEntry.assign(db.numCells(), 0);
+    const auto num_rows = static_cast<Index>(rows.size());
+    for (Index i = 0; i < db.numCells(); ++i) {
+      // Standard movable cells are DP-movable; fixed cells and movable
+      // macros are obstacles spanning every row band they overlap.
+      if (db.isMovable(i) && !isMovableMacro(db, i)) {
+        movableEntry[i] = 1;
+        rows[rowOf(db.cellY(i))].push_back(i);
+        continue;
+      }
+      const Box<Coord> box = db.cellBox(i);
+      const Index r0 = rowOf(box.yl + 1e-9);
+      const Index r1 = rowOf(box.yh - 1e-9);
+      for (Index r = std::max<Index>(0, r0);
+           r <= std::min(num_rows - 1, r1); ++r) {
+        rows[r].push_back(i);
+      }
+    }
+    for (auto& row : rows) {
+      std::sort(row.begin(), row.end(), [&](Index a, Index b) {
+        return db.cellX(a) < db.cellX(b);
+      });
+    }
+  }
+
+  Index rowOf(Coord y) const {
+    const auto r = static_cast<Index>(std::round((y - yBase) / rowHeight));
+    return std::clamp<Index>(r, 0, static_cast<Index>(rows.size()) - 1);
+  }
+};
+
+/// Free space to the left/right of position `k` in a sorted row (bounded
+/// by neighbours or infinity at the ends; fixed obstacles are handled by
+/// the conservative "neighbour" bound because legalized placements keep
+/// fixed cells out of the movable order — moves are additionally validated
+/// against the candidate cell's current span).
+struct Gap {
+  Coord xl = 0;
+  Coord xh = 0;
+};
+
+}  // namespace
+
+DetailedPlacerResult DetailedPlacer::run(Database& db) const {
+  ScopedTimer timer("dp");
+  DetailedPlacerResult result;
+  result.initialHpwl = hpwl(db);
+
+  DeltaEvaluator eval(db);
+  RowIndex rows;
+
+  double pass_start_hpwl = result.initialHpwl;
+  for (int pass = 0; pass < options_.passes; ++pass) {
+    rows.build(db);
+
+    // ---- Intra-row local reordering ------------------------------------
+    {
+      ScopedTimer t("dp/reorder");
+      const int w = options_.windowSize;
+      std::vector<Index> window(w);
+      std::vector<int> perm(w);
+      for (auto& row : rows.rows) {
+        if (static_cast<int>(row.size()) < w) {
+          continue;
+        }
+        for (size_t start = 0; start + w <= row.size(); ++start) {
+          bool has_fixed = false;
+          for (int k = 0; k < w; ++k) {
+            window[k] = row[start + k];
+            has_fixed |= !rows.isMovableEntry(window[k]);
+          }
+          if (has_fixed) {
+            continue;
+          }
+          // Window span: from first cell's x to the next cell (or +inf);
+          // permutations are packed from the span start.
+          const Coord span_xl = db.cellX(window[0]);
+          Coord span_xh;
+          if (start + w < row.size()) {
+            span_xh = db.cellX(row[start + w]);
+          } else {
+            span_xh = std::numeric_limits<Coord>::infinity();
+          }
+          Coord total_w = 0;
+          for (int k = 0; k < w; ++k) {
+            total_w += db.cellWidth(window[k]);
+          }
+          if (span_xl + total_w > span_xh) {
+            continue;  // no room to repack (should not happen)
+          }
+          const std::vector<Index> nets = incidentNets(
+              db, {window[0], window[1], window[w - 1]});
+          // For w==3 all three are covered above; generalize for w>3.
+          std::vector<Index> all_nets = nets;
+          if (w > 3) {
+            all_nets = incidentNets(db, {window[0], window[1]});
+            for (int k = 2; k < w; ++k) {
+              auto more = incidentNets(db, {window[k]});
+              all_nets.insert(all_nets.end(), more.begin(), more.end());
+            }
+            std::sort(all_nets.begin(), all_nets.end());
+            all_nets.erase(std::unique(all_nets.begin(), all_nets.end()),
+                           all_nets.end());
+          }
+
+          std::iota(perm.begin(), perm.end(), 0);
+          const double base = eval.netsHpwl(all_nets);
+          double best = base;
+          std::vector<int> best_perm = perm;
+          std::vector<Coord> orig_x(w);
+          const Coord orig_y = db.cellY(window[0]);
+          for (int k = 0; k < w; ++k) {
+            orig_x[k] = db.cellX(window[k]);
+          }
+          // Try all permutations by temporarily committing to the db
+          // (cheap: w cells), evaluating, and restoring.
+          auto apply_perm = [&](const std::vector<int>& p) {
+            Coord x = span_xl;
+            for (int k = 0; k < w; ++k) {
+              db.setCellPosition(window[p[k]], x, orig_y);
+              x += db.cellWidth(window[p[k]]);
+            }
+          };
+          while (std::next_permutation(perm.begin(), perm.end())) {
+            apply_perm(perm);
+            const double cost = eval.netsHpwl(all_nets);
+            if (cost < best - 1e-9) {
+              best = cost;
+              best_perm = perm;
+            }
+          }
+          if (best < base - 1e-9) {
+            apply_perm(best_perm);
+            // Keep the row order array consistent.
+            std::vector<Index> reordered(w);
+            for (int k = 0; k < w; ++k) {
+              reordered[k] = window[best_perm[k]];
+            }
+            for (int k = 0; k < w; ++k) {
+              row[start + k] = reordered[k];
+            }
+            ++result.reorderMoves;
+          } else {
+            for (int k = 0; k < w; ++k) {
+              db.setCellPosition(window[k], orig_x[k], orig_y);
+            }
+          }
+        }
+      }
+    }
+
+    // ---- Global swap / relocation ----------------------------------------
+    {
+      ScopedTimer t("dp/swap");
+      rows.build(db);
+      for (Index cell = 0; cell < db.numMovable(); ++cell) {
+        if (isMovableMacro(db, cell)) {
+          continue;  // macros are frozen after macro legalization
+        }
+        // Optimal region: median of the bounding boxes of this cell's nets
+        // with the cell itself excluded.
+        std::vector<double> lx, hx, ly, hy;
+        for (Index s = db.cellPinBegin(cell); s < db.cellPinEnd(cell); ++s) {
+          const Index pin = db.cellPinAt(s);
+          const Index e = db.pinNet(pin);
+          double xl = std::numeric_limits<double>::infinity();
+          double xh = -xl, yl = xl, yh = -xl;
+          bool any = false;
+          for (Index p = db.netPinBegin(e); p < db.netPinEnd(e); ++p) {
+            if (db.pinCell(p) == cell) {
+              continue;
+            }
+            any = true;
+            xl = std::min(xl, db.pinX(p));
+            xh = std::max(xh, db.pinX(p));
+            yl = std::min(yl, db.pinY(p));
+            yh = std::max(yh, db.pinY(p));
+          }
+          if (any) {
+            lx.push_back(xl);
+            hx.push_back(xh);
+            ly.push_back(yl);
+            hy.push_back(yh);
+          }
+        }
+        if (lx.empty()) {
+          continue;
+        }
+        auto median = [](std::vector<double>& v) {
+          std::nth_element(v.begin(), v.begin() + v.size() / 2, v.end());
+          return v[v.size() / 2];
+        };
+        const double ox = 0.5 * (median(lx) + median(hx));
+        const double oy = 0.5 * (median(ly) + median(hy));
+        const Index target_row = rows.rowOf(oy - db.rowHeight() / 2);
+
+        // Already close to optimal? Skip.
+        if (std::abs(db.cellX(cell) - ox) < db.rowHeight() &&
+            rows.rowOf(db.cellY(cell)) == target_row) {
+          continue;
+        }
+        const auto max_row_delta =
+            static_cast<Index>(options_.swapRadiusRows);
+
+        const std::vector<Index> my_nets = incidentNets(db, {cell});
+        int tried = 0;
+        for (Index dr = 0;
+             dr <= max_row_delta && tried < options_.maxCandidates; ++dr) {
+          for (int sign : {+1, -1}) {
+            if (sign < 0 && dr == 0) {
+              continue;
+            }
+            const Index r = target_row + sign * dr;
+            if (r < 0 || r >= static_cast<Index>(rows.rows.size())) {
+              continue;
+            }
+            auto& row = rows.rows[r];
+            if (row.empty()) {
+              continue;
+            }
+            // Binary search the cell nearest ox.
+            auto it = std::lower_bound(
+                row.begin(), row.end(), ox, [&](Index a, double v) {
+                  return db.cellX(a) < v;
+                });
+            for (int probe = -1; probe <= 1; ++probe) {
+              auto jt = it + probe;
+              if (jt < row.begin() || jt >= row.end()) {
+                continue;
+              }
+              const Index other = *jt;
+              if (other == cell || !rows.isMovableEntry(other) ||
+                  db.cellWidth(other) != db.cellWidth(cell)) {
+                continue;  // only equal-width movable swaps stay legal
+              }
+              if (rows.rowOf(db.cellY(other)) ==
+                  rows.rowOf(db.cellY(cell)) &&
+                  std::abs(db.cellX(other) - db.cellX(cell)) <
+                      4 * db.rowHeight()) {
+                continue;  // near same-row swaps are covered by reordering
+              }
+              ++tried;
+              std::vector<Index> nets = my_nets;
+              const auto other_nets = incidentNets(db, {other});
+              nets.insert(nets.end(), other_nets.begin(), other_nets.end());
+              std::sort(nets.begin(), nets.end());
+              nets.erase(std::unique(nets.begin(), nets.end()), nets.end());
+
+              eval.clearOverrides();
+              const double before = eval.netsHpwl(nets);
+              eval.setOverride(0, cell, db.cellX(other), db.cellY(other));
+              eval.setOverride(1, other, db.cellX(cell), db.cellY(cell));
+              const double after = eval.netsHpwl(nets);
+              eval.clearOverrides();
+              if (after < before - 1e-9) {
+                const Coord cx = db.cellX(cell);
+                const Coord cy = db.cellY(cell);
+                db.setCellPosition(cell, db.cellX(other), db.cellY(other));
+                db.setCellPosition(other, cx, cy);
+                // Update row occupancy.
+                const Index cell_row = rows.rowOf(db.cellY(other));
+                const Index other_row = rows.rowOf(db.cellY(cell));
+                std::replace(rows.rows[cell_row].begin(),
+                             rows.rows[cell_row].end(), cell, other);
+                std::replace(rows.rows[other_row].begin(),
+                             rows.rows[other_row].end(), other, cell);
+                ++result.swapMoves;
+                tried = options_.maxCandidates;  // move on to next cell
+                break;
+              }
+            }
+            if (tried >= options_.maxCandidates) {
+              break;
+            }
+          }
+        }
+      }
+    }
+
+    // ---- Independent-set matching ----------------------------------------
+    if (options_.enableIsm) {
+      IsmOptions ism;
+      ism.maxSetSize = options_.ismSetSize;
+      const IsmResult r = independentSetMatching(db, ism);
+      result.ismMoves += r.cellsMoved;
+    }
+
+    if (options_.convergenceTolerance > 0) {
+      const double pass_end_hpwl = hpwl(db);
+      if (pass_start_hpwl - pass_end_hpwl <
+          options_.convergenceTolerance * pass_end_hpwl) {
+        break;
+      }
+      pass_start_hpwl = pass_end_hpwl;
+    }
+  }
+
+  result.finalHpwl = hpwl(db);
+  logInfo("dp: hpwl %.4e -> %.4e (%.2f%%), %ld reorders, %ld swaps, "
+          "%ld ism moves",
+          result.initialHpwl, result.finalHpwl,
+          result.initialHpwl > 0
+              ? 100.0 * (result.finalHpwl - result.initialHpwl) /
+                    result.initialHpwl
+              : 0.0,
+          result.reorderMoves, result.swapMoves, result.ismMoves);
+  return result;
+}
+
+}  // namespace dreamplace

@@ -1,0 +1,191 @@
+#include "fft/dct.h"
+
+#include <cmath>
+#include <complex>
+
+#include "common/log.h"
+#include "fft/fft.h"
+
+namespace dreamplace::fft {
+
+namespace {
+
+template <typename T>
+std::vector<T> dctNaive(const std::vector<T>& x) {
+  const int n = static_cast<int>(x.size());
+  std::vector<T> out(n);
+  for (int k = 0; k < n; ++k) {
+    double acc = 0.0;
+    for (int m = 0; m < n; ++m) {
+      acc += static_cast<double>(x[m]) * std::cos(M_PI * (m + 0.5) * k / n);
+    }
+    out[k] = static_cast<T>(acc);
+  }
+  return out;
+}
+
+template <typename T>
+std::vector<T> idctNaive(const std::vector<T>& c) {
+  const int n = static_cast<int>(c.size());
+  std::vector<T> out(n);
+  for (int k = 0; k < n; ++k) {
+    double acc = 0.5 * static_cast<double>(c[0]);
+    for (int m = 1; m < n; ++m) {
+      acc += static_cast<double>(c[m]) * std::cos(M_PI * m * (k + 0.5) / n);
+    }
+    out[k] = static_cast<T>(acc);
+  }
+  return out;
+}
+
+/// DCT-II via a 2N-point complex FFT of the half-sample even extension
+/// [x_0..x_{N-1}, x_{N-1}..x_0]: Y_k = 2 e^{+j pi k/2N} X_k.
+template <typename T>
+std::vector<T> dctFft2N(const std::vector<T>& x) {
+  const int n = static_cast<int>(x.size());
+  std::vector<std::complex<T>> y(2 * n);
+  for (int i = 0; i < n; ++i) {
+    y[i] = x[i];
+    y[2 * n - 1 - i] = x[i];
+  }
+  fft(y.data(), 2 * n, false);
+  std::vector<T> out(n);
+  for (int k = 0; k < n; ++k) {
+    const double angle = -M_PI * k / (2.0 * n);
+    const std::complex<T> tw(static_cast<T>(std::cos(angle)),
+                             static_cast<T>(std::sin(angle)));
+    out[k] = T(0.5) * (tw * y[k]).real();
+  }
+  return out;
+}
+
+/// IDCT via a 2N-point inverse FFT: idct(c)_k = Re(S_k) - c_0/2 with
+/// S = 2N * IDFT_2N(d), d_n = c_n e^{+j pi n/2N} zero-padded to 2N.
+template <typename T>
+std::vector<T> idctFft2N(const std::vector<T>& c) {
+  const int n = static_cast<int>(c.size());
+  std::vector<std::complex<T>> d(2 * n, std::complex<T>(0, 0));
+  for (int m = 0; m < n; ++m) {
+    const double angle = M_PI * m / (2.0 * n);
+    d[m] = static_cast<T>(c[m]) *
+           std::complex<T>(static_cast<T>(std::cos(angle)),
+                           static_cast<T>(std::sin(angle)));
+  }
+  fft(d.data(), 2 * n, true);
+  std::vector<T> out(n);
+  const T half_c0 = c[0] / T(2);
+  for (int k = 0; k < n; ++k) {
+    out[k] = static_cast<T>(2 * n) * d[k].real() - half_c0;
+  }
+  return out;
+}
+
+/// Makhoul N-point DCT (Algorithm 3 in the paper): reorder, one-sided real
+/// FFT, and a linear-time twiddle pass.
+template <typename T>
+std::vector<T> dctFftN(const std::vector<T>& x) {
+  const int n = static_cast<int>(x.size());
+  DP_ASSERT_MSG(n % 2 == 0, "N-point DCT requires even N, got %d", n);
+  std::vector<T> v(n);
+  const int h = n / 2;
+  for (int t = 0; t < n; ++t) {
+    v[t] = (t < h) ? x[2 * t] : x[2 * (n - t) - 1];
+  }
+  std::vector<std::complex<T>> spectrum(h + 1);
+  rfft(v.data(), spectrum.data(), n);
+  std::vector<T> out(n);
+  for (int k = 0; k < n; ++k) {
+    const double angle = -M_PI * k / (2.0 * n);
+    const std::complex<T> tw(static_cast<T>(std::cos(angle)),
+                             static_cast<T>(std::sin(angle)));
+    // Conjugate symmetry of the real FFT covers k > N/2.
+    const std::complex<T> vk =
+        (k <= h) ? spectrum[k] : std::conj(spectrum[n - k]);
+    out[k] = (tw * vk).real();
+  }
+  return out;
+}
+
+/// Makhoul N-point IDCT: U_t = e^{+j pi t/2N} (c_t - j c_{N-t}) for
+/// t = 0..N/2 (c_N := 0), one-sided inverse real FFT, inverse reorder,
+/// scale by N/2.
+template <typename T>
+std::vector<T> idctFftN(const std::vector<T>& c) {
+  const int n = static_cast<int>(c.size());
+  DP_ASSERT_MSG(n % 2 == 0, "N-point IDCT requires even N, got %d", n);
+  const int h = n / 2;
+  std::vector<std::complex<T>> u(h + 1);
+  for (int t = 0; t <= h; ++t) {
+    const T ct = c[t];
+    const T cnt = (t == 0) ? T(0) : c[n - t];
+    const double angle = M_PI * t / (2.0 * n);
+    const std::complex<T> tw(static_cast<T>(std::cos(angle)),
+                             static_cast<T>(std::sin(angle)));
+    u[t] = tw * std::complex<T>(ct, -cnt);
+  }
+  std::vector<T> v(n);
+  irfft(u.data(), v.data(), n);
+  std::vector<T> out(n);
+  const T scale = static_cast<T>(n) / T(2);
+  for (int k = 0; k < n; ++k) {
+    // Inverse of the forward reorder: even outputs from the first half.
+    out[k] = scale * ((k % 2 == 0) ? v[k / 2] : v[n - (k + 1) / 2]);
+  }
+  return out;
+}
+
+}  // namespace
+
+template <typename T>
+std::vector<T> dct(const std::vector<T>& x, DctAlgorithm algo) {
+  switch (algo) {
+    case DctAlgorithm::kNaive:
+      return dctNaive(x);
+    case DctAlgorithm::kFft2N:
+      return dctFft2N(x);
+    case DctAlgorithm::kFftN:
+      return dctFftN(x);
+  }
+  logFatal("unknown DCT algorithm");
+}
+
+template <typename T>
+std::vector<T> idct(const std::vector<T>& c, DctAlgorithm algo) {
+  switch (algo) {
+    case DctAlgorithm::kNaive:
+      return idctNaive(c);
+    case DctAlgorithm::kFft2N:
+      return idctFft2N(c);
+    case DctAlgorithm::kFftN:
+      return idctFftN(c);
+  }
+  logFatal("unknown IDCT algorithm");
+}
+
+template <typename T>
+std::vector<T> idxst(const std::vector<T>& c, DctAlgorithm algo) {
+  const int n = static_cast<int>(c.size());
+  // Paper eq. (8e): idxst(c)_k = (-1)^k idct(z)_k, z_0 = 0, z_n = c_{N-n}.
+  std::vector<T> z(n);
+  z[0] = T(0);
+  for (int m = 1; m < n; ++m) {
+    z[m] = c[n - m];
+  }
+  std::vector<T> y = idct(z, algo);
+  for (int k = 1; k < n; k += 2) {
+    y[k] = -y[k];
+  }
+  return y;
+}
+
+#define DP_INSTANTIATE_DCT(T)                                          \
+  template std::vector<T> dct<T>(const std::vector<T>&, DctAlgorithm); \
+  template std::vector<T> idct<T>(const std::vector<T>&, DctAlgorithm); \
+  template std::vector<T> idxst<T>(const std::vector<T>&, DctAlgorithm);
+
+DP_INSTANTIATE_DCT(float)
+DP_INSTANTIATE_DCT(double)
+
+#undef DP_INSTANTIATE_DCT
+
+}  // namespace dreamplace::fft

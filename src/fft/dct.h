@@ -1,0 +1,40 @@
+// 1-D discrete cosine transforms used by the spectral Poisson solver.
+//
+// Conventions (all unnormalized; matching paper eq. (7)):
+//   dct(x)_k   = sum_{n=0}^{N-1} x_n cos(pi*(n+1/2)*k/N)           (DCT-II)
+//   idct(c)_k  = c_0/2 + sum_{n=1}^{N-1} c_n cos(pi*n*(k+1/2)/N)   (DCT-III)
+//   idxst(c)_k = sum_{n=0}^{N-1} c_n sin(pi*n*(k+1/2)/N)           (eq. (8))
+// so that idct(dct(x)) == (N/2) * x.
+//
+// Two fast formulations are provided, mirroring the paper's comparison
+// (Fig. 11): the textbook 2N-point-FFT route and Makhoul's N-point-FFT
+// route (Algorithm 3). The N-point route additionally uses the one-sided
+// real FFT, halving the transform size again.
+#pragma once
+
+#include <vector>
+
+namespace dreamplace::fft {
+
+enum class DctAlgorithm {
+  kNaive,      ///< O(N^2) direct evaluation (test oracle).
+  kFft2N,      ///< via a 2N-point complex FFT.
+  kFftN,       ///< via an N-point real FFT (Algorithm 3).
+};
+
+template <typename T>
+std::vector<T> dct(const std::vector<T>& x,
+                   DctAlgorithm algo = DctAlgorithm::kFftN);
+
+template <typename T>
+std::vector<T> idct(const std::vector<T>& c,
+                    DctAlgorithm algo = DctAlgorithm::kFftN);
+
+/// Inverse DXT used for the electric field (paper eq. (8)); implemented by
+/// reduction to idct: idxst(c)_k = (-1)^k * idct(z)_k with z_0 = 0,
+/// z_n = c_{N-n}.
+template <typename T>
+std::vector<T> idxst(const std::vector<T>& c,
+                     DctAlgorithm algo = DctAlgorithm::kFftN);
+
+}  // namespace dreamplace::fft

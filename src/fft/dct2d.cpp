@@ -1,0 +1,286 @@
+#include "fft/dct2d.h"
+
+#include <cmath>
+#include <complex>
+
+#include "common/log.h"
+#include "fft/fft.h"
+
+namespace dreamplace::fft {
+
+namespace {
+
+template <typename T>
+void transpose(const T* in, T* out, int n1, int n2) {
+  for (int i = 0; i < n1; ++i) {
+    for (int j = 0; j < n2; ++j) {
+      out[j * n1 + i] = in[i * n2 + j];
+    }
+  }
+}
+
+/// Applies a 1-D transform to every row of an n1 x n2 map.
+template <typename T, typename Fn>
+void applyRows(const T* in, T* out, int n1, int n2, Fn fn) {
+#pragma omp parallel for schedule(static)
+  for (int i = 0; i < n1; ++i) {
+    std::vector<T> row(in + i * n2, in + (i + 1) * n2);
+    std::vector<T> res = fn(row);
+    std::copy(res.begin(), res.end(), out + i * n2);
+  }
+}
+
+/// Row-column driver: transform dim1 (rows), transpose, transform dim0,
+/// transpose back. `fn0` acts along dim0, `fn1` along dim1.
+template <typename T, typename Fn0, typename Fn1>
+void rowCol(const T* in, T* out, int n1, int n2, Fn0 fn0, Fn1 fn1) {
+  std::vector<T> tmp(static_cast<size_t>(n1) * n2);
+  std::vector<T> tmp2(static_cast<size_t>(n1) * n2);
+  applyRows(in, tmp.data(), n1, n2, fn1);
+  transpose(tmp.data(), tmp2.data(), n1, n2);
+  applyRows(tmp2.data(), tmp.data(), n2, n1, fn0);
+  transpose(tmp.data(), out, n2, n1);
+}
+
+DctAlgorithm to1d(Dct2dAlgorithm algo) {
+  switch (algo) {
+    case Dct2dAlgorithm::kRowColNaive:
+      return DctAlgorithm::kNaive;
+    case Dct2dAlgorithm::kRowCol2N:
+      return DctAlgorithm::kFft2N;
+    case Dct2dAlgorithm::kRowColN:
+      return DctAlgorithm::kFftN;
+    default:
+      logFatal("no 1-D equivalent for this 2-D algorithm");
+  }
+}
+
+/// Makhoul per-dimension reorder index: v_t = x_{m(t)}.
+inline int reorderIndex(int t, int n) {
+  return (t < (n + 1) / 2) ? 2 * t : 2 * (n - t) - 1;
+}
+
+/// Inverse reorder index for the IDCT output pass.
+inline int inverseReorderIndex(int k, int n) {
+  return (k % 2 == 0) ? k / 2 : n - (k + 1) / 2;
+}
+
+template <typename T>
+std::complex<T> unitPhase(double angle) {
+  return {static_cast<T>(std::cos(angle)), static_cast<T>(std::sin(angle))};
+}
+
+/// Single-pass 2-D DCT via one 2-D real FFT (paper Algorithm 4 / Makhoul).
+///
+/// Steps: 2-D reorder -> row-wise real FFT (dim1) -> column-wise complex
+/// FFT (dim0) -> O(N^2) twiddle combining the spectrum with its conjugate
+/// mirror. Only the one-sided half of dim1 is ever materialized.
+template <typename T>
+void dct2dFft(const T* in, T* out, int n1, int n2) {
+  DP_ASSERT_MSG(n2 % 2 == 0, "2-D DCT requires even n2, got %d", n2);
+  const int h2 = n2 / 2;
+  const int stride = h2 + 1;
+
+  // Reorder both dimensions (eq. (10)).
+  std::vector<T> reordered(static_cast<size_t>(n1) * n2);
+  for (int t1 = 0; t1 < n1; ++t1) {
+    const int s1 = reorderIndex(t1, n1);
+    for (int t2 = 0; t2 < n2; ++t2) {
+      reordered[t1 * n2 + t2] = in[s1 * n2 + reorderIndex(t2, n2)];
+    }
+  }
+
+  // One-sided real FFT along dim1.
+  std::vector<std::complex<T>> spec(static_cast<size_t>(n1) * stride);
+#pragma omp parallel for schedule(static)
+  for (int t1 = 0; t1 < n1; ++t1) {
+    rfft(reordered.data() + t1 * n2, spec.data() + t1 * stride, n2);
+  }
+
+  // Complex FFT along dim0, column by column.
+#pragma omp parallel for schedule(static)
+  for (int k2 = 0; k2 <= h2; ++k2) {
+    std::vector<std::complex<T>> col(n1);
+    for (int t1 = 0; t1 < n1; ++t1) {
+      col[t1] = spec[t1 * stride + k2];
+    }
+    fft(col.data(), n1, false);
+    for (int t1 = 0; t1 < n1; ++t1) {
+      spec[t1 * stride + k2] = col[t1];
+    }
+  }
+
+  // Twiddle pass:
+  //   X(k1,k2) = 1/2 Re(e^{-j a1 k1} (e^{-j a2 k2} A + e^{+j a2 k2} B))
+  // with A = V(k1,k2), B = V(k1,(n2-k2) mod n2); the one-sided storage is
+  // expanded through the Hermitian symmetry V(k1,k2) = conj(V((n1-k1)%n1,
+  // n2-k2)).
+#pragma omp parallel for schedule(static)
+  for (int k1 = 0; k1 < n1; ++k1) {
+    const int r1 = (n1 - k1) % n1;
+    const std::complex<T> tw1 = unitPhase<T>(-M_PI * k1 / (2.0 * n1));
+    for (int k2 = 0; k2 < n2; ++k2) {
+      std::complex<T> a;
+      std::complex<T> b;
+      if (k2 <= h2) {
+        a = spec[k1 * stride + k2];
+        b = std::conj(spec[r1 * stride + k2]);
+      } else {
+        const int m2 = n2 - k2;
+        a = std::conj(spec[r1 * stride + m2]);
+        b = spec[k1 * stride + m2];
+      }
+      const std::complex<T> tw2 = unitPhase<T>(-M_PI * k2 / (2.0 * n2));
+      const std::complex<T> combined = tw2 * a + std::conj(tw2) * b;
+      out[k1 * n2 + k2] = T(0.5) * (tw1 * combined).real();
+    }
+  }
+}
+
+/// Single-pass 2-D IDCT via one 2-D inverse real FFT.
+///
+///   U(t1,t2) = e^{+j a1 t1} e^{+j a2 t2}
+///              (c(t1,t2) - c(n1-t1,n2-t2) - j (c(t1,n2-t2) + c(n1-t1,t2)))
+/// with out-of-range c treated as zero (paper eq. (12)); then a column-wise
+/// inverse complex FFT, a row-wise inverse real FFT, the inverse reorder of
+/// eq. (13), and the (n1/2)(n2/2) scale from the 1-D convention.
+template <typename T>
+void idct2dFft(const T* in, T* out, int n1, int n2) {
+  DP_ASSERT_MSG(n2 % 2 == 0, "2-D IDCT requires even n2, got %d", n2);
+  const int h2 = n2 / 2;
+  const int stride = h2 + 1;
+
+  auto at = [&](int i1, int i2) -> T {
+    // c with zero padding at index n1 / n2 (not periodic wrap).
+    if (i1 >= n1 || i2 >= n2) {
+      return T(0);
+    }
+    return in[i1 * n2 + i2];
+  };
+
+  std::vector<std::complex<T>> u(static_cast<size_t>(n1) * stride);
+#pragma omp parallel for schedule(static)
+  for (int t1 = 0; t1 < n1; ++t1) {
+    const std::complex<T> tw1 = unitPhase<T>(M_PI * t1 / (2.0 * n1));
+    for (int t2 = 0; t2 <= h2; ++t2) {
+      const std::complex<T> tw2 = unitPhase<T>(M_PI * t2 / (2.0 * n2));
+      const T re = at(t1, t2) - at(n1 - t1, n2 - t2);
+      const T im = -(at(t1, n2 - t2) + at(n1 - t1, t2));
+      u[t1 * stride + t2] = tw1 * tw2 * std::complex<T>(re, im);
+    }
+  }
+
+  // Inverse complex FFT along dim0.
+#pragma omp parallel for schedule(static)
+  for (int t2 = 0; t2 <= h2; ++t2) {
+    std::vector<std::complex<T>> col(n1);
+    for (int t1 = 0; t1 < n1; ++t1) {
+      col[t1] = u[t1 * stride + t2];
+    }
+    fft(col.data(), n1, true);
+    for (int t1 = 0; t1 < n1; ++t1) {
+      u[t1 * stride + t2] = col[t1];
+    }
+  }
+
+  // Inverse real FFT along dim1.
+  std::vector<T> w(static_cast<size_t>(n1) * n2);
+#pragma omp parallel for schedule(static)
+  for (int t1 = 0; t1 < n1; ++t1) {
+    irfft(u.data() + t1 * stride, w.data() + t1 * n2, n2);
+  }
+
+  // Inverse reorder (eq. (13)) and scale.
+  const T scale = static_cast<T>(n1) * static_cast<T>(n2) / T(4);
+#pragma omp parallel for schedule(static)
+  for (int k1 = 0; k1 < n1; ++k1) {
+    const int s1 = inverseReorderIndex(k1, n1);
+    for (int k2 = 0; k2 < n2; ++k2) {
+      out[k1 * n2 + k2] =
+          scale * w[s1 * n2 + inverseReorderIndex(k2, n2)];
+    }
+  }
+}
+
+}  // namespace
+
+template <typename T>
+void dct2d(const T* in, T* out, int n1, int n2, Dct2dAlgorithm algo) {
+  if (algo == Dct2dAlgorithm::kFft2dN) {
+    dct2dFft(in, out, n1, n2);
+    return;
+  }
+  const DctAlgorithm algo1d = to1d(algo);
+  rowCol(
+      in, out, n1, n2,
+      [algo1d](const std::vector<T>& v) { return dct(v, algo1d); },
+      [algo1d](const std::vector<T>& v) { return dct(v, algo1d); });
+}
+
+template <typename T>
+void idct2d(const T* in, T* out, int n1, int n2, Dct2dAlgorithm algo) {
+  if (algo == Dct2dAlgorithm::kFft2dN) {
+    idct2dFft(in, out, n1, n2);
+    return;
+  }
+  const DctAlgorithm algo1d = to1d(algo);
+  rowCol(
+      in, out, n1, n2,
+      [algo1d](const std::vector<T>& v) { return idct(v, algo1d); },
+      [algo1d](const std::vector<T>& v) { return idct(v, algo1d); });
+}
+
+template <typename T>
+void idctIdxst(const T* in, T* out, int n1, int n2, Dct2dAlgorithm algo) {
+  // Paper Alg. 4 IDCT_IDXST: flip dim1 (eq. (14)), 2-D IDCT, then apply
+  // (-1)^{k2} (eq. (15)). This realizes IDXST along dim1.
+  const size_t total = static_cast<size_t>(n1) * n2;
+  std::vector<T> flipped(total);
+  for (int i1 = 0; i1 < n1; ++i1) {
+    flipped[i1 * n2 + 0] = T(0);
+    for (int i2 = 1; i2 < n2; ++i2) {
+      flipped[i1 * n2 + i2] = in[i1 * n2 + (n2 - i2)];
+    }
+  }
+  idct2d(flipped.data(), out, n1, n2, algo);
+  for (int i1 = 0; i1 < n1; ++i1) {
+    for (int i2 = 1; i2 < n2; i2 += 2) {
+      out[i1 * n2 + i2] = -out[i1 * n2 + i2];
+    }
+  }
+}
+
+template <typename T>
+void idxstIdct(const T* in, T* out, int n1, int n2, Dct2dAlgorithm algo) {
+  // Paper Alg. 4 IDXST_IDCT: flip dim0 (eq. (16)), 2-D IDCT, then apply
+  // (-1)^{k1} (eq. (17)). This realizes IDXST along dim0.
+  const size_t total = static_cast<size_t>(n1) * n2;
+  std::vector<T> flipped(total);
+  for (int i2 = 0; i2 < n2; ++i2) {
+    flipped[0 * n2 + i2] = T(0);
+  }
+  for (int i1 = 1; i1 < n1; ++i1) {
+    for (int i2 = 0; i2 < n2; ++i2) {
+      flipped[i1 * n2 + i2] = in[(n1 - i1) * n2 + i2];
+    }
+  }
+  idct2d(flipped.data(), out, n1, n2, algo);
+  for (int i1 = 1; i1 < n1; i1 += 2) {
+    for (int i2 = 0; i2 < n2; ++i2) {
+      out[i1 * n2 + i2] = -out[i1 * n2 + i2];
+    }
+  }
+}
+
+#define DP_INSTANTIATE_DCT2D(T)                                      \
+  template void dct2d<T>(const T*, T*, int, int, Dct2dAlgorithm);    \
+  template void idct2d<T>(const T*, T*, int, int, Dct2dAlgorithm);   \
+  template void idctIdxst<T>(const T*, T*, int, int, Dct2dAlgorithm); \
+  template void idxstIdct<T>(const T*, T*, int, int, Dct2dAlgorithm);
+
+DP_INSTANTIATE_DCT2D(float)
+DP_INSTANTIATE_DCT2D(double)
+
+#undef DP_INSTANTIATE_DCT2D
+
+}  // namespace dreamplace::fft

@@ -1,0 +1,47 @@
+// 2-D DCT-family transforms for the spectral Poisson solver.
+//
+// Maps are stored row-major as flat arrays: element (i1, i2) of an n1 x n2
+// map lives at index i1*n2 + i2. In the electrostatics code dim0 is the
+// x (horizontal bin) axis and dim1 the y axis.
+//
+// Three implementations mirror the paper's Fig. 11 comparison:
+//  * kRowCol2N — 1-D DCT via 2N-point FFT applied rows-then-columns,
+//  * kRowColN  — 1-D DCT via N-point real FFT (Alg. 3) rows-then-columns,
+//  * kFft2dN   — single-pass 2-D transform via one 2-D real FFT (Alg. 4).
+//
+// Scaling follows the 1-D conventions in dct.h applied per dimension, so
+// idct2d(dct2d(x)) == (n1/2)*(n2/2) * x.
+#pragma once
+
+#include <vector>
+
+#include "fft/dct.h"
+
+namespace dreamplace::fft {
+
+enum class Dct2dAlgorithm {
+  kRowColNaive,  ///< O(N^3) test oracle built on 1-D naive transforms.
+  kRowCol2N,
+  kRowColN,
+  kFft2dN,
+};
+
+template <typename T>
+void dct2d(const T* in, T* out, int n1, int n2,
+           Dct2dAlgorithm algo = Dct2dAlgorithm::kFft2dN);
+
+template <typename T>
+void idct2d(const T* in, T* out, int n1, int n2,
+            Dct2dAlgorithm algo = Dct2dAlgorithm::kFft2dN);
+
+/// IDCT along dim0, IDXST along dim1 (paper Alg. 4 IDCT_IDXST).
+template <typename T>
+void idctIdxst(const T* in, T* out, int n1, int n2,
+               Dct2dAlgorithm algo = Dct2dAlgorithm::kFft2dN);
+
+/// IDXST along dim0, IDCT along dim1 (paper Alg. 4 IDXST_IDCT).
+template <typename T>
+void idxstIdct(const T* in, T* out, int n1, int n2,
+               Dct2dAlgorithm algo = Dct2dAlgorithm::kFft2dN);
+
+}  // namespace dreamplace::fft

@@ -1,0 +1,205 @@
+#include "fft/fft.h"
+
+#include <cmath>
+
+#include "common/log.h"
+
+namespace dreamplace::fft {
+
+namespace {
+
+bool isPowerOfTwo(int n) { return n > 0 && (n & (n - 1)) == 0; }
+
+int nextPowerOfTwo(int n) {
+  int p = 1;
+  while (p < n) {
+    p <<= 1;
+  }
+  return p;
+}
+
+/// Iterative Cooley-Tukey radix-2 with bit-reversal permutation.
+/// Twiddles are computed per stage with double-precision trigonometry and
+/// narrowed to T, which keeps float32 accuracy acceptable for the map sizes
+/// the density solver uses (<= 4096).
+template <typename T>
+void fftPow2(std::complex<T>* a, int n, bool inverse) {
+  // Bit reversal.
+  for (int i = 1, j = 0; i < n; ++i) {
+    int bit = n >> 1;
+    for (; j & bit; bit >>= 1) {
+      j ^= bit;
+    }
+    j ^= bit;
+    if (i < j) {
+      std::swap(a[i], a[j]);
+    }
+  }
+  for (int len = 2; len <= n; len <<= 1) {
+    const double angle = (inverse ? 2.0 : -2.0) * M_PI / len;
+    const std::complex<T> wlen(static_cast<T>(std::cos(angle)),
+                               static_cast<T>(std::sin(angle)));
+    for (int i = 0; i < n; i += len) {
+      std::complex<T> w(1);
+      for (int k = 0; k < len / 2; ++k) {
+        const std::complex<T> u = a[i + k];
+        const std::complex<T> v = a[i + k + len / 2] * w;
+        a[i + k] = u + v;
+        a[i + k + len / 2] = u - v;
+        w *= wlen;
+      }
+    }
+  }
+  if (inverse) {
+    const T scale = T(1) / static_cast<T>(n);
+    for (int i = 0; i < n; ++i) {
+      a[i] *= scale;
+    }
+  }
+}
+
+/// Bluestein chirp-z transform for arbitrary n, built on the radix-2 path.
+template <typename T>
+void fftBluestein(std::complex<T>* a, int n, bool inverse) {
+  const int m = nextPowerOfTwo(2 * n + 1);
+  // chirp_k = exp(+/- i * pi * k^2 / n); k^2 mod 2n keeps the argument
+  // bounded for large n (exactness of the quadratic phase matters).
+  std::vector<std::complex<T>> chirp(n);
+  for (int k = 0; k < n; ++k) {
+    const long long k2 = (static_cast<long long>(k) * k) % (2LL * n);
+    const double angle = (inverse ? 1.0 : -1.0) * M_PI *
+                         static_cast<double>(k2) / static_cast<double>(n);
+    chirp[k] = std::complex<T>(static_cast<T>(std::cos(angle)),
+                               static_cast<T>(std::sin(angle)));
+  }
+  std::vector<std::complex<T>> p(m), q(m);
+  for (int k = 0; k < n; ++k) {
+    p[k] = a[k] * chirp[k];
+  }
+  q[0] = std::conj(chirp[0]);
+  for (int k = 1; k < n; ++k) {
+    q[k] = q[m - k] = std::conj(chirp[k]);
+  }
+  fftPow2(p.data(), m, false);
+  fftPow2(q.data(), m, false);
+  for (int k = 0; k < m; ++k) {
+    p[k] *= q[k];
+  }
+  fftPow2(p.data(), m, true);
+  for (int k = 0; k < n; ++k) {
+    a[k] = p[k] * chirp[k];
+  }
+  if (inverse) {
+    const T scale = T(1) / static_cast<T>(n);
+    for (int k = 0; k < n; ++k) {
+      a[k] *= scale;
+    }
+  }
+}
+
+}  // namespace
+
+template <typename T>
+void fft(std::complex<T>* data, int n, bool inverse) {
+  DP_ASSERT(n >= 1);
+  if (n == 1) {
+    return;
+  }
+  if (isPowerOfTwo(n)) {
+    fftPow2(data, n, inverse);
+  } else {
+    fftBluestein(data, n, inverse);
+  }
+}
+
+template <typename T>
+std::vector<std::complex<T>> fft(std::vector<std::complex<T>> data,
+                                 bool inverse) {
+  fft(data.data(), static_cast<int>(data.size()), inverse);
+  return data;
+}
+
+template <typename T>
+void rfft(const T* in, std::complex<T>* out, int n) {
+  DP_ASSERT_MSG(n >= 2 && n % 2 == 0, "rfft requires even n, got %d", n);
+  const int h = n / 2;
+  // Pack adjacent real pairs into complex samples and run a half-size FFT.
+  std::vector<std::complex<T>> z(h);
+  for (int m = 0; m < h; ++m) {
+    z[m] = std::complex<T>(in[2 * m], in[2 * m + 1]);
+  }
+  fft(z.data(), h, false);
+  // Unpack: E_k (even-sample DFT) and O_k (odd-sample DFT).
+  for (int k = 0; k <= h; ++k) {
+    const std::complex<T> zk = z[k % h];
+    const std::complex<T> zc = std::conj(z[(h - k) % h]);
+    const std::complex<T> even = (zk + zc) * T(0.5);
+    const std::complex<T> odd =
+        (zk - zc) * std::complex<T>(0, T(-0.5));  // divide by 2i
+    const double angle = -2.0 * M_PI * k / n;
+    const std::complex<T> tw(static_cast<T>(std::cos(angle)),
+                             static_cast<T>(std::sin(angle)));
+    out[k] = even + tw * odd;
+  }
+}
+
+template <typename T>
+void irfft(const std::complex<T>* in, T* out, int n) {
+  DP_ASSERT_MSG(n >= 2 && n % 2 == 0, "irfft requires even n, got %d", n);
+  const int h = n / 2;
+  std::vector<std::complex<T>> z(h);
+  for (int k = 0; k < h; ++k) {
+    const std::complex<T> xk = in[k];
+    const std::complex<T> xc = std::conj(in[h - k]);
+    const std::complex<T> even = (xk + xc) * T(0.5);
+    const double angle = 2.0 * M_PI * k / n;
+    const std::complex<T> tw(static_cast<T>(std::cos(angle)),
+                             static_cast<T>(std::sin(angle)));
+    const std::complex<T> odd = (xk - xc) * T(0.5) * tw;
+    z[k] = even + std::complex<T>(0, 1) * odd;
+  }
+  fft(z.data(), h, true);
+  for (int m = 0; m < h; ++m) {
+    out[2 * m] = z[m].real();
+    out[2 * m + 1] = z[m].imag();
+  }
+}
+
+template <typename T>
+std::vector<std::complex<T>> naiveDft(const std::vector<std::complex<T>>& x,
+                                      bool inverse) {
+  const int n = static_cast<int>(x.size());
+  std::vector<std::complex<T>> out(n);
+  for (int k = 0; k < n; ++k) {
+    std::complex<double> acc(0, 0);
+    for (int m = 0; m < n; ++m) {
+      const double angle =
+          (inverse ? 2.0 : -2.0) * M_PI * static_cast<double>(k) * m / n;
+      acc += std::complex<double>(x[m].real(), x[m].imag()) *
+             std::complex<double>(std::cos(angle), std::sin(angle));
+    }
+    if (inverse) {
+      acc /= static_cast<double>(n);
+    }
+    out[k] = std::complex<T>(static_cast<T>(acc.real()),
+                             static_cast<T>(acc.imag()));
+  }
+  return out;
+}
+
+// Explicit instantiations for the two precisions the paper evaluates.
+#define DP_INSTANTIATE_FFT(T)                                              \
+  template void fft<T>(std::complex<T>*, int, bool);                       \
+  template std::vector<std::complex<T>> fft<T>(std::vector<std::complex<T>>, \
+                                               bool);                      \
+  template void rfft<T>(const T*, std::complex<T>*, int);                  \
+  template void irfft<T>(const std::complex<T>*, T*, int);                 \
+  template std::vector<std::complex<T>> naiveDft<T>(                       \
+      const std::vector<std::complex<T>>&, bool);
+
+DP_INSTANTIATE_FFT(float)
+DP_INSTANTIATE_FFT(double)
+
+#undef DP_INSTANTIATE_FFT
+
+}  // namespace dreamplace::fft

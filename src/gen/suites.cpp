@@ -1,0 +1,86 @@
+#include "gen/suites.h"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace dreamplace {
+
+namespace {
+
+SuiteEntry makeEntry(const std::string& name, double cellsK, double netsK,
+                     double scale, double utilization, Index macros,
+                     std::uint64_t seed) {
+  SuiteEntry entry;
+  entry.name = name;
+  entry.paperCellsK = cellsK;
+  GeneratorConfig& cfg = entry.config;
+  cfg.designName = name;
+  cfg.numCells = std::max<Index>(
+      200, static_cast<Index>(std::llround(cellsK * 1000.0 * scale)));
+  cfg.numNets = std::max<Index>(
+      200, static_cast<Index>(std::llround(netsK * 1000.0 * scale)));
+  cfg.utilization = utilization;
+  cfg.numMacros = macros;
+  cfg.numPads = std::max<Index>(32, cfg.numCells / 200);
+  cfg.seed = seed;
+  return entry;
+}
+
+}  // namespace
+
+std::vector<SuiteEntry> ispd2005Suite(double scale) {
+  // Paper Table II counts (thousands of cells / nets).
+  return {
+      makeEntry("adaptec1", 211, 221, scale, 0.75, 0, 11),
+      makeEntry("adaptec2", 255, 266, scale, 0.75, 0, 12),
+      makeEntry("adaptec3", 452, 467, scale, 0.70, 0, 13),
+      makeEntry("adaptec4", 496, 516, scale, 0.70, 0, 14),
+      makeEntry("bigblue1", 278, 284, scale, 0.75, 0, 15),
+      makeEntry("bigblue2", 558, 577, scale, 0.70, 0, 16),
+      makeEntry("bigblue3", 1097, 1123, scale, 0.70, 0, 17),
+      makeEntry("bigblue4", 2177, 2230, scale, 0.65, 0, 18),
+  };
+}
+
+std::vector<SuiteEntry> industrialSuite(double scale) {
+  // Paper Table III counts; industrial designs carry fixed macros.
+  return {
+      makeEntry("design1", 1345, 1389, scale, 0.72, 6, 21),
+      makeEntry("design2", 1306, 1355, scale, 0.72, 6, 22),
+      makeEntry("design3", 2265, 2276, scale, 0.70, 8, 23),
+      makeEntry("design4", 1525, 1528, scale, 0.72, 6, 24),
+      makeEntry("design5", 1316, 1364, scale, 0.72, 6, 25),
+      makeEntry("design6", 10504, 10747, scale, 0.68, 12, 26),
+  };
+}
+
+std::vector<SuiteEntry> dac2012Suite(double scale) {
+  // Paper Table V counts (#nodes includes terminals; we use them as cell
+  // counts). Routability designs run at lower utilization.
+  return {
+      makeEntry("SB2", 1014, 991, scale, 0.55, 4, 31),
+      makeEntry("SB3", 920, 898, scale, 0.55, 4, 32),
+      makeEntry("SB6", 1014, 1007, scale, 0.55, 4, 33),
+      makeEntry("SB7", 1365, 1340, scale, 0.55, 4, 34),
+      makeEntry("SB9", 847, 834, scale, 0.55, 4, 35),
+      makeEntry("SB11", 955, 936, scale, 0.55, 4, 36),
+      makeEntry("SB12", 1293, 1293, scale, 0.55, 4, 37),
+      makeEntry("SB14", 635, 620, scale, 0.55, 4, 38),
+      makeEntry("SB16", 699, 697, scale, 0.55, 4, 39),
+      makeEntry("SB19", 523, 512, scale, 0.55, 4, 40),
+  };
+}
+
+SuiteEntry findSuiteEntry(const std::string& name, double scale) {
+  for (auto suite : {ispd2005Suite(scale), industrialSuite(scale),
+                     dac2012Suite(scale)}) {
+    for (auto& entry : suite) {
+      if (entry.name == name) {
+        return entry;
+      }
+    }
+  }
+  throw std::runtime_error("unknown suite entry: " + name);
+}
+
+}  // namespace dreamplace

@@ -1,0 +1,332 @@
+#include "io/bookshelf_reader.h"
+
+#include <cctype>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+#include <stdexcept>
+#include <unordered_map>
+#include <vector>
+
+#include "common/log.h"
+
+namespace dreamplace {
+
+namespace {
+
+namespace fs = std::filesystem;
+
+[[noreturn]] void fail(const std::string& file, const std::string& what) {
+  throw std::runtime_error("bookshelf: " + file + ": " + what);
+}
+
+/// Reads a file line by line, stripping comments (#) and blank lines, and
+/// skipping the "UCLA <kind> 1.0" header if present.
+class LineReader {
+ public:
+  explicit LineReader(const std::string& path) : path_(path), in_(path) {
+    if (!in_) {
+      fail(path, "cannot open");
+    }
+  }
+
+  /// Next meaningful line; false at EOF.
+  bool next(std::string& line) {
+    while (std::getline(in_, line)) {
+      const auto hash = line.find('#');
+      if (hash != std::string::npos) {
+        line.erase(hash);
+      }
+      // Trim.
+      const auto begin = line.find_first_not_of(" \t\r\n");
+      if (begin == std::string::npos) {
+        continue;
+      }
+      const auto end = line.find_last_not_of(" \t\r\n");
+      line = line.substr(begin, end - begin + 1);
+      if (line.rfind("UCLA", 0) == 0) {
+        continue;
+      }
+      return true;
+    }
+    return false;
+  }
+
+  const std::string& path() const { return path_; }
+
+ private:
+  std::string path_;
+  std::ifstream in_;
+};
+
+/// Splits on whitespace and the ':' separator (treated as its own token).
+std::vector<std::string> tokenize(const std::string& line) {
+  std::vector<std::string> tokens;
+  std::string current;
+  for (char ch : line) {
+    if (std::isspace(static_cast<unsigned char>(ch)) || ch == ':') {
+      if (!current.empty()) {
+        tokens.push_back(current);
+        current.clear();
+      }
+      if (ch == ':') {
+        tokens.emplace_back(":");
+      }
+    } else {
+      current.push_back(ch);
+    }
+  }
+  if (!current.empty()) {
+    tokens.push_back(current);
+  }
+  return tokens;
+}
+
+struct AuxFiles {
+  std::string nodes;
+  std::string nets;
+  std::string wts;
+  std::string pl;
+  std::string scl;
+};
+
+AuxFiles parseAux(const std::string& auxPath) {
+  LineReader reader(auxPath);
+  std::string line;
+  if (!reader.next(line)) {
+    fail(auxPath, "empty .aux");
+  }
+  AuxFiles files;
+  const fs::path dir = fs::path(auxPath).parent_path();
+  for (const std::string& tok : tokenize(line)) {
+    const fs::path p = dir / tok;
+    if (tok.ends_with(".nodes")) {
+      files.nodes = p.string();
+    } else if (tok.ends_with(".nets")) {
+      files.nets = p.string();
+    } else if (tok.ends_with(".wts")) {
+      files.wts = p.string();
+    } else if (tok.ends_with(".pl")) {
+      files.pl = p.string();
+    } else if (tok.ends_with(".scl")) {
+      files.scl = p.string();
+    }
+  }
+  if (files.nodes.empty() || files.nets.empty() || files.pl.empty() ||
+      files.scl.empty()) {
+    fail(auxPath, "missing .nodes/.nets/.pl/.scl reference");
+  }
+  return files;
+}
+
+void parseNodes(const std::string& path, Database& db,
+                std::unordered_map<std::string, Index>& byName) {
+  LineReader reader(path);
+  std::string line;
+  while (reader.next(line)) {
+    auto tokens = tokenize(line);
+    if (tokens.empty()) {
+      continue;
+    }
+    if (tokens[0] == "NumNodes" || tokens[0] == "NumTerminals") {
+      continue;  // counts are re-derived; trust the entity lines
+    }
+    if (tokens.size() < 3) {
+      fail(path, "bad node line: " + line);
+    }
+    const bool terminal =
+        tokens.size() >= 4 &&
+        (tokens[3] == "terminal" || tokens[3] == "terminal_NI");
+    const double width = std::stod(tokens[1]);
+    const double height = std::stod(tokens[2]);
+    const Index id = db.addCell(tokens[0], width, height, !terminal);
+    byName.emplace(tokens[0], id);
+  }
+}
+
+void parseNets(const std::string& path, Database& db,
+               const std::unordered_map<std::string, Index>& byName) {
+  LineReader reader(path);
+  std::string line;
+  Index current_net = kInvalidIndex;
+  Index remaining = 0;
+  int anon = 0;
+  while (reader.next(line)) {
+    auto tokens = tokenize(line);
+    if (tokens.empty() || tokens[0] == "NumNets" || tokens[0] == "NumPins") {
+      continue;
+    }
+    if (tokens[0] == "NetDegree") {
+      // "NetDegree : d [name]"
+      if (tokens.size() < 3 || tokens[1] != ":") {
+        fail(path, "bad NetDegree line: " + line);
+      }
+      remaining = static_cast<Index>(std::stol(tokens[2]));
+      std::string name =
+          tokens.size() >= 4 ? tokens[3] : ("n" + std::to_string(anon++));
+      current_net = db.addNet(std::move(name));
+      continue;
+    }
+    // Pin line: "cellName I/O/B : offx offy" (offsets optional).
+    if (current_net == kInvalidIndex || remaining <= 0) {
+      fail(path, "pin line outside a net: " + line);
+    }
+    auto it = byName.find(tokens[0]);
+    if (it == byName.end()) {
+      fail(path, "unknown cell in net: " + tokens[0]);
+    }
+    double offx = 0.0;
+    double offy = 0.0;
+    // Find the ':' then read two numbers if present.
+    for (size_t i = 1; i + 2 < tokens.size() + 0u; ++i) {
+      if (tokens[i] == ":") {
+        if (i + 2 < tokens.size()) {
+          offx = std::stod(tokens[i + 1]);
+          offy = std::stod(tokens[i + 2]);
+        }
+        break;
+      }
+    }
+    db.addPin(current_net, it->second, offx, offy);
+    --remaining;
+  }
+}
+
+void parseWts(const std::string& path, Database&) {
+  // Net weights in ISPD 2005 .wts files are uniformly 1; the file is parsed
+  // for format validation but weights stay at their default.
+  if (!fs::exists(path)) {
+    return;
+  }
+  LineReader reader(path);
+  std::string line;
+  while (reader.next(line)) {
+    // No-op.
+  }
+}
+
+void parsePl(const std::string& path, Database& db,
+             const std::unordered_map<std::string, Index>& byName) {
+  LineReader reader(path);
+  std::string line;
+  while (reader.next(line)) {
+    auto tokens = tokenize(line);
+    if (tokens.size() < 3) {
+      continue;
+    }
+    auto it = byName.find(tokens[0]);
+    if (it == byName.end()) {
+      fail(path, "unknown cell in .pl: " + tokens[0]);
+    }
+    db.setCellPosition(it->second, std::stod(tokens[1]),
+                       std::stod(tokens[2]));
+  }
+}
+
+void parseScl(const std::string& path, Database& db) {
+  LineReader reader(path);
+  std::string line;
+  Row row;
+  bool in_row = false;
+  double num_sites = 0;
+  double min_x = 0;
+  double min_y = 0;
+  double max_x = 0;
+  double max_y = 0;
+  bool any = false;
+  while (reader.next(line)) {
+    auto tokens = tokenize(line);
+    if (tokens.empty() || tokens[0] == "NumRows") {
+      continue;
+    }
+    if (tokens[0] == "CoreRow") {
+      in_row = true;
+      row = Row{};
+      num_sites = 0;
+      continue;
+    }
+    if (!in_row) {
+      continue;
+    }
+    if (tokens[0] == "End") {
+      row.xh = row.xl + num_sites * row.siteWidth;
+      db.addRow(row);
+      if (!any) {
+        min_x = row.xl;
+        min_y = row.y;
+        max_x = row.xh;
+        max_y = row.y + row.height;
+        any = true;
+      } else {
+        min_x = std::min(min_x, row.xl);
+        min_y = std::min(min_y, row.y);
+        max_x = std::max(max_x, row.xh);
+        max_y = std::max(max_y, row.y + row.height);
+      }
+      in_row = false;
+      continue;
+    }
+    if (tokens[0] == "Coordinate" && tokens.size() >= 3) {
+      row.y = std::stod(tokens[2]);
+    } else if (tokens[0] == "Height" && tokens.size() >= 3) {
+      row.height = std::stod(tokens[2]);
+    } else if ((tokens[0] == "Sitewidth" || tokens[0] == "Sitespacing") &&
+               tokens.size() >= 3) {
+      row.siteWidth = std::stod(tokens[2]);
+    } else if (tokens[0] == "SubrowOrigin" && tokens.size() >= 3) {
+      row.xl = std::stod(tokens[2]);
+      // "SubrowOrigin : x NumSites : n" may share a line.
+      for (size_t i = 3; i + 1 < tokens.size(); ++i) {
+        if (tokens[i] == "NumSites" && tokens[i + 1] == ":") {
+          num_sites = std::stod(tokens[i + 2]);
+        }
+      }
+    } else if (tokens[0] == "NumSites" && tokens.size() >= 3) {
+      num_sites = std::stod(tokens[2]);
+    }
+  }
+  if (!any) {
+    fail(path, "no rows found");
+  }
+  db.setDieArea({min_x, min_y, max_x, max_y});
+}
+
+}  // namespace
+
+void readPlacement(Database& db, const std::string& plPath) {
+  DP_ASSERT_MSG(db.finalized(), "readPlacement needs a finalized database");
+  LineReader reader(plPath);
+  std::string line;
+  while (reader.next(line)) {
+    auto tokens = tokenize(line);
+    if (tokens.size() < 3) {
+      continue;
+    }
+    const Index cell = db.findCell(tokens[0]);
+    if (cell == kInvalidIndex) {
+      fail(plPath, "unknown cell in .pl: " + tokens[0]);
+    }
+    db.setCellPosition(cell, std::stod(tokens[1]), std::stod(tokens[2]));
+  }
+}
+
+std::unique_ptr<Database> readBookshelf(const std::string& auxPath) {
+  const AuxFiles files = parseAux(auxPath);
+  auto db = std::make_unique<Database>();
+  std::unordered_map<std::string, Index> byName;
+  parseNodes(files.nodes, *db, byName);
+  parseNets(files.nets, *db, byName);
+  if (!files.wts.empty()) {
+    parseWts(files.wts, *db);
+  }
+  parseScl(files.scl, *db);
+  parsePl(files.pl, *db, byName);
+  db->finalize();
+  // Movable-first reordering invalidates byName indices, so positions were
+  // set pre-finalize; re-resolve nothing here.
+  logInfo("bookshelf: loaded %d cells (%d movable), %d nets, %d pins",
+          db->numCells(), db->numMovable(), db->numNets(), db->numPins());
+  return db;
+}
+
+}  // namespace dreamplace

@@ -1,0 +1,24 @@
+// Reader for the Bookshelf placement format used by the ISPD 2005 and
+// DAC 2012 contests (.aux, .nodes, .nets, .pl, .scl, optional .wts).
+//
+// The synthetic suite generator emits this same format, so real contest
+// benchmarks drop in without code changes.
+#pragma once
+
+#include <memory>
+#include <string>
+
+#include "db/database.h"
+
+namespace dreamplace {
+
+/// Parses the .aux file at `auxPath` and loads the referenced files.
+/// Throws std::runtime_error on malformed input or missing files.
+std::unique_ptr<Database> readBookshelf(const std::string& auxPath);
+
+/// Loads a .pl placement result onto an existing database (e.g. to
+/// evaluate a solution produced by another tool). Unknown cell names
+/// throw; cells absent from the file keep their positions.
+void readPlacement(Database& db, const std::string& plPath);
+
+}  // namespace dreamplace

@@ -1,0 +1,107 @@
+#include "io/bookshelf_writer.h"
+
+#include <filesystem>
+#include <fstream>
+#include <iomanip>
+#include <stdexcept>
+
+#include "common/log.h"
+
+namespace dreamplace {
+
+namespace {
+
+namespace fs = std::filesystem;
+
+std::ofstream open(const fs::path& path) {
+  std::ofstream out(path);
+  if (!out) {
+    throw std::runtime_error("bookshelf: cannot write " + path.string());
+  }
+  // Full round-trip precision: placements are continuous doubles until
+  // legalization snaps them.
+  out << std::setprecision(17);
+  return out;
+}
+
+}  // namespace
+
+void writePlacement(const Database& db, const std::string& path) {
+  std::ofstream out = open(path);
+  out << "UCLA pl 1.0\n\n";
+  for (Index i = 0; i < db.numCells(); ++i) {
+    out << db.cellName(i) << ' ' << db.cellX(i) << ' ' << db.cellY(i)
+        << " : N";
+    if (!db.isMovable(i)) {
+      out << " /FIXED";
+    }
+    out << '\n';
+  }
+}
+
+void writeBookshelf(const Database& db, const std::string& directory,
+                    const std::string& design) {
+  const fs::path dir(directory);
+  fs::create_directories(dir);
+
+  {
+    std::ofstream out = open(dir / (design + ".aux"));
+    out << "RowBasedPlacement : " << design << ".nodes " << design << ".nets "
+        << design << ".wts " << design << ".pl " << design << ".scl\n";
+  }
+  {
+    std::ofstream out = open(dir / (design + ".nodes"));
+    out << "UCLA nodes 1.0\n\n";
+    out << "NumNodes : " << db.numCells() << '\n';
+    out << "NumTerminals : " << db.numFixed() << '\n';
+    for (Index i = 0; i < db.numCells(); ++i) {
+      out << '\t' << db.cellName(i) << '\t' << db.cellWidth(i) << '\t'
+          << db.cellHeight(i);
+      if (!db.isMovable(i)) {
+        out << "\tterminal";
+      }
+      out << '\n';
+    }
+  }
+  {
+    std::ofstream out = open(dir / (design + ".nets"));
+    out << "UCLA nets 1.0\n\n";
+    out << "NumNets : " << db.numNets() << '\n';
+    out << "NumPins : " << db.numPins() << '\n';
+    for (Index e = 0; e < db.numNets(); ++e) {
+      out << "NetDegree : " << db.netDegree(e) << "  " << db.netName(e)
+          << '\n';
+      for (Index p = db.netPinBegin(e); p < db.netPinEnd(e); ++p) {
+        out << '\t' << db.cellName(db.pinCell(p)) << "\tI : "
+            << db.pinOffsetX(p) << '\t' << db.pinOffsetY(p) << '\n';
+      }
+    }
+  }
+  {
+    std::ofstream out = open(dir / (design + ".wts"));
+    out << "UCLA wts 1.0\n\n";
+  }
+  writePlacement(db, (dir / (design + ".pl")).string());
+  {
+    std::ofstream out = open(dir / (design + ".scl"));
+    out << "UCLA scl 1.0\n\n";
+    out << "NumRows : " << db.rows().size() << '\n';
+    for (const Row& row : db.rows()) {
+      const auto num_sites =
+          static_cast<long>((row.xh - row.xl) / row.siteWidth);
+      out << "CoreRow Horizontal\n";
+      out << " Coordinate : " << row.y << '\n';
+      out << " Height : " << row.height << '\n';
+      out << " Sitewidth : " << row.siteWidth << '\n';
+      out << " Sitespacing : " << row.siteWidth << '\n';
+      out << " Siteorient : 1\n";
+      out << " Sitesymmetry : 1\n";
+      out << " SubrowOrigin : " << row.xl << " NumSites : " << num_sites
+          << '\n';
+      out << "End\n";
+    }
+  }
+  logInfo("bookshelf: wrote %s/%s.*", directory.c_str(), design.c_str());
+}
+
+}  // namespace dreamplace

@@ -1,0 +1,19 @@
+// Writer for the Bookshelf placement format. Emits a full benchmark
+// (.aux/.nodes/.nets/.wts/.pl/.scl) or just a placement result (.pl).
+#pragma once
+
+#include <string>
+
+#include "db/database.h"
+
+namespace dreamplace {
+
+/// Writes all Bookshelf files for `db` under `directory` with base name
+/// `design`. Creates the directory if needed.
+void writeBookshelf(const Database& db, const std::string& directory,
+                    const std::string& design);
+
+/// Writes only the .pl file (placement result) to `path`.
+void writePlacement(const Database& db, const std::string& path);
+
+}  // namespace dreamplace

@@ -1,0 +1,34 @@
+// Abacus row-based legalization (Spindler et al., ISPD'08; paper Sec. III-E).
+//
+// Cells are inserted in x order; for each cell the candidate rows around
+// its position are tried, simulating the insertion into the row's cluster
+// structure (clusters of abutting cells whose optimal position is the
+// weighted mean of member targets, merged while they overlap). The row
+// with the cheapest resulting displacement wins. This achieves minimal
+// movement relative to the greedy packing pass.
+#pragma once
+
+#include "db/database.h"
+#include "lg/greedy_legalizer.h"
+
+namespace dreamplace {
+
+class AbacusLegalizer {
+ public:
+  struct Options {
+    int rowSearchWindow = 8;  ///< Rows tried on each side of the target.
+  };
+
+  explicit AbacusLegalizer(Options options) : options_(options) {}
+  AbacusLegalizer() : AbacusLegalizer(Options()) {}
+
+  /// Legalizes all movable cells (row/site aligned, no overlap), minimizing
+  /// total displacement from their current (GP or greedy-legalized)
+  /// positions.
+  LegalizerResult run(Database& db) const;
+
+ private:
+  Options options_;
+};
+
+}  // namespace dreamplace

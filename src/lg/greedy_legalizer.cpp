@@ -1,0 +1,165 @@
+#include "lg/greedy_legalizer.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <numeric>
+
+#include "common/log.h"
+#include "common/timer.h"
+#include "lg/segments.h"
+
+namespace dreamplace {
+
+namespace {
+
+/// Free-space bookkeeping for one row segment: a sorted list of free
+/// intervals. Unlike a single packing frontier, this never strands space
+/// behind a cell placed to the right of a gap, which matters at high
+/// utilization.
+struct SegmentState {
+  RowSegment seg;
+  /// Sorted, disjoint free intervals [xl, xh).
+  std::vector<std::pair<Coord, Coord>> free;
+  Coord largestFree = 0;
+
+  void refreshLargest() {
+    largestFree = 0;
+    for (const auto& [xl, xh] : free) {
+      largestFree = std::max(largestFree, xh - xl);
+    }
+  }
+};
+
+}  // namespace
+
+LegalizerResult GreedyLegalizer::run(Database& db) const {
+  ScopedTimer timer("lg/greedy");
+  LegalizerResult result;
+
+  std::vector<SegmentState> segments;
+  for (const RowSegment& seg : buildRowSegments(db)) {
+    SegmentState state;
+    state.seg = seg;
+    state.free.emplace_back(seg.xl, seg.xh);
+    state.largestFree = seg.xh - seg.xl;
+    segments.push_back(std::move(state));
+  }
+  DP_ASSERT_MSG(!segments.empty(), "no free row segments to legalize into");
+
+  const Coord row_height = db.rowHeight();
+  const Coord y_base = db.rows().front().y;
+  const auto num_rows = static_cast<Index>(db.rows().size());
+  std::vector<std::vector<int>> by_row(num_rows);
+  for (int s = 0; s < static_cast<int>(segments.size()); ++s) {
+    by_row[segments[s].seg.row].push_back(s);
+  }
+
+  // Process in x order (classic Tetris sweep).
+  std::vector<Index> order;
+  order.reserve(db.numMovable());
+  for (Index i = 0; i < db.numMovable(); ++i) {
+    if (!isMovableMacro(db, i)) {
+      order.push_back(i);  // macros are legalized separately (obstacles)
+    }
+  }
+  std::sort(order.begin(), order.end(), [&](Index a, Index b) {
+    return db.cellX(a) < db.cellX(b);
+  });
+
+  const Coord site = db.siteWidth();
+  for (Index cell : order) {
+    const Coord want_x = db.cellX(cell);
+    const Coord want_y = db.cellY(cell);
+    const Coord width = db.cellWidth(cell);
+    const auto want_row = static_cast<Index>(
+        std::clamp<double>(std::round((want_y - y_base) / row_height), 0,
+                           num_rows - 1));
+
+    double best_cost = std::numeric_limits<double>::infinity();
+    int best_seg = -1;
+    int best_interval = -1;
+    Coord best_x = 0;
+
+    auto try_row = [&](Index r) {
+      for (int s : by_row[r]) {
+        SegmentState& state = segments[s];
+        if (state.largestFree < width) {
+          continue;
+        }
+        const double row_cost = std::abs(state.seg.y - want_y);
+        if (row_cost >= best_cost) {
+          continue;
+        }
+        for (int k = 0; k < static_cast<int>(state.free.size()); ++k) {
+          const auto [fxl, fxh] = state.free[k];
+          if (fxh - fxl < width) {
+            continue;
+          }
+          // Site-aligned position nearest want_x inside this interval.
+          Coord x = clampSafe(want_x, fxl, fxh - width);
+          x = state.seg.xl +
+              std::round((x - state.seg.xl) / site) * site;
+          x = clampSafe(x, fxl, fxh - width);
+          // Both interval ends are site-aligned (segments are), so the
+          // clamped x stays aligned.
+          const double cost = std::abs(x - want_x) + row_cost;
+          if (cost < best_cost) {
+            best_cost = cost;
+            best_seg = s;
+            best_interval = k;
+            best_x = x;
+          }
+        }
+      }
+    };
+
+    // Expanding row search around the target row.
+    for (Index d = 0; d < num_rows; ++d) {
+      bool any = false;
+      if (want_row + d < num_rows) {
+        try_row(want_row + d);
+        any = true;
+      }
+      if (d > 0 && want_row - d >= 0) {
+        try_row(want_row - d);
+        any = true;
+      }
+      if (!any) {
+        break;
+      }
+      if (best_seg >= 0 && d > options_.rowSearchWindow &&
+          d * row_height > best_cost) {
+        break;
+      }
+    }
+
+    if (best_seg < 0) {
+      ++result.failed;
+      continue;
+    }
+    SegmentState& state = segments[best_seg];
+    db.setCellPosition(cell, best_x, state.seg.y);
+    // Split the chosen interval around [best_x, best_x + width).
+    const auto [fxl, fxh] = state.free[best_interval];
+    state.free.erase(state.free.begin() + best_interval);
+    if (best_x + width < fxh) {
+      state.free.insert(state.free.begin() + best_interval,
+                        {best_x + width, fxh});
+    }
+    if (best_x > fxl) {
+      state.free.insert(state.free.begin() + best_interval, {fxl, best_x});
+    }
+    state.refreshLargest();
+
+    ++result.placed;
+    result.totalDisplacement += best_cost;
+    result.maxDisplacement = std::max(result.maxDisplacement, best_cost);
+  }
+  if (result.failed > 0) {
+    logWarn("greedy legalizer: %d cells could not be placed", result.failed);
+  }
+  return result;
+}
+
+}  // namespace dreamplace

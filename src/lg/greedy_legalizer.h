@@ -1,0 +1,40 @@
+// Tetris-like greedy legalization (paper Sec. III-E, after NTUplace3).
+//
+// Cells are processed in left-to-right order of their GP positions; each
+// cell is packed into the row segment that minimizes its displacement,
+// appending after the segment's current occupancy frontier. This removes
+// all overlaps quickly; AbacusLegalizer then refines within rows for
+// minimal movement.
+#pragma once
+
+#include "db/database.h"
+
+namespace dreamplace {
+
+struct LegalizerResult {
+  Index placed = 0;
+  Index failed = 0;       ///< Cells that found no space (should be 0).
+  double totalDisplacement = 0.0;
+  double maxDisplacement = 0.0;
+};
+
+class GreedyLegalizer {
+ public:
+  struct Options {
+    /// Rows to search on each side of the nearest row before giving up
+    /// and scanning all rows.
+    int rowSearchWindow = 16;
+  };
+
+  explicit GreedyLegalizer(Options options) : options_(options) {}
+  GreedyLegalizer() : GreedyLegalizer(Options()) {}
+
+  /// Legalizes all movable cells in place. Positions in `db` are updated
+  /// to row- and site-aligned, overlap-free locations.
+  LegalizerResult run(Database& db) const;
+
+ private:
+  Options options_;
+};
+
+}  // namespace dreamplace

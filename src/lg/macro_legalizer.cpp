@@ -1,0 +1,112 @@
+#include "lg/macro_legalizer.h"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+
+#include "common/log.h"
+#include "common/timer.h"
+
+namespace dreamplace {
+
+namespace {
+
+bool placeable(const Database& db, const std::vector<Box<Coord>>& placed,
+               const Box<Coord>& candidate) {
+  if (!db.dieArea().containsBox(candidate)) {
+    return false;
+  }
+  for (const Box<Coord>& other : placed) {
+    if (other.overlaps(candidate)) {
+      return false;
+    }
+  }
+  for (Index i = db.numMovable(); i < db.numCells(); ++i) {
+    if (db.cellBox(i).overlaps(candidate)) {
+      return false;
+    }
+  }
+  return true;
+}
+
+}  // namespace
+
+MacroLegalizerResult MacroLegalizer::run(Database& db) const {
+  ScopedTimer timer("lg/macro");
+  MacroLegalizerResult result;
+
+  std::vector<Index> macros;
+  for (Index i = 0; i < db.numMovable(); ++i) {
+    if (isMovableMacro(db, i)) {
+      macros.push_back(i);
+    }
+  }
+  result.macros = static_cast<Index>(macros.size());
+  if (macros.empty()) {
+    return result;
+  }
+  // Big macros first: they have the fewest feasible positions.
+  std::sort(macros.begin(), macros.end(), [&](Index a, Index b) {
+    return db.cellArea(a) > db.cellArea(b);
+  });
+
+  const Coord site = db.siteWidth();
+  const Coord row_h = db.rowHeight();
+  const Coord x_base = db.rows().empty() ? db.dieArea().xl
+                                         : db.rows().front().xl;
+  const Coord y_base = db.rows().empty() ? db.dieArea().yl
+                                         : db.rows().front().y;
+
+  std::vector<Box<Coord>> placed;
+  for (Index macro : macros) {
+    const Coord w = db.cellWidth(macro);
+    const Coord h = db.cellHeight(macro);
+    // Snap the GP location to the grid.
+    const Coord want_x =
+        x_base + std::round((db.cellX(macro) - x_base) / site) * site;
+    const Coord want_y =
+        y_base + std::round((db.cellY(macro) - y_base) / row_h) * row_h;
+
+    bool done = false;
+    // Expanding ring search over (dx, dy) in grid steps. The ring at
+    // radius r is walked exhaustively; radius is measured in rows and the
+    // x step count is scaled so both axes cover similar distances.
+    const auto x_steps_per_row = std::max<int>(1, static_cast<int>(row_h / site));
+    for (int r = 0; r <= options_.maxSearchRadiusRows && !done; ++r) {
+      for (int dy = -r; dy <= r && !done; ++dy) {
+        const int x_extent = (r - std::abs(dy)) * x_steps_per_row;
+        // Only the ring boundary: interior was covered at smaller radii,
+        // except we sweep the full x range when |dy| == r.
+        std::vector<int> dxs;
+        if (std::abs(dy) == r) {
+          for (int dx = -x_extent; dx <= x_extent; ++dx) {
+            dxs.push_back(dx);
+          }
+        } else {
+          dxs = {-x_extent, x_extent};
+        }
+        for (int dx : dxs) {
+          const Coord x = want_x + dx * site;
+          const Coord y = want_y + dy * row_h;
+          const Box<Coord> candidate{x, y, x + w, y + h};
+          if (placeable(db, placed, candidate)) {
+            result.totalDisplacement += std::abs(x - db.cellX(macro)) +
+                                        std::abs(y - db.cellY(macro));
+            db.setCellPosition(macro, x, y);
+            placed.push_back(candidate);
+            done = true;
+            break;
+          }
+        }
+      }
+    }
+    if (!done) {
+      ++result.failed;
+      logWarn("macro legalizer: no space for %s",
+              db.cellName(macro).c_str());
+    }
+  }
+  return result;
+}
+
+}  // namespace dreamplace

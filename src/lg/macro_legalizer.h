@@ -1,0 +1,48 @@
+// Movable-macro legalization for mixed-size placement (the ePlace-MS
+// setting the paper's algorithm family covers).
+//
+// Global placement treats macros as ordinary (large) charges; before
+// standard-cell legalization the macros themselves must become legal:
+// snapped to the row/site grid, inside the die, and non-overlapping with
+// fixed cells and each other. Macros are processed in decreasing area
+// order; each snaps to the grid position nearest its GP location that is
+// free, found by an expanding ring search. Once placed, macros are
+// treated as obstacles by the standard-cell legalizers and the detailed
+// placer (see lg/segments.h, dp/detailed_placer.cpp).
+#pragma once
+
+#include <vector>
+
+#include "db/database.h"
+
+namespace dreamplace {
+
+/// A movable cell taller than one row is a macro for legalization
+/// purposes (standard cells are exactly row height).
+inline bool isMovableMacro(const Database& db, Index cell) {
+  return db.isMovable(cell) && db.cellHeight(cell) > db.rowHeight();
+}
+
+struct MacroLegalizerResult {
+  Index macros = 0;
+  Index failed = 0;
+  double totalDisplacement = 0.0;
+};
+
+class MacroLegalizer {
+ public:
+  struct Options {
+    /// Ring-search radius limit in row heights before giving up.
+    int maxSearchRadiusRows = 64;
+  };
+
+  explicit MacroLegalizer(Options options) : options_(options) {}
+  MacroLegalizer() : MacroLegalizer(Options()) {}
+
+  MacroLegalizerResult run(Database& db) const;
+
+ private:
+  Options options_;
+};
+
+}  // namespace dreamplace

@@ -1,0 +1,79 @@
+// Row segments: the free intervals of each placement row after removing
+// fixed obstacles (macros, pads). Both legalizers place cells into
+// segments, never across them.
+#pragma once
+
+#include <algorithm>
+#include <vector>
+
+#include "db/database.h"
+#include "lg/macro_legalizer.h"
+
+namespace dreamplace {
+
+struct RowSegment {
+  Index row = 0;   ///< Row index in db.rows().
+  Coord y = 0;     ///< Row lower edge.
+  Coord xl = 0;    ///< Segment left edge (site-aligned).
+  Coord xh = 0;    ///< Segment right edge.
+};
+
+/// True when `cell` blocks standard-cell rows: fixed, or a movable macro
+/// (which the flow legalizes first and then treats as an obstacle).
+inline bool isRowObstacle(const Database& db, Index cell) {
+  return !db.isMovable(cell) || isMovableMacro(db, cell);
+}
+
+/// Splits every row into maximal free segments not covered by obstacles
+/// (fixed cells and legalized movable macros). Segments narrower than one
+/// site are dropped.
+inline std::vector<RowSegment> buildRowSegments(const Database& db) {
+  std::vector<RowSegment> segments;
+  const auto& rows = db.rows();
+  // Collect obstacle x-intervals per row band.
+  std::vector<Index> obstacles;
+  for (Index i = 0; i < db.numCells(); ++i) {
+    if (isRowObstacle(db, i)) {
+      obstacles.push_back(i);
+    }
+  }
+  for (Index r = 0; r < static_cast<Index>(rows.size()); ++r) {
+    const Row& row = rows[r];
+    std::vector<std::pair<Coord, Coord>> blocked;
+    for (Index i : obstacles) {
+      const Box<Coord> box = db.cellBox(i);
+      if (box.yl < row.y + row.height && box.yh > row.y) {
+        const Coord xl = std::max(box.xl, row.xl);
+        const Coord xh = std::min(box.xh, row.xh);
+        if (xh > xl) {
+          blocked.emplace_back(xl, xh);
+        }
+      }
+    }
+    std::sort(blocked.begin(), blocked.end());
+    Coord cursor = row.xl;
+    auto emit = [&](Coord xl, Coord xh) {
+      // Snap inward to the site grid.
+      const Coord site = row.siteWidth;
+      const Coord sxl =
+          row.xl + std::ceil((xl - row.xl) / site) * site;
+      const Coord sxh =
+          row.xl + std::floor((xh - row.xl) / site) * site;
+      if (sxh - sxl >= site) {
+        segments.push_back({r, row.y, sxl, sxh});
+      }
+    };
+    for (const auto& [bxl, bxh] : blocked) {
+      if (bxl > cursor) {
+        emit(cursor, bxl);
+      }
+      cursor = std::max(cursor, bxh);
+    }
+    if (cursor < row.xh) {
+      emit(cursor, row.xh);
+    }
+  }
+  return segments;
+}
+
+}  // namespace dreamplace

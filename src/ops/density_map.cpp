@@ -1,0 +1,240 @@
+#include "ops/density_map.h"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+
+#include "common/log.h"
+
+namespace dreamplace {
+
+template <typename T>
+DensityGrid<T> makeGrid(const Box<Coord>& region, Index numCells,
+                        int minBins, int maxBins) {
+  // Aim for ~1 bin per 2-4 cells in a square grid, like ePlace's M x M
+  // choice, and round to a power of two for the FFT path.
+  const double target = std::sqrt(static_cast<double>(numCells) / 2.0);
+  int m = 1;
+  while (m < target && m < maxBins) {
+    m <<= 1;
+  }
+  m = std::clamp(m, minBins, maxBins);
+  DensityGrid<T> grid;
+  grid.mx = m;
+  grid.my = m;
+  grid.xl = static_cast<T>(region.xl);
+  grid.yl = static_cast<T>(region.yl);
+  grid.binW = static_cast<T>(region.width()) / m;
+  grid.binH = static_cast<T>(region.height()) / m;
+  return grid;
+}
+
+template <typename T>
+DensityMapBuilder<T>::DensityMapBuilder(const DensityGrid<T>& grid,
+                                        std::vector<T> widths,
+                                        std::vector<T> heights,
+                                        Options options)
+    : grid_(grid),
+      widths_(std::move(widths)),
+      heights_(std::move(heights)),
+      options_(options) {
+  DP_ASSERT(widths_.size() == heights_.size());
+  DP_ASSERT(options_.subdivision >= 1);
+  const Index n = numNodes();
+  eff_w_.resize(n);
+  eff_h_.resize(n);
+  scale_.resize(n);
+  // ePlace local smoothing: a node narrower than sqrt(2) bins is widened to
+  // sqrt(2) bins with its charge (area) preserved, which keeps the density
+  // gradient well defined for cells much smaller than a bin.
+  const T min_w = static_cast<T>(M_SQRT2) * grid_.binW;
+  const T min_h = static_cast<T>(M_SQRT2) * grid_.binH;
+  for (Index i = 0; i < n; ++i) {
+    eff_w_[i] = std::max(widths_[i], min_w);
+    eff_h_[i] = std::max(heights_[i], min_h);
+    scale_[i] = widths_[i] * heights_[i] / (eff_w_[i] * eff_h_[i]);
+  }
+  order_.resize(n);
+  std::iota(order_.begin(), order_.end(), 0);
+  if (options_.kernel == DensityKernel::kSorted) {
+    std::sort(order_.begin(), order_.end(), [&](Index a, Index b) {
+      const T area_a = eff_w_[a] * eff_h_[a];
+      const T area_b = eff_w_[b] * eff_h_[b];
+      return area_a > area_b;
+    });
+  }
+}
+
+template <typename T>
+template <typename Visit>
+void DensityMapBuilder<T>::forEachOverlap(const T* x, const T* y, Index node,
+                                          Visit visit) const {
+  const int sub = options_.subdivision;
+  const T w = eff_w_[node];
+  const T h = eff_h_[node];
+  const T sub_w = w / sub;
+  const T sub_h = h / sub;
+  const T node_xl = x[node] - w / 2;
+  const T node_yl = y[node] - h / 2;
+  // Sub-rectangles emulate the paper's multiple-threads-per-cell scheme;
+  // each is scattered independently (with sub > 1 the bin-boundary work is
+  // partitioned at finer granularity, at the cost of extra index math).
+  for (int sx = 0; sx < sub; ++sx) {
+    for (int sy = 0; sy < sub; ++sy) {
+      const T xl = node_xl + sx * sub_w;
+      const T xh = xl + sub_w;
+      const T yl = node_yl + sy * sub_h;
+      const T yh = yl + sub_h;
+      int bx0 = static_cast<int>(std::floor((xl - grid_.xl) / grid_.binW));
+      int bx1 = static_cast<int>(std::ceil((xh - grid_.xl) / grid_.binW));
+      int by0 = static_cast<int>(std::floor((yl - grid_.yl) / grid_.binH));
+      int by1 = static_cast<int>(std::ceil((yh - grid_.yl) / grid_.binH));
+      bx0 = std::max(bx0, 0);
+      by0 = std::max(by0, 0);
+      bx1 = std::min(bx1, grid_.mx);
+      by1 = std::min(by1, grid_.my);
+      for (int bx = bx0; bx < bx1; ++bx) {
+        const T bin_xl = grid_.xl + bx * grid_.binW;
+        const T ox = std::min(xh, bin_xl + grid_.binW) - std::max(xl, bin_xl);
+        if (ox <= 0) {
+          continue;
+        }
+        for (int by = by0; by < by1; ++by) {
+          const T bin_yl = grid_.yl + by * grid_.binH;
+          const T oy =
+              std::min(yh, bin_yl + grid_.binH) - std::max(yl, bin_yl);
+          if (oy <= 0) {
+            continue;
+          }
+          visit(bx, by, ox * oy);
+        }
+      }
+    }
+  }
+}
+
+template <typename T>
+void DensityMapBuilder<T>::scatter(const T* x, const T* y, Index begin,
+                                   Index end, std::vector<T>& map) const {
+  DP_ASSERT(static_cast<int>(map.size()) == grid_.mx * grid_.my);
+  const T inv_bin_area = T(1) / grid_.binArea();
+  const Index n = numNodes();
+  // Dynamic scheduling with coarse chunks: heterogeneous cell sizes are
+  // the load-balance hazard the paper's sorting addresses. order_ is a
+  // permutation of all nodes; entries outside [begin, end) are skipped.
+#pragma omp parallel for schedule(dynamic, 256)
+  for (Index k = 0; k < n; ++k) {
+    const Index node = order_[k];
+    if (node < begin || node >= end) {
+      continue;
+    }
+    const T q = scale_[node] * inv_bin_area;
+    forEachOverlap(x, y, node, [&](int bx, int by, T area) {
+      const T value = q * area;
+#pragma omp atomic
+      map[bx * grid_.my + by] += value;
+    });
+  }
+}
+
+template <typename T>
+void DensityMapBuilder<T>::gatherForce(const T* x, const T* y,
+                                       std::span<const T> fieldX,
+                                       std::span<const T> fieldY, T* gx,
+                                       T* gy) const {
+  const Index n = numNodes();
+  const T inv_bin_area = T(1) / grid_.binArea();
+  const T inv_bin_w = T(1) / grid_.binW;
+  const T inv_bin_h = T(1) / grid_.binH;
+#pragma omp parallel for schedule(dynamic, 256)
+  for (Index k = 0; k < n; ++k) {
+    const Index node = order_[k];
+    T fx = 0;
+    T fy = 0;
+    forEachOverlap(x, y, node, [&](int bx, int by, T area) {
+      const int b = bx * grid_.my + by;
+      fx += area * fieldX[b];
+      fy += area * fieldY[b];
+    });
+    const T q = scale_[node] * inv_bin_area;
+    // Density gradient is minus the electric force; the 1/bin scale
+    // converts the field from bin-index to layout coordinates.
+    gx[node] = -q * fx * inv_bin_w;
+    gy[node] = -q * fy * inv_bin_h;
+  }
+}
+
+template <typename T>
+std::vector<T> buildFixedDensityMap(const Database& db,
+                                    const DensityGrid<T>& grid) {
+  std::vector<T> map(static_cast<size_t>(grid.mx) * grid.my, T(0));
+  const T inv_bin_area = T(1) / grid.binArea();
+  for (Index i = db.numMovable(); i < db.numCells(); ++i) {
+    const Box<Coord> box = db.cellBox(i);
+    int bx0 = static_cast<int>(std::floor((box.xl - grid.xl) / grid.binW));
+    int bx1 = static_cast<int>(std::ceil((box.xh - grid.xl) / grid.binW));
+    int by0 = static_cast<int>(std::floor((box.yl - grid.yl) / grid.binH));
+    int by1 = static_cast<int>(std::ceil((box.yh - grid.yl) / grid.binH));
+    bx0 = std::max(bx0, 0);
+    by0 = std::max(by0, 0);
+    bx1 = std::min(bx1, grid.mx);
+    by1 = std::min(by1, grid.my);
+    for (int bx = bx0; bx < bx1; ++bx) {
+      const T bin_xl = grid.xl + bx * grid.binW;
+      const T ox = static_cast<T>(
+          std::min<double>(box.xh, bin_xl + grid.binW) -
+          std::max<double>(box.xl, bin_xl));
+      if (ox <= 0) {
+        continue;
+      }
+      for (int by = by0; by < by1; ++by) {
+        const T bin_yl = grid.yl + by * grid.binH;
+        const T oy = static_cast<T>(
+            std::min<double>(box.yh, bin_yl + grid.binH) -
+            std::max<double>(box.yl, bin_yl));
+        if (oy <= 0) {
+          continue;
+        }
+        map[bx * grid.my + by] += ox * oy * inv_bin_area;
+      }
+    }
+  }
+  // Fixed overlap can exceed a full bin (stacked pads); clamp to 1.0 so the
+  // electric system sees at most a full obstacle.
+  for (T& d : map) {
+    d = std::min(d, T(1));
+  }
+  return map;
+}
+
+template <typename T>
+double densityOverflow(std::span<const T> movableMap,
+                       std::span<const T> fixedMap,
+                       const DensityGrid<T>& grid, double targetDensity,
+                       double totalMovableArea) {
+  DP_ASSERT(movableMap.size() == fixedMap.size());
+  const double bin_area = grid.binArea();
+  double overflow = 0.0;
+  for (std::size_t b = 0; b < movableMap.size(); ++b) {
+    const double movable_area = movableMap[b] * bin_area;
+    const double free_area = (1.0 - fixedMap[b]) * bin_area;
+    overflow += std::max(0.0, movable_area - targetDensity * free_area);
+  }
+  return totalMovableArea > 0 ? overflow / totalMovableArea : 0.0;
+}
+
+#define DP_INSTANTIATE_DENSITY_MAP(T)                                       \
+  template struct DensityGrid<T>;                                           \
+  template DensityGrid<T> makeGrid<T>(const Box<Coord>&, Index, int, int);  \
+  template class DensityMapBuilder<T>;                                      \
+  template std::vector<T> buildFixedDensityMap<T>(const Database&,          \
+                                                  const DensityGrid<T>&);   \
+  template double densityOverflow<T>(std::span<const T>, std::span<const T>, \
+                                     const DensityGrid<T>&, double, double);
+
+DP_INSTANTIATE_DENSITY_MAP(float)
+DP_INSTANTIATE_DENSITY_MAP(double)
+
+#undef DP_INSTANTIATE_DENSITY_MAP
+
+}  // namespace dreamplace

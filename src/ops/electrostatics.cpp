@@ -1,0 +1,76 @@
+#include "ops/electrostatics.h"
+
+#include <cmath>
+
+#include "common/log.h"
+
+namespace dreamplace {
+
+template <typename T>
+PoissonSolver<T>::PoissonSolver(int mx, int my, fft::Dct2dAlgorithm algo)
+    : mx_(mx), my_(my), algo_(algo) {
+  wu_.resize(mx_);
+  wv_.resize(my_);
+  for (int u = 0; u < mx_; ++u) {
+    wu_[u] = static_cast<T>(M_PI * u / mx_);
+  }
+  for (int v = 0; v < my_; ++v) {
+    wv_[v] = static_cast<T>(M_PI * v / my_);
+  }
+  inv_w2_.resize(static_cast<size_t>(mx_) * my_);
+  for (int u = 0; u < mx_; ++u) {
+    for (int v = 0; v < my_; ++v) {
+      const T w2 = wu_[u] * wu_[u] + wv_[v] * wv_[v];
+      inv_w2_[u * my_ + v] = (u == 0 && v == 0) ? T(0) : T(1) / w2;
+    }
+  }
+}
+
+template <typename T>
+void PoissonSolver<T>::solve(std::span<const T> density,
+                             PoissonSolution<T>& out) const {
+  const size_t total = static_cast<size_t>(mx_) * my_;
+  DP_ASSERT(density.size() == total);
+  out.potential.resize(total);
+  out.fieldX.resize(total);
+  out.fieldY.resize(total);
+
+  // Forward DCT of the charge density.
+  std::vector<T> coeff(total);
+  fft::dct2d(density.data(), coeff.data(), mx_, my_, algo_);
+
+  // Mode amplitudes of the series rho = sum a_uv cos cos are
+  // a_uv = dct * eps_u * eps_v / (mx*my); evaluating the inverse series
+  // through idct2d absorbs another 2^[u==0] 2^[v==0], so the combined
+  // coefficient is uniformly 4/(mx*my) (derivation: docs/ALGORITHMS.md §3).
+  const T norm = T(4) / (static_cast<T>(mx_) * static_cast<T>(my_));
+  std::vector<T> z(total);
+  std::vector<T> zx(total);
+  std::vector<T> zy(total);
+  for (int u = 0; u < mx_; ++u) {
+    for (int v = 0; v < my_; ++v) {
+      const size_t i = static_cast<size_t>(u) * my_ + v;
+      const T base = norm * coeff[i] * inv_w2_[i];
+      z[i] = base;
+      zx[i] = base * wu_[u];
+      zy[i] = base * wv_[v];
+    }
+  }
+
+  fft::idct2d(z.data(), out.potential.data(), mx_, my_, algo_);
+  fft::idxstIdct(zx.data(), out.fieldX.data(), mx_, my_, algo_);
+  fft::idctIdxst(zy.data(), out.fieldY.data(), mx_, my_, algo_);
+
+  double energy = 0.0;
+#pragma omp parallel for reduction(+ : energy) schedule(static)
+  for (long i = 0; i < static_cast<long>(total); ++i) {
+    energy += 0.5 * static_cast<double>(density[i]) *
+              static_cast<double>(out.potential[i]);
+  }
+  out.energy = energy;
+}
+
+template class PoissonSolver<float>;
+template class PoissonSolver<double>;
+
+}  // namespace dreamplace

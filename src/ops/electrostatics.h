@@ -1,0 +1,53 @@
+// Spectral Poisson solver for the electrostatic density model
+// (paper Sec. II-C eq. (4)-(5) and Sec. III-B3 eq. (9)).
+//
+// Solves  laplacian(psi) = -rho  on an mx x my bin grid with Neumann
+// (zero normal field) boundary conditions, which the DCT-II basis
+// cos(pi*u*(x+1/2)/M) satisfies naturally. The DC mode is zeroed,
+// implementing the zero-total-charge compatibility condition (eq. (4c)).
+//
+// Outputs, all in bin-index coordinates:
+//   potential psi(x,y),
+//   fieldX = -d psi / dx  (IDXST along x, IDCT along y),
+//   fieldY = -d psi / dy  (IDCT along x, IDXST along y),
+//   energy = 1/2 sum_b rho_b * psi_b.
+//
+// Maps are row-major with dim0 = x: element (bx, by) at bx*my + by.
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "fft/dct2d.h"
+
+namespace dreamplace {
+
+template <typename T>
+struct PoissonSolution {
+  std::vector<T> potential;
+  std::vector<T> fieldX;
+  std::vector<T> fieldY;
+  double energy = 0.0;
+};
+
+template <typename T>
+class PoissonSolver {
+ public:
+  PoissonSolver(int mx, int my,
+                fft::Dct2dAlgorithm algo = fft::Dct2dAlgorithm::kFft2dN);
+
+  void solve(std::span<const T> density, PoissonSolution<T>& out) const;
+
+  int mx() const { return mx_; }
+  int my() const { return my_; }
+
+ private:
+  int mx_;
+  int my_;
+  fft::Dct2dAlgorithm algo_;
+  std::vector<T> wu_;        ///< omega_u = pi*u/mx
+  std::vector<T> wv_;        ///< omega_v = pi*v/my
+  std::vector<T> inv_w2_;    ///< 1/(wu^2+wv^2), 0 at DC
+};
+
+}  // namespace dreamplace

@@ -1,0 +1,3 @@
+// Schedulers are header-only; this TU exists so the ops library has a
+// stable archive member for them and to host future out-of-line additions.
+#include "ops/schedulers.h"

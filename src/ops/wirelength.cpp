@@ -1,0 +1,581 @@
+#include "ops/wirelength.h"
+
+#include <atomic>
+#include <cmath>
+#include <limits>
+
+#include "common/log.h"
+
+namespace dreamplace {
+
+namespace {
+
+/// Atomic max/min/add on floating point via compare-exchange, used by the
+/// kAtomic strategy (the CPU analogue of CUDA atomicMax on floats).
+template <typename T, typename Combine>
+void atomicCombine(std::atomic<T>& target, T value, Combine combine) {
+  T current = target.load(std::memory_order_relaxed);
+  T desired = combine(current, value);
+  while (desired != current &&
+         !target.compare_exchange_weak(current, desired,
+                                       std::memory_order_relaxed)) {
+    desired = combine(current, value);
+  }
+}
+
+template <typename T>
+void buildPinTables(const Database& db, Index /*numNodes*/,
+                    std::vector<Index>& netStart, std::vector<Index>& pinNode,
+                    std::vector<T>& fixedX, std::vector<T>& fixedY,
+                    std::vector<T>& offX, std::vector<T>& offY,
+                    std::vector<T>& netWeight) {
+  const Index num_nets = db.numNets();
+  const Index num_pins = db.numPins();
+  netStart.assign(db.netPinStarts().begin(), db.netPinStarts().end());
+  pinNode.resize(num_pins);
+  fixedX.assign(num_pins, T(0));
+  fixedY.assign(num_pins, T(0));
+  offX.resize(num_pins);
+  offY.resize(num_pins);
+  netWeight.resize(num_nets);
+  for (Index e = 0; e < num_nets; ++e) {
+    netWeight[e] = static_cast<T>(db.netWeight(e));
+  }
+  for (Index p = 0; p < num_pins; ++p) {
+    const Index c = db.pinCell(p);
+    if (db.isMovable(c)) {
+      pinNode[p] = c;
+      offX[p] = static_cast<T>(db.pinOffsetX(p));
+      offY[p] = static_cast<T>(db.pinOffsetY(p));
+    } else {
+      pinNode[p] = kInvalidIndex;
+      fixedX[p] = static_cast<T>(db.pinX(p));
+      fixedY[p] = static_cast<T>(db.pinY(p));
+    }
+  }
+}
+
+}  // namespace
+
+// ---------------------------------------------------------------------------
+// WaWirelengthOp
+// ---------------------------------------------------------------------------
+
+template <typename T>
+WaWirelengthOp<T>::WaWirelengthOp(const Database& db, Index numNodes,
+                                  Options options)
+    : db_(db), num_nodes_(numNodes), options_(options) {
+  DP_ASSERT(numNodes >= db.numMovable());
+  buildPinTables(db, numNodes, net_start_, pin_node_, pin_fixed_x_,
+                 pin_fixed_y_, pin_offset_x_, pin_offset_y_, net_weight_);
+  net_ignored_.assign(db.numNets(), 0);
+  if (options_.ignoreNetDegree > 0) {
+    for (Index e = 0; e < db.numNets(); ++e) {
+      if (db.netDegree(e) > options_.ignoreNetDegree) {
+        net_ignored_[e] = 1;
+      }
+    }
+  }
+  pin_x_.resize(db.numPins());
+  pin_y_.resize(db.numPins());
+}
+
+template <typename T>
+void WaWirelengthOp<T>::computePinPositions(std::span<const T> params) {
+  const Index num_pins = db_.numPins();
+  const T* x = params.data();
+  const T* y = params.data() + num_nodes_;
+#pragma omp parallel for schedule(static)
+  for (Index p = 0; p < num_pins; ++p) {
+    const Index node = pin_node_[p];
+    if (node >= 0) {
+      pin_x_[p] = x[node] + pin_offset_x_[p];
+      pin_y_[p] = y[node] + pin_offset_y_[p];
+    } else {
+      pin_x_[p] = pin_fixed_x_[p];
+      pin_y_[p] = pin_fixed_y_[p];
+    }
+  }
+}
+
+template <typename T>
+double WaWirelengthOp<T>::evaluate(std::span<const T> params,
+                                   std::span<T> grad) {
+  DP_ASSERT(params.size() == size() && grad.size() == size());
+  std::fill(grad.begin(), grad.end(), T(0));
+  computePinPositions(params);
+  switch (options_.kernel) {
+    case WirelengthKernel::kMerged:
+      return evaluateMerged(params, grad);
+    case WirelengthKernel::kNetByNet:
+      return evaluateNetByNet(params, grad);
+    case WirelengthKernel::kAtomic:
+      return evaluateAtomic(params, grad);
+  }
+  logFatal("unknown wirelength kernel");
+}
+
+// Fused forward+backward, all per-net intermediates in locals (Alg. 2).
+template <typename T>
+double WaWirelengthOp<T>::evaluateMerged(std::span<const T> /*params*/,
+                                         std::span<T> grad) {
+  const Index num_nets = db_.numNets();
+  const T inv_gamma = static_cast<T>(1.0 / gamma_);
+  T* gx = grad.data();
+  T* gy = grad.data() + num_nodes_;
+  double total = 0.0;
+
+  // Dynamic scheduling with the paper's chunk heuristic
+  // (|E| / threads / 16) balances heterogeneous net degrees.
+#pragma omp parallel for schedule(dynamic, 64) reduction(+ : total)
+  for (Index e = 0; e < num_nets; ++e) {
+    if (net_ignored_[e]) {
+      continue;
+    }
+    const Index begin = net_start_[e];
+    const Index end = net_start_[e + 1];
+    if (end - begin < 2) {
+      continue;
+    }
+    const T weight = net_weight_[e];
+    // Process x and y identically.
+    for (int dim = 0; dim < 2; ++dim) {
+      const T* pos = dim == 0 ? pin_x_.data() : pin_y_.data();
+      T* g = dim == 0 ? gx : gy;
+
+      T pmax = -std::numeric_limits<T>::infinity();
+      T pmin = std::numeric_limits<T>::infinity();
+      for (Index p = begin; p < end; ++p) {
+        pmax = std::max(pmax, pos[p]);
+        pmin = std::min(pmin, pos[p]);
+      }
+      // Kernel-local a+/a- (the CPU analog of keeping them in registers,
+      // per Alg. 2: no global-memory intermediates). On a GPU the paper
+      // recomputes a instead; with scalar exp() the recompute costs more
+      // than this thread-local scratch.
+      static thread_local std::vector<T> a_local;
+      a_local.resize(2 * static_cast<size_t>(end - begin));
+      T* a_plus_buf = a_local.data();
+      T* a_minus_buf = a_local.data() + (end - begin);
+      T b_plus = 0, b_minus = 0, c_plus = 0, c_minus = 0;
+      for (Index p = begin; p < end; ++p) {
+        const T s_plus = (pos[p] - pmax) * inv_gamma;
+        const T s_minus = (pmin - pos[p]) * inv_gamma;
+        const T a_plus = std::exp(s_plus);
+        const T a_minus = std::exp(s_minus);
+        a_plus_buf[p - begin] = a_plus;
+        a_minus_buf[p - begin] = a_minus;
+        b_plus += a_plus;
+        b_minus += a_minus;
+        c_plus += (pos[p] - pmax) * a_plus;
+        c_minus += (pos[p] - pmin) * a_minus;
+      }
+      const T wa_plus = c_plus / b_plus;    // relative to pmax
+      const T wa_minus = c_minus / b_minus; // relative to pmin
+      const T wl = (wa_plus + pmax) - (wa_minus + pmin);
+      total += static_cast<double>(weight * wl);
+
+      // Backward fused into the same kernel; only the per-pin gradient is
+      // written to shared memory.
+      for (Index p = begin; p < end; ++p) {
+        const T a_plus = a_plus_buf[p - begin];
+        const T a_minus = a_minus_buf[p - begin];
+        const T g_plus = a_plus / b_plus *
+                         (T(1) + ((pos[p] - pmax) - wa_plus) * inv_gamma);
+        const T g_minus = a_minus / b_minus *
+                          (T(1) - ((pos[p] - pmin) - wa_minus) * inv_gamma);
+        const Index node = pin_node_[p];
+        if (node >= 0) {
+          const T contrib = weight * (g_plus - g_minus);
+#pragma omp atomic
+          g[node] += contrib;
+        }
+      }
+    }
+  }
+  return total;
+}
+
+// Net-level forward and backward as separate passes with all intermediates
+// stored per pin / per net (the DATE'18-style baseline in Fig. 10).
+template <typename T>
+double WaWirelengthOp<T>::evaluateNetByNet(std::span<const T> /*params*/,
+                                           std::span<T> grad) {
+  const Index num_nets = db_.numNets();
+  const Index num_pins = db_.numPins();
+  const T inv_gamma = static_cast<T>(1.0 / gamma_);
+  a_plus_.resize(2 * static_cast<size_t>(num_pins));
+  a_minus_.resize(2 * static_cast<size_t>(num_pins));
+  b_plus_.resize(2 * static_cast<size_t>(num_nets));
+  b_minus_.resize(2 * static_cast<size_t>(num_nets));
+  c_plus_.resize(2 * static_cast<size_t>(num_nets));
+  c_minus_.resize(2 * static_cast<size_t>(num_nets));
+  x_max_.resize(2 * static_cast<size_t>(num_nets));
+  x_min_.resize(2 * static_cast<size_t>(num_nets));
+
+  double total = 0.0;
+  // Forward pass: store every intermediate.
+  for (int dim = 0; dim < 2; ++dim) {
+    const T* pos = dim == 0 ? pin_x_.data() : pin_y_.data();
+    T* a_plus = a_plus_.data() + dim * num_pins;
+    T* a_minus = a_minus_.data() + dim * num_pins;
+    T* b_plus = b_plus_.data() + dim * num_nets;
+    T* b_minus = b_minus_.data() + dim * num_nets;
+    T* c_plus = c_plus_.data() + dim * num_nets;
+    T* c_minus = c_minus_.data() + dim * num_nets;
+    T* pmax = x_max_.data() + dim * num_nets;
+    T* pmin = x_min_.data() + dim * num_nets;
+
+#pragma omp parallel for schedule(dynamic, 64) reduction(+ : total)
+    for (Index e = 0; e < num_nets; ++e) {
+      if (net_ignored_[e]) {
+        continue;
+      }
+      const Index begin = net_start_[e];
+      const Index end = net_start_[e + 1];
+      if (end - begin < 2) {
+        continue;
+      }
+      T mx = -std::numeric_limits<T>::infinity();
+      T mn = std::numeric_limits<T>::infinity();
+      for (Index p = begin; p < end; ++p) {
+        mx = std::max(mx, pos[p]);
+        mn = std::min(mn, pos[p]);
+      }
+      pmax[e] = mx;
+      pmin[e] = mn;
+      T bp = 0, bm = 0, cp = 0, cm = 0;
+      for (Index p = begin; p < end; ++p) {
+        const T ap = std::exp((pos[p] - mx) * inv_gamma);
+        const T am = std::exp((mn - pos[p]) * inv_gamma);
+        a_plus[p] = ap;
+        a_minus[p] = am;
+        bp += ap;
+        bm += am;
+        cp += (pos[p] - mx) * ap;
+        cm += (pos[p] - mn) * am;
+      }
+      b_plus[e] = bp;
+      b_minus[e] = bm;
+      c_plus[e] = cp;
+      c_minus[e] = cm;
+      total += static_cast<double>(net_weight_[e] *
+                                   ((cp / bp + mx) - (cm / bm + mn)));
+    }
+  }
+
+  // Backward pass: re-read the stored intermediates.
+  T* gx = grad.data();
+  T* gy = grad.data() + num_nodes_;
+  for (int dim = 0; dim < 2; ++dim) {
+    const T* pos = dim == 0 ? pin_x_.data() : pin_y_.data();
+    const T* a_plus = a_plus_.data() + dim * num_pins;
+    const T* a_minus = a_minus_.data() + dim * num_pins;
+    const T* b_plus = b_plus_.data() + dim * num_nets;
+    const T* b_minus = b_minus_.data() + dim * num_nets;
+    const T* c_plus = c_plus_.data() + dim * num_nets;
+    const T* c_minus = c_minus_.data() + dim * num_nets;
+    const T* pmax = x_max_.data() + dim * num_nets;
+    const T* pmin = x_min_.data() + dim * num_nets;
+    T* g = dim == 0 ? gx : gy;
+
+#pragma omp parallel for schedule(dynamic, 64)
+    for (Index e = 0; e < num_nets; ++e) {
+      if (net_ignored_[e]) {
+        continue;
+      }
+      const Index begin = net_start_[e];
+      const Index end = net_start_[e + 1];
+      if (end - begin < 2) {
+        continue;
+      }
+      const T wa_plus = c_plus[e] / b_plus[e];
+      const T wa_minus = c_minus[e] / b_minus[e];
+      for (Index p = begin; p < end; ++p) {
+        const Index node = pin_node_[p];
+        if (node < 0) {
+          continue;
+        }
+        const T g_plus =
+            a_plus[p] / b_plus[e] *
+            (T(1) + ((pos[p] - pmax[e]) - wa_plus) * inv_gamma);
+        const T g_minus =
+            a_minus[p] / b_minus[e] *
+            (T(1) - ((pos[p] - pmin[e]) - wa_minus) * inv_gamma);
+        const T contrib = net_weight_[e] * (g_plus - g_minus);
+#pragma omp atomic
+        g[node] += contrib;
+      }
+    }
+  }
+  return total;
+}
+
+// Pin-level parallelism with atomic reductions (Algorithm 1). Six kernel
+// passes per dimension, each a parallel loop over pins/nets with atomics:
+// this maximizes parallelism but pays for the global-memory traffic, which
+// is exactly the drawback the paper measures.
+template <typename T>
+double WaWirelengthOp<T>::evaluateAtomic(std::span<const T> /*params*/,
+                                         std::span<T> grad) {
+  const Index num_nets = db_.numNets();
+  const Index num_pins = db_.numPins();
+  const T inv_gamma = static_cast<T>(1.0 / gamma_);
+
+  a_plus_.resize(num_pins);
+  a_minus_.resize(num_pins);
+
+  std::vector<std::atomic<T>> xmax(num_nets);
+  std::vector<std::atomic<T>> xmin(num_nets);
+  std::vector<std::atomic<T>> bplus(num_nets);
+  std::vector<std::atomic<T>> bminus(num_nets);
+  std::vector<std::atomic<T>> cplus(num_nets);
+  std::vector<std::atomic<T>> cminus(num_nets);
+
+  double total = 0.0;
+  T* gx = grad.data();
+  T* gy = grad.data() + num_nodes_;
+  for (int dim = 0; dim < 2; ++dim) {
+    const T* pos = dim == 0 ? pin_x_.data() : pin_y_.data();
+    T* g = dim == 0 ? gx : gy;
+
+    // x+/x- kernel (atomic max/min over pins).
+#pragma omp parallel for schedule(static)
+    for (Index e = 0; e < num_nets; ++e) {
+      xmax[e].store(-std::numeric_limits<T>::infinity());
+      xmin[e].store(std::numeric_limits<T>::infinity());
+      bplus[e].store(0);
+      bminus[e].store(0);
+      cplus[e].store(0);
+      cminus[e].store(0);
+    }
+#pragma omp parallel for schedule(static)
+    for (Index p = 0; p < num_pins; ++p) {
+      const Index e = db_.pinNet(p);
+      if (net_ignored_[e]) {
+        continue;
+      }
+      atomicCombine(xmax[e], pos[p],
+                    [](T a, T b) { return std::max(a, b); });
+      atomicCombine(xmin[e], pos[p],
+                    [](T a, T b) { return std::min(a, b); });
+    }
+    // a+/a- kernel.
+#pragma omp parallel for schedule(static)
+    for (Index p = 0; p < num_pins; ++p) {
+      const Index e = db_.pinNet(p);
+      if (net_ignored_[e]) {
+        a_plus_[p] = 0;
+        a_minus_[p] = 0;
+        continue;
+      }
+      a_plus_[p] = std::exp((pos[p] - xmax[e].load()) * inv_gamma);
+      a_minus_[p] = std::exp((xmin[e].load() - pos[p]) * inv_gamma);
+    }
+    // b kernel (atomic add).
+#pragma omp parallel for schedule(static)
+    for (Index p = 0; p < num_pins; ++p) {
+      const Index e = db_.pinNet(p);
+      if (net_ignored_[e]) {
+        continue;
+      }
+      atomicCombine(bplus[e], a_plus_[p], [](T a, T b) { return a + b; });
+      atomicCombine(bminus[e], a_minus_[p], [](T a, T b) { return a + b; });
+    }
+    // c kernel (atomic add).
+#pragma omp parallel for schedule(static)
+    for (Index p = 0; p < num_pins; ++p) {
+      const Index e = db_.pinNet(p);
+      if (net_ignored_[e]) {
+        continue;
+      }
+      atomicCombine(cplus[e],
+                    static_cast<T>((pos[p] - xmax[e].load()) * a_plus_[p]),
+                    [](T a, T b) { return a + b; });
+      atomicCombine(cminus[e],
+                    static_cast<T>((pos[p] - xmin[e].load()) * a_minus_[p]),
+                    [](T a, T b) { return a + b; });
+    }
+    // WL kernel + reduction.
+#pragma omp parallel for schedule(static) reduction(+ : total)
+    for (Index e = 0; e < num_nets; ++e) {
+      if (net_ignored_[e] || net_start_[e + 1] - net_start_[e] < 2) {
+        continue;
+      }
+      const T wl = (cplus[e].load() / bplus[e].load() + xmax[e].load()) -
+                   (cminus[e].load() / bminus[e].load() + xmin[e].load());
+      total += static_cast<double>(net_weight_[e] * wl);
+    }
+    // Gradient kernel over pins.
+#pragma omp parallel for schedule(static)
+    for (Index p = 0; p < num_pins; ++p) {
+      const Index e = db_.pinNet(p);
+      if (net_ignored_[e] || net_start_[e + 1] - net_start_[e] < 2) {
+        continue;
+      }
+      const Index node = pin_node_[p];
+      if (node < 0) {
+        continue;
+      }
+      const T wa_plus = cplus[e].load() / bplus[e].load();
+      const T wa_minus = cminus[e].load() / bminus[e].load();
+      const T g_plus =
+          a_plus_[p] / bplus[e].load() *
+          (T(1) + ((pos[p] - xmax[e].load()) - wa_plus) * inv_gamma);
+      const T g_minus =
+          a_minus_[p] / bminus[e].load() *
+          (T(1) - ((pos[p] - xmin[e].load()) - wa_minus) * inv_gamma);
+      const T contrib = net_weight_[e] * (g_plus - g_minus);
+#pragma omp atomic
+      g[node] += contrib;
+    }
+  }
+  return total;
+}
+
+template <typename T>
+double WaWirelengthOp<T>::hpwl(std::span<const T> params) const {
+  const Index num_nets = db_.numNets();
+  const T* x = params.data();
+  const T* y = params.data() + num_nodes_;
+  double total = 0.0;
+#pragma omp parallel for schedule(static) reduction(+ : total)
+  for (Index e = 0; e < num_nets; ++e) {
+    const Index begin = net_start_[e];
+    const Index end = net_start_[e + 1];
+    if (end - begin < 2) {
+      continue;
+    }
+    T xl = std::numeric_limits<T>::infinity();
+    T xh = -xl, yl = xl, yh = -xl;
+    for (Index p = begin; p < end; ++p) {
+      const Index node = pin_node_[p];
+      const T px = node >= 0 ? x[node] + pin_offset_x_[p] : pin_fixed_x_[p];
+      const T py = node >= 0 ? y[node] + pin_offset_y_[p] : pin_fixed_y_[p];
+      xl = std::min(xl, px);
+      xh = std::max(xh, px);
+      yl = std::min(yl, py);
+      yh = std::max(yh, py);
+    }
+    total += static_cast<double>(net_weight_[e] * ((xh - xl) + (yh - yl)));
+  }
+  return total;
+}
+
+// ---------------------------------------------------------------------------
+// LseWirelengthOp
+// ---------------------------------------------------------------------------
+
+template <typename T>
+LseWirelengthOp<T>::LseWirelengthOp(const Database& db, Index numNodes,
+                                    Index ignoreNetDegree)
+    : db_(db), num_nodes_(numNodes), ignore_net_degree_(ignoreNetDegree) {
+  buildPinTables(db, numNodes, net_start_, pin_node_, pin_fixed_x_,
+                 pin_fixed_y_, pin_offset_x_, pin_offset_y_, net_weight_);
+  pin_x_.resize(db.numPins());
+  pin_y_.resize(db.numPins());
+}
+
+template <typename T>
+double LseWirelengthOp<T>::evaluate(std::span<const T> params,
+                                    std::span<T> grad) {
+  DP_ASSERT(params.size() == size() && grad.size() == size());
+  std::fill(grad.begin(), grad.end(), T(0));
+  const Index num_pins = db_.numPins();
+  const T* x = params.data();
+  const T* y = params.data() + num_nodes_;
+#pragma omp parallel for schedule(static)
+  for (Index p = 0; p < num_pins; ++p) {
+    const Index node = pin_node_[p];
+    pin_x_[p] = node >= 0 ? x[node] + pin_offset_x_[p] : pin_fixed_x_[p];
+    pin_y_[p] = node >= 0 ? y[node] + pin_offset_y_[p] : pin_fixed_y_[p];
+  }
+
+  const Index num_nets = db_.numNets();
+  const T inv_gamma = static_cast<T>(1.0 / gamma_);
+  const T gamma = static_cast<T>(gamma_);
+  T* gx = grad.data();
+  T* gy = grad.data() + num_nodes_;
+  double total = 0.0;
+#pragma omp parallel for schedule(dynamic, 64) reduction(+ : total)
+  for (Index e = 0; e < num_nets; ++e) {
+    const Index begin = net_start_[e];
+    const Index end = net_start_[e + 1];
+    const Index degree = end - begin;
+    if (degree < 2 ||
+        (ignore_net_degree_ > 0 && degree > ignore_net_degree_)) {
+      continue;
+    }
+    const T weight = net_weight_[e];
+    for (int dim = 0; dim < 2; ++dim) {
+      const T* pos = dim == 0 ? pin_x_.data() : pin_y_.data();
+      T* g = dim == 0 ? gx : gy;
+      T pmax = -std::numeric_limits<T>::infinity();
+      T pmin = std::numeric_limits<T>::infinity();
+      for (Index p = begin; p < end; ++p) {
+        pmax = std::max(pmax, pos[p]);
+        pmin = std::min(pmin, pos[p]);
+      }
+      T b_plus = 0, b_minus = 0;
+      for (Index p = begin; p < end; ++p) {
+        b_plus += std::exp((pos[p] - pmax) * inv_gamma);
+        b_minus += std::exp((pmin - pos[p]) * inv_gamma);
+      }
+      const T wl = gamma * (std::log(b_plus) + std::log(b_minus)) +
+                   (pmax - pmin);
+      total += static_cast<double>(weight * wl);
+      for (Index p = begin; p < end; ++p) {
+        const Index node = pin_node_[p];
+        if (node < 0) {
+          continue;
+        }
+        const T a_plus = std::exp((pos[p] - pmax) * inv_gamma);
+        const T a_minus = std::exp((pmin - pos[p]) * inv_gamma);
+        const T contrib = weight * (a_plus / b_plus - a_minus / b_minus);
+#pragma omp atomic
+        g[node] += contrib;
+      }
+    }
+  }
+  return total;
+}
+
+template <typename T>
+double LseWirelengthOp<T>::hpwl(std::span<const T> params) const {
+  const Index num_nets = db_.numNets();
+  const T* x = params.data();
+  const T* y = params.data() + num_nodes_;
+  double total = 0.0;
+#pragma omp parallel for schedule(static) reduction(+ : total)
+  for (Index e = 0; e < num_nets; ++e) {
+    const Index begin = net_start_[e];
+    const Index end = net_start_[e + 1];
+    if (end - begin < 2) {
+      continue;
+    }
+    T xl = std::numeric_limits<T>::infinity();
+    T xh = -xl, yl = xl, yh = -xl;
+    for (Index p = begin; p < end; ++p) {
+      const Index node = pin_node_[p];
+      const T px = node >= 0 ? x[node] + pin_offset_x_[p] : pin_fixed_x_[p];
+      const T py = node >= 0 ? y[node] + pin_offset_y_[p] : pin_fixed_y_[p];
+      xl = std::min(xl, px);
+      xh = std::max(xh, px);
+      yl = std::min(yl, py);
+      yh = std::max(yh, py);
+    }
+    total += static_cast<double>(net_weight_[e] * ((xh - xl) + (yh - yl)));
+  }
+  return total;
+}
+
+#define DP_INSTANTIATE_WL(T)     \
+  template class WaWirelengthOp<T>; \
+  template class LseWirelengthOp<T>;
+
+DP_INSTANTIATE_WL(float)
+DP_INSTANTIATE_WL(double)
+
+#undef DP_INSTANTIATE_WL
+
+}  // namespace dreamplace

@@ -1,0 +1,132 @@
+// Wirelength operators (paper Sec. III-A).
+//
+// The weighted-average (WA) wirelength op is provided in the three kernel
+// strategies the paper compares in Fig. 10:
+//  * kNetByNet — net-level parallelism with separate forward/backward
+//    passes that materialize the a/b/c intermediates in memory,
+//  * kAtomic   — pin-level parallelism with atomic max/min/add
+//    (Algorithm 1),
+//  * kMerged   — fused forward+backward with all intermediates kept in
+//    kernel-local registers (Algorithm 2); the default.
+// The log-sum-exp (LSE) wirelength is also implemented, as in the paper.
+//
+// Parameter layout shared by all placement ops: params[0..n) are node
+// center x coordinates, params[n..2n) node center y coordinates, where
+// nodes are the database's movable cells [0, numMovable) followed by any
+// filler cells (fillers carry no pins and therefore no wirelength
+// gradient). Pins on fixed cells contribute at their static database
+// positions.
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "autograd/objective.h"
+#include "db/database.h"
+
+namespace dreamplace {
+
+enum class WirelengthKernel { kNetByNet, kAtomic, kMerged };
+enum class WirelengthModel { kWeightedAverage, kLogSumExp };
+
+/// Common interface of the smooth wirelength operators: a differentiable
+/// objective plus the gamma smoothness knob and an exact-HPWL probe. The
+/// global placer is written against this base so the wirelength model is
+/// a configuration choice (paper Sec. III-A: WA and LSE are both
+/// implemented in the framework).
+template <typename T>
+class WirelengthOp : public ObjectiveFunction<T> {
+ public:
+  virtual void setGamma(double gamma) = 0;
+  virtual double gamma() const = 0;
+  /// Exact HPWL at the given parameters (monitoring; not differentiable).
+  virtual double hpwl(std::span<const T> params) const = 0;
+};
+
+template <typename T>
+class WaWirelengthOp final : public WirelengthOp<T> {
+ public:
+  struct Options {
+    WirelengthKernel kernel = WirelengthKernel::kMerged;
+    /// Nets with more pins than this are skipped (contest convention for
+    /// huge fanout nets like clocks); <= 0 disables the cutoff.
+    Index ignoreNetDegree = 0;
+  };
+
+  WaWirelengthOp(const Database& db, Index numNodes, Options options = {});
+
+  void setGamma(double gamma) override { gamma_ = gamma; }
+  double gamma() const override { return gamma_; }
+
+  std::size_t size() const override {
+    return 2 * static_cast<std::size_t>(num_nodes_);
+  }
+  double evaluate(std::span<const T> params, std::span<T> grad) override;
+
+  double hpwl(std::span<const T> params) const override;
+
+ private:
+  double evaluateMerged(std::span<const T> params, std::span<T> grad);
+  double evaluateNetByNet(std::span<const T> params, std::span<T> grad);
+  double evaluateAtomic(std::span<const T> params, std::span<T> grad);
+
+  /// Computes per-pin absolute positions into pin_x_/pin_y_.
+  void computePinPositions(std::span<const T> params);
+
+  const Database& db_;
+  Index num_nodes_ = 0;
+  Options options_;
+  double gamma_ = 1.0;
+
+  // Flat copies for kernel speed.
+  std::vector<Index> net_start_;   // CSR offsets per net
+  std::vector<Index> pin_node_;    // node index or -1 for fixed-cell pins
+  std::vector<T> pin_fixed_x_;     // absolute position if fixed
+  std::vector<T> pin_fixed_y_;
+  std::vector<T> pin_offset_x_;    // offset from node center if movable
+  std::vector<T> pin_offset_y_;
+  std::vector<T> net_weight_;
+  std::vector<char> net_ignored_;
+
+  // Workspaces.
+  std::vector<T> pin_x_;
+  std::vector<T> pin_y_;
+  // Intermediates for the net-by-net and atomic strategies.
+  std::vector<T> a_plus_, a_minus_;        // per pin (x dim reused for y)
+  std::vector<T> b_plus_, b_minus_;        // per net
+  std::vector<T> c_plus_, c_minus_;        // per net
+  std::vector<T> x_max_, x_min_;           // per net
+};
+
+/// Log-sum-exp wirelength (Naylor et al.): WL_e = gamma*(log sum
+/// e^{x/gamma} + log sum e^{-x/gamma}) per dimension, max-shifted for
+/// numerical stability. Overestimates HPWL (WA underestimates).
+template <typename T>
+class LseWirelengthOp final : public WirelengthOp<T> {
+ public:
+  LseWirelengthOp(const Database& db, Index numNodes,
+                  Index ignoreNetDegree = 0);
+
+  void setGamma(double gamma) override { gamma_ = gamma; }
+  double gamma() const override { return gamma_; }
+
+  std::size_t size() const override {
+    return 2 * static_cast<std::size_t>(num_nodes_);
+  }
+  double evaluate(std::span<const T> params, std::span<T> grad) override;
+  double hpwl(std::span<const T> params) const override;
+
+ private:
+  const Database& db_;
+  Index num_nodes_ = 0;
+  Index ignore_net_degree_ = 0;
+  double gamma_ = 1.0;
+  std::vector<Index> net_start_;
+  std::vector<Index> pin_node_;
+  std::vector<T> pin_fixed_x_, pin_fixed_y_;
+  std::vector<T> pin_offset_x_, pin_offset_y_;
+  std::vector<T> net_weight_;
+  std::vector<T> pin_x_, pin_y_;
+};
+
+}  // namespace dreamplace

@@ -1,0 +1,105 @@
+#include "place/net_weighting.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/log.h"
+#include "db/metrics.h"
+
+namespace dreamplace {
+
+double tailNetHpwl(const Database& db, double fraction) {
+  std::vector<double> lengths;
+  lengths.reserve(db.numNets());
+  for (Index e = 0; e < db.numNets(); ++e) {
+    if (db.netDegree(e) >= 2) {
+      // Unweighted length: the metric must not move when only the weights
+      // change.
+      lengths.push_back(netHpwl(db, e) / db.netWeight(e));
+    }
+  }
+  if (lengths.empty()) {
+    return 0.0;
+  }
+  std::sort(lengths.begin(), lengths.end(), std::greater<>());
+  const auto count = std::max<std::size_t>(
+      1, static_cast<std::size_t>(std::llround(lengths.size() * fraction)));
+  double acc = 0.0;
+  for (std::size_t i = 0; i < count; ++i) {
+    acc += lengths[i];
+  }
+  return acc / static_cast<double>(count);
+}
+
+template <typename T>
+NetWeightingResult netWeightingPlace(Database& db,
+                                     const NetWeightingOptions& options) {
+  NetWeightingResult result;
+
+  std::vector<T> carry_x;
+  std::vector<T> carry_y;
+  bool have_carry = false;
+
+  for (int round = 0; round <= options.rounds; ++round) {
+    GlobalPlacer<T> placer(db, options.gp);
+    if (have_carry) {
+      placer.setInitialPositions(carry_x, carry_y);
+    }
+    placer.run();
+    carry_x = placer.nodeX();
+    carry_y = placer.nodeY();
+    have_carry = true;
+    result.tailTrace.push_back(tailNetHpwl(db));
+    ++result.rounds;
+    if (round == options.rounds) {
+      break;
+    }
+
+    // Re-weight: nets above the HPWL percentile are critical.
+    std::vector<double> lengths;
+    lengths.reserve(db.numNets());
+    for (Index e = 0; e < db.numNets(); ++e) {
+      lengths.push_back(db.netDegree(e) >= 2
+                            ? netHpwl(db, e) / db.netWeight(e)
+                            : 0.0);
+    }
+    std::vector<double> sorted = lengths;
+    std::sort(sorted.begin(), sorted.end());
+    const double threshold =
+        sorted[static_cast<std::size_t>(options.percentile *
+                                        (sorted.size() - 1))];
+    Index boosted = 0;
+    for (Index e = 0; e < db.numNets(); ++e) {
+      if (lengths[e] > threshold && db.netWeight(e) < options.maxWeight) {
+        db.setNetWeight(
+            e, std::min(db.netWeight(e) * options.boost, options.maxWeight));
+        ++boosted;
+      }
+    }
+    logInfo("net weighting: round %d boosted %d nets (threshold %.3e)",
+            round, boosted, threshold);
+  }
+
+  // Final unweighted metrics.
+  double total = 0.0;
+  double worst = 0.0;
+  for (Index e = 0; e < db.numNets(); ++e) {
+    if (db.netDegree(e) < 2) {
+      continue;
+    }
+    const double len = netHpwl(db, e) / db.netWeight(e);
+    total += len;
+    worst = std::max(worst, len);
+  }
+  result.hpwl = total;
+  result.maxNetHpwl = worst;
+  result.tailNetHpwl = tailNetHpwl(db);
+  return result;
+}
+
+template NetWeightingResult netWeightingPlace<float>(
+    Database&, const NetWeightingOptions&);
+template NetWeightingResult netWeightingPlace<double>(
+    Database&, const NetWeightingOptions&);
+
+}  // namespace dreamplace

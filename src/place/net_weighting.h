@@ -1,0 +1,47 @@
+// Net-weighting driven placement (paper Sec. III-G).
+//
+// The paper notes that "timing can be considered by net weighting or
+// additional differentiable timing costs in the objective". Without
+// liberty/SDF timing data, the classic length-based criticality proxy is
+// used: after each GP round, the nets whose HPWL exceeds a percentile of
+// the net-length distribution (the "critical" nets — long nets dominate
+// path delay) get their weights multiplied, and GP restarts from the
+// current positions. All wirelength ops honor net weights, so the
+// machinery is identical to what a slack-based weighter would drive.
+#pragma once
+
+#include <vector>
+
+#include "db/database.h"
+#include "gp/global_placer.h"
+
+namespace dreamplace {
+
+struct NetWeightingOptions {
+  GlobalPlacerOptions gp;
+  int rounds = 3;             ///< Re-weighting rounds after the first GP.
+  double percentile = 0.95;   ///< Nets above this HPWL percentile get boosted.
+  double boost = 2.0;         ///< Multiplicative weight increase.
+  double maxWeight = 16.0;    ///< Weight cap.
+};
+
+struct NetWeightingResult {
+  double hpwl = 0.0;             ///< Final (unweighted) HPWL.
+  double maxNetHpwl = 0.0;       ///< Length of the longest net.
+  double tailNetHpwl = 0.0;      ///< Mean HPWL of the top 5% longest nets
+                                 ///< (the timing proxy being minimized).
+  int rounds = 0;
+  std::vector<double> tailTrace; ///< tailNetHpwl after each round.
+};
+
+/// Mean HPWL of the `fraction` longest nets at the current placement.
+double tailNetHpwl(const Database& db, double fraction = 0.05);
+
+/// Runs GP with iterative net re-weighting; commits positions to `db`
+/// (global placement only; run LG/DP afterwards as usual). Net weights in
+/// `db` are left at their final values.
+template <typename T>
+NetWeightingResult netWeightingPlace(Database& db,
+                                     const NetWeightingOptions& options);
+
+}  // namespace dreamplace

@@ -1,0 +1,96 @@
+#include "place/placer.h"
+
+#include "common/log.h"
+#include "common/timer.h"
+#include "db/metrics.h"
+#include "lg/macro_legalizer.h"
+
+namespace dreamplace {
+
+namespace {
+
+template <typename T>
+FlowResult runFlow(Database& db, const PlacerOptions& options) {
+  FlowResult result;
+  Timer total;
+
+  // --- Global placement -------------------------------------------------
+  Timer gp_timer;
+  if (options.routability) {
+    RoutabilityOptions ropts = options.routabilityOptions;
+    ropts.gp = options.gp;
+    RoutabilityDrivenPlacer<T> placer(db, ropts);
+    const RoutabilityResult r = placer.run();
+    result.gpIterations = r.gp.iterations;
+    result.overflow = r.gp.overflow;
+    result.nlSeconds = r.nlSeconds;
+    result.grSeconds = r.grSeconds;
+    result.rc = r.congestion.rc;
+  } else {
+    GlobalPlacer<T> placer(db, options.gp);
+    const GlobalPlacerResult r = placer.run();
+    result.gpIterations = r.iterations;
+    result.overflow = r.overflow;
+  }
+  result.gpSeconds = gp_timer.elapsed();
+  result.hpwlGp = hpwl(db);
+
+  // --- Legalization ------------------------------------------------------
+  Timer lg_timer;
+  {
+    ScopedTimer t("lg");
+    // Movable macros (mixed-size placement) first; they become obstacles
+    // for the standard-cell legalizers.
+    MacroLegalizer macro_lg;
+    macro_lg.run(db);
+    // Abacus legalizes directly from the GP positions (minimal movement).
+    // If any cell fails to fit (pathological fragmentation), fall back to
+    // the Tetris-like greedy packing and re-run Abacus from there.
+    AbacusLegalizer abacus(options.abacus);
+    LegalizerResult lg = abacus.run(db);
+    if (lg.failed > 0) {
+      GreedyLegalizer greedy(options.greedy);
+      greedy.run(db);
+      abacus.run(db);
+    }
+  }
+  result.lgSeconds = lg_timer.elapsed();
+  result.hpwlLegal = hpwl(db);
+
+  // --- Detailed placement ---------------------------------------------------
+  Timer dp_timer;
+  if (options.runDetailedPlacement) {
+    DetailedPlacer dp(options.dp);
+    dp.run(db);
+  }
+  result.dpSeconds = dp_timer.elapsed();
+
+  result.hpwl = hpwl(db);
+  result.legal = checkLegality(db).legal;
+  result.totalSeconds = total.elapsed();
+
+  if (options.routability) {
+    // Re-estimate congestion on the final legalized placement.
+    GlobalRouter router(options.routabilityOptions.router);
+    const CongestionReport report = computeCongestion(router.route(db));
+    result.rc = report.rc;
+    result.sHpwl = scaledHpwl(result.hpwl, result.rc);
+  }
+
+  logInfo("flow: hpwl gp %.4e -> legal %.4e -> final %.4e, legal=%d, "
+          "gp %.1fs lg %.1fs dp %.1fs",
+          result.hpwlGp, result.hpwlLegal, result.hpwl, result.legal ? 1 : 0,
+          result.gpSeconds, result.lgSeconds, result.dpSeconds);
+  return result;
+}
+
+}  // namespace
+
+FlowResult placeDesign(Database& db, const PlacerOptions& options) {
+  if (options.precision == Precision::kFloat32) {
+    return runFlow<float>(db, options);
+  }
+  return runFlow<double>(db, options);
+}
+
+}  // namespace dreamplace

@@ -1,0 +1,50 @@
+// Top-level placement flow (paper Fig. 2b): GP -> LG -> DP, with the
+// per-stage runtime accounting the paper's tables report (GP / LG / DP /
+// IO columns) and an optional routability-driven mode (Table V).
+#pragma once
+
+#include <string>
+
+#include "db/database.h"
+#include "dp/detailed_placer.h"
+#include "gp/global_placer.h"
+#include "lg/abacus_legalizer.h"
+#include "lg/greedy_legalizer.h"
+#include "routeopt/inflation.h"
+
+namespace dreamplace {
+
+enum class Precision { kFloat32, kFloat64 };
+
+struct PlacerOptions {
+  Precision precision = Precision::kFloat64;
+  GlobalPlacerOptions gp;
+  GreedyLegalizer::Options greedy;
+  AbacusLegalizer::Options abacus;
+  DetailedPlacer::Options dp;
+  bool runDetailedPlacement = true;
+  bool routability = false;          ///< Table V mode.
+  RoutabilityOptions routabilityOptions;
+};
+
+struct FlowResult {
+  double hpwlGp = 0.0;     ///< HPWL right after global placement.
+  double hpwlLegal = 0.0;  ///< After legalization.
+  double hpwl = 0.0;       ///< Final (after DP).
+  double overflow = 0.0;
+  int gpIterations = 0;
+  bool legal = false;
+  double gpSeconds = 0.0;
+  double lgSeconds = 0.0;
+  double dpSeconds = 0.0;
+  double nlSeconds = 0.0;  ///< Routability mode: nonlinear optimization.
+  double grSeconds = 0.0;  ///< Routability mode: global routing.
+  double rc = 0.0;         ///< Routability mode: congestion metric.
+  double sHpwl = 0.0;      ///< Routability mode: scaled HPWL.
+  double totalSeconds = 0.0;
+};
+
+/// Runs the full placement flow on `db` in place.
+FlowResult placeDesign(Database& db, const PlacerOptions& options);
+
+}  // namespace dreamplace

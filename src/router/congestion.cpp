@@ -1,0 +1,42 @@
+#include "router/congestion.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace dreamplace {
+
+namespace {
+
+/// Average of the top `fraction` of the (descending-sorted) values, as a
+/// percentage.
+double aceTop(const std::vector<double>& sorted, double fraction) {
+  const auto count = std::max<std::size_t>(
+      1, static_cast<std::size_t>(std::llround(sorted.size() * fraction)));
+  double acc = 0.0;
+  for (std::size_t i = 0; i < count; ++i) {
+    acc += sorted[i];
+  }
+  return 100.0 * acc / static_cast<double>(count);
+}
+
+}  // namespace
+
+CongestionReport computeCongestion(const RoutingResult& routing) {
+  std::vector<double> tiles = routing.congestionMap();
+  std::sort(tiles.begin(), tiles.end(), std::greater<>());
+  CongestionReport report;
+  if (tiles.empty()) {
+    return report;
+  }
+  report.peak = 100.0 * tiles.front();
+  report.ace05 = aceTop(tiles, 0.005);
+  report.ace1 = aceTop(tiles, 0.01);
+  report.ace2 = aceTop(tiles, 0.02);
+  report.ace5 = aceTop(tiles, 0.05);
+  const double mean =
+      (report.ace05 + report.ace1 + report.ace2 + report.ace5) / 4.0;
+  report.rc = std::max(100.0, mean);
+  return report;
+}
+
+}  // namespace dreamplace

@@ -1,0 +1,32 @@
+// DAC 2012 contest congestion metrics (paper Sec. IV-D, eq. (20)).
+//
+// RC is the mean of the ACE (average congestion of edges) values over the
+// top 0.5%, 1%, 2% and 5% most congested tiles, expressed in percent and
+// floored at 100 (no overflow). sHPWL charges 3% HPWL per RC point above
+// 100.
+#pragma once
+
+#include <vector>
+
+#include "router/global_router.h"
+
+namespace dreamplace {
+
+struct CongestionReport {
+  double rc = 100.0;      ///< Routing congestion metric (>= 100).
+  double ace05 = 0.0;     ///< Average congestion %, top 0.5% tiles.
+  double ace1 = 0.0;
+  double ace2 = 0.0;
+  double ace5 = 0.0;
+  double peak = 0.0;      ///< Max tile congestion %.
+};
+
+/// Computes the RC metric from a routing result.
+CongestionReport computeCongestion(const RoutingResult& routing);
+
+/// sHPWL = HPWL * (1 + 0.03 * (RC - 100))  (paper eq. (20)).
+inline double scaledHpwl(double hpwl, double rc) {
+  return hpwl * (1.0 + 0.03 * (rc - 100.0));
+}
+
+}  // namespace dreamplace

@@ -1,0 +1,301 @@
+#include "router/global_router.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+#include "common/log.h"
+#include "common/timer.h"
+
+namespace dreamplace {
+
+namespace {
+
+struct TilePoint {
+  int x = 0;
+  int y = 0;
+};
+
+/// One routed 2-pin connection (kept for rip-up).
+struct Segment {
+  TilePoint a;
+  TilePoint b;
+  int shape = 0;  ///< 0: via a's corner first in x; 1: first in y.
+};
+
+int manhattan(const TilePoint& p, const TilePoint& q) {
+  return std::abs(p.x - q.x) + std::abs(p.y - q.y);
+}
+
+}  // namespace
+
+double RoutingResult::tileCongestion(int x, int y) const {
+  double worst = 0.0;
+  const int idx = x * gridY + y;
+  for (int l = 0; l < numLayerPairs; ++l) {
+    if (x < gridX - 1) {
+      worst = std::max(worst, demandH[l][idx] / capacity);
+    }
+    if (y < gridY - 1) {
+      worst = std::max(worst, demandV[l][idx] / capacity);
+    }
+  }
+  return worst;
+}
+
+std::vector<double> RoutingResult::congestionMap() const {
+  std::vector<double> map(static_cast<size_t>(gridX) * gridY, 0.0);
+  for (int x = 0; x < gridX; ++x) {
+    for (int y = 0; y < gridY; ++y) {
+      map[x * gridY + y] = tileCongestion(x, y);
+    }
+  }
+  return map;
+}
+
+namespace {
+
+/// Demand bookkeeping with greedy layer balancing.
+class DemandState {
+ public:
+  DemandState(RoutingResult& result) : r_(result) {}
+
+  /// Adds (or removes, weight -1) one track of demand on the horizontal
+  /// edge at tile (x,y), on the least- (most-) utilized layer.
+  void addH(int x, int y, double weight) { addEdge(r_.demandH, x, y, weight); }
+  void addV(int x, int y, double weight) { addEdge(r_.demandV, x, y, weight); }
+
+  double congH(int x, int y) const { return worst(r_.demandH, x, y); }
+  double congV(int x, int y) const { return worst(r_.demandV, x, y); }
+
+ private:
+  void addEdge(std::vector<std::vector<double>>& demand, int x, int y,
+               double weight) {
+    const int idx = x * r_.gridY + y;
+    int pick = 0;
+    double best = weight > 0 ? std::numeric_limits<double>::infinity()
+                             : -std::numeric_limits<double>::infinity();
+    for (int l = 0; l < r_.numLayerPairs; ++l) {
+      const double d = demand[l][idx];
+      if ((weight > 0 && d < best) || (weight < 0 && d > best)) {
+        best = d;
+        pick = l;
+      }
+    }
+    demand[pick][idx] += weight;
+    if (demand[pick][idx] < 0) {
+      demand[pick][idx] = 0;  // numerical safety on rip-up
+    }
+  }
+
+  double worst(const std::vector<std::vector<double>>& demand, int x,
+               int y) const {
+    const int idx = x * r_.gridY + y;
+    double w = 0.0;
+    for (int l = 0; l < r_.numLayerPairs; ++l) {
+      w = std::max(w, demand[l][idx]);
+    }
+    return w / r_.capacity;
+  }
+
+  RoutingResult& r_;
+};
+
+/// Walks the L-path of `seg` (shape 0: x first, 1: y first), calling
+/// stepH(x,y) for each horizontal edge crossed and stepV similarly.
+template <typename StepH, typename StepV>
+void walkL(const Segment& seg, StepH stepH, StepV stepV) {
+  const auto [ax, ay] = seg.a;
+  const auto [bx, by] = seg.b;
+  if (seg.shape == 0) {
+    // Horizontal run at ay, then vertical at bx.
+    for (int x = std::min(ax, bx); x < std::max(ax, bx); ++x) {
+      stepH(x, ay);
+    }
+    for (int y = std::min(ay, by); y < std::max(ay, by); ++y) {
+      stepV(bx, y);
+    }
+  } else {
+    // Vertical run at ax, then horizontal at by.
+    for (int y = std::min(ay, by); y < std::max(ay, by); ++y) {
+      stepV(ax, y);
+    }
+    for (int x = std::min(ax, bx); x < std::max(ax, bx); ++x) {
+      stepH(x, by);
+    }
+  }
+}
+
+double pathCost(const Segment& seg, const DemandState& state) {
+  // Cost = sum over edges of a congestion-convex penalty; quadratic above
+  // 80% utilization discourages stacking demand on hot edges.
+  double cost = 0.0;
+  auto penalty = [](double utilization) {
+    const double over = std::max(0.0, utilization - 0.8);
+    return 1.0 + 25.0 * over * over;
+  };
+  walkL(
+      seg, [&](int x, int y) { cost += penalty(state.congH(x, y)); },
+      [&](int x, int y) { cost += penalty(state.congV(x, y)); });
+  return cost;
+}
+
+void commit(const Segment& seg, DemandState& state, double weight) {
+  walkL(
+      seg, [&](int x, int y) { state.addH(x, y, weight); },
+      [&](int x, int y) { state.addV(x, y, weight); });
+}
+
+bool crossesOverflow(const Segment& seg, const DemandState& state) {
+  bool overflow = false;
+  walkL(
+      seg,
+      [&](int x, int y) { overflow |= state.congH(x, y) > 1.0; },
+      [&](int x, int y) { overflow |= state.congV(x, y) > 1.0; });
+  return overflow;
+}
+
+}  // namespace
+
+RoutingResult GlobalRouter::route(const Database& db) const {
+  ScopedTimer timer("router");
+  RoutingResult result;
+  result.gridX = options_.gridX;
+  result.gridY = options_.gridY;
+  result.numLayerPairs = options_.numLayerPairs;
+
+  const Box<Coord>& die = db.dieArea();
+  const double tile_w = die.width() / options_.gridX;
+  const double tile_h = die.height() / options_.gridY;
+  const double pitch =
+      options_.wirePitch > 0 ? options_.wirePitch : db.rowHeight() / 8.0;
+  result.capacity = options_.capacityPerLayer > 0
+                        ? options_.capacityPerLayer
+                        : options_.capacityFactor * std::min(tile_w, tile_h) /
+                              pitch / options_.numLayerPairs;
+  for (auto* maps : {&result.demandH, &result.demandV}) {
+    maps->assign(options_.numLayerPairs,
+                 std::vector<double>(
+                     static_cast<size_t>(options_.gridX) * options_.gridY,
+                     0.0));
+  }
+  DemandState state(result);
+
+  auto tileOf = [&](double px, double py) {
+    TilePoint t;
+    t.x = std::clamp(static_cast<int>((px - die.xl) / tile_w), 0,
+                     options_.gridX - 1);
+    t.y = std::clamp(static_cast<int>((py - die.yl) / tile_h), 0,
+                     options_.gridY - 1);
+    return t;
+  };
+
+  // --- Decompose nets into 2-pin segments via Manhattan MST (Prim). -----
+  std::vector<Segment> segments;
+  std::vector<TilePoint> pins;
+  std::vector<char> in_tree;
+  std::vector<int> dist;
+  std::vector<int> parent;
+  for (Index e = 0; e < db.numNets(); ++e) {
+    const Index begin = db.netPinBegin(e);
+    const Index end = db.netPinEnd(e);
+    const Index degree = end - begin;
+    if (degree < 2 || degree > options_.maxNetDegree) {
+      continue;
+    }
+    pins.clear();
+    for (Index p = begin; p < end; ++p) {
+      pins.push_back(tileOf(db.pinX(p), db.pinY(p)));
+    }
+    // Deduplicate same-tile pins.
+    std::sort(pins.begin(), pins.end(), [](auto a, auto b) {
+      return a.x != b.x ? a.x < b.x : a.y < b.y;
+    });
+    pins.erase(std::unique(pins.begin(), pins.end(),
+                           [](auto a, auto b) {
+                             return a.x == b.x && a.y == b.y;
+                           }),
+               pins.end());
+    const int k = static_cast<int>(pins.size());
+    if (k < 2) {
+      continue;
+    }
+    in_tree.assign(k, 0);
+    dist.assign(k, std::numeric_limits<int>::max());
+    parent.assign(k, -1);
+    dist[0] = 0;
+    for (int it = 0; it < k; ++it) {
+      int u = -1;
+      for (int i = 0; i < k; ++i) {
+        if (!in_tree[i] && (u < 0 || dist[i] < dist[u])) {
+          u = i;
+        }
+      }
+      in_tree[u] = 1;
+      if (parent[u] >= 0) {
+        segments.push_back({pins[parent[u]], pins[u], 0});
+      }
+      for (int i = 0; i < k; ++i) {
+        if (!in_tree[i]) {
+          const int d = manhattan(pins[u], pins[i]);
+          if (d < dist[i]) {
+            dist[i] = d;
+            parent[i] = u;
+          }
+        }
+      }
+    }
+  }
+
+  // --- Initial routing: best of the two L shapes. -----------------------------
+  for (Segment& seg : segments) {
+    Segment alt = seg;
+    alt.shape = 1;
+    const double c0 = pathCost(seg, state);
+    const double c1 = pathCost(alt, state);
+    if (c1 < c0) {
+      seg.shape = 1;
+    }
+    commit(seg, state, 1.0);
+    result.totalWirelengthTiles += manhattan(seg.a, seg.b);
+  }
+  result.routedSegments = static_cast<long>(segments.size());
+
+  // --- Rip-up and re-route segments crossing overflowed edges. ------------------
+  for (int round = 0; round < options_.rerouteRounds; ++round) {
+    long rerouted = 0;
+    for (Segment& seg : segments) {
+      if (!crossesOverflow(seg, state)) {
+        continue;
+      }
+      commit(seg, state, -1.0);
+      Segment alt = seg;
+      alt.shape = 1 - seg.shape;
+      if (pathCost(alt, state) < pathCost(seg, state)) {
+        seg.shape = alt.shape;
+        ++rerouted;
+      }
+      commit(seg, state, 1.0);
+    }
+    if (rerouted == 0) {
+      break;
+    }
+  }
+
+  // Count overflowed edges for reporting.
+  for (int l = 0; l < result.numLayerPairs; ++l) {
+    for (double d : result.demandH[l]) {
+      if (d > result.capacity) {
+        ++result.overflowedEdges;
+      }
+    }
+    for (double d : result.demandV[l]) {
+      if (d > result.capacity) {
+        ++result.overflowedEdges;
+      }
+    }
+  }
+  return result;
+}
+
+}  // namespace dreamplace

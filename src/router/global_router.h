@@ -1,0 +1,68 @@
+// Grid global router: the congestion-estimation substrate for
+// routability-driven placement (paper Sec. III-F).
+//
+// Stands in for the external NCTUgr router the paper invokes: the
+// inflation loop only needs per-tile routing demand/capacity ratios per
+// metal layer, which any capacity-accounted router provides. This router:
+//  * overlays a GCell grid on the die,
+//  * decomposes each net into 2-pin segments via a Manhattan MST,
+//  * routes segments with L/Z-shape pattern routing, choosing the shape
+//    with the least congestion along its path,
+//  * assigns demand to the least-utilized layer of the matching direction
+//    (layers 0/2 horizontal, 1/3 vertical by default),
+//  * runs a bounded rip-up-and-reroute pass over segments crossing
+//    overflowed edges.
+#pragma once
+
+#include <vector>
+
+#include "db/database.h"
+
+namespace dreamplace {
+
+struct RouterOptions {
+  int gridX = 64;
+  int gridY = 64;
+  int numLayerPairs = 2;     ///< Pairs of (horizontal, vertical) layers.
+  double capacityPerLayer = 0.0;  ///< Tracks per GCell edge per layer;
+                                  ///< 0 => derived from tile size / pitch.
+  double capacityFactor = 1.0;    ///< Scales the derived capacity; < 1
+                                  ///< models a congestion-tight process.
+  double wirePitch = 0.0;    ///< 0 => rowHeight / 8.
+  int rerouteRounds = 2;
+  Index maxNetDegree = 64;   ///< Larger nets are skipped (clock-like).
+};
+
+/// Routing demand/capacity state after routing. Horizontal edges connect
+/// (x,y)->(x+1,y); vertical edges (x,y)->(x,y+1). Layer l of a direction
+/// is indexed 0..numLayerPairs-1.
+struct RoutingResult {
+  int gridX = 0;
+  int gridY = 0;
+  int numLayerPairs = 0;
+  double capacity = 0.0;  ///< Per edge per layer.
+  /// demandH[l][x*gridY + y]: horizontal demand at tile (x,y), layer l.
+  std::vector<std::vector<double>> demandH;
+  std::vector<std::vector<double>> demandV;
+  long routedSegments = 0;
+  long totalWirelengthTiles = 0;
+  long overflowedEdges = 0;
+
+  /// max over layers/directions of demand/capacity for tile (x,y).
+  double tileCongestion(int x, int y) const;
+  /// All tile congestion values (gridX*gridY entries).
+  std::vector<double> congestionMap() const;
+};
+
+class GlobalRouter {
+ public:
+  explicit GlobalRouter(RouterOptions options) : options_(options) {}
+  GlobalRouter() : GlobalRouter(RouterOptions()) {}
+
+  RoutingResult route(const Database& db) const;
+
+ private:
+  RouterOptions options_;
+};
+
+}  // namespace dreamplace

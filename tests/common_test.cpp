@@ -1,0 +1,165 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <set>
+
+#include "common/geometry.h"
+#include "common/rng.h"
+#include "common/timer.h"
+
+namespace dreamplace {
+namespace {
+
+TEST(RngTest, DeterministicAcrossInstances) {
+  Rng a(42), b(42);
+  for (int i = 0; i < 1000; ++i) {
+    EXPECT_EQ(a(), b());
+  }
+}
+
+TEST(RngTest, DifferentSeedsDiffer) {
+  Rng a(1), b(2);
+  int same = 0;
+  for (int i = 0; i < 100; ++i) {
+    same += (a() == b());
+  }
+  EXPECT_LT(same, 5);
+}
+
+TEST(RngTest, UniformInUnitInterval) {
+  Rng rng(7);
+  double sum = 0.0;
+  for (int i = 0; i < 20000; ++i) {
+    const double u = rng.uniform();
+    ASSERT_GE(u, 0.0);
+    ASSERT_LT(u, 1.0);
+    sum += u;
+  }
+  EXPECT_NEAR(sum / 20000, 0.5, 0.02);
+}
+
+TEST(RngTest, UniformIntNoModuloBias) {
+  Rng rng(11);
+  // Histogram of uniformInt(3) should be flat within tolerance.
+  int counts[3] = {0, 0, 0};
+  for (int i = 0; i < 30000; ++i) {
+    ++counts[rng.uniformInt(3)];
+  }
+  for (int c : counts) {
+    EXPECT_NEAR(c, 10000, 400);
+  }
+}
+
+TEST(RngTest, UniformIntZeroReturnsZero) {
+  Rng rng(3);
+  EXPECT_EQ(rng.uniformInt(0), 0u);
+}
+
+TEST(RngTest, NormalMoments) {
+  Rng rng(13);
+  double sum = 0.0, sq = 0.0;
+  constexpr int n = 50000;
+  for (int i = 0; i < n; ++i) {
+    const double v = rng.normal();
+    sum += v;
+    sq += v * v;
+  }
+  EXPECT_NEAR(sum / n, 0.0, 0.02);
+  EXPECT_NEAR(sq / n, 1.0, 0.03);
+}
+
+TEST(RngTest, NormalScaled) {
+  Rng rng(17);
+  double sum = 0.0;
+  constexpr int n = 20000;
+  for (int i = 0; i < n; ++i) {
+    sum += rng.normal(5.0, 2.0);
+  }
+  EXPECT_NEAR(sum / n, 5.0, 0.1);
+}
+
+TEST(BoxTest, BasicQueries) {
+  Box<double> box{0, 0, 10, 20};
+  EXPECT_DOUBLE_EQ(box.width(), 10);
+  EXPECT_DOUBLE_EQ(box.height(), 20);
+  EXPECT_DOUBLE_EQ(box.area(), 200);
+  EXPECT_DOUBLE_EQ(box.centerX(), 5);
+  EXPECT_DOUBLE_EQ(box.centerY(), 10);
+  EXPECT_TRUE(box.contains(0, 0));
+  EXPECT_FALSE(box.contains(10, 0));  // [lo, hi) semantics
+}
+
+TEST(BoxTest, OverlapArea) {
+  Box<double> a{0, 0, 10, 10};
+  Box<double> b{5, 5, 15, 15};
+  EXPECT_DOUBLE_EQ(a.overlapArea(b), 25);
+  EXPECT_TRUE(a.overlaps(b));
+  Box<double> c{10, 0, 20, 10};  // abutting, no overlap
+  EXPECT_DOUBLE_EQ(a.overlapArea(c), 0);
+  EXPECT_FALSE(a.overlaps(c));
+  Box<double> d{20, 20, 30, 30};
+  EXPECT_DOUBLE_EQ(a.overlapArea(d), 0);
+}
+
+TEST(BoxTest, ContainsBox) {
+  Box<double> outer{0, 0, 100, 100};
+  EXPECT_TRUE(outer.containsBox({10, 10, 20, 20}));
+  EXPECT_FALSE(outer.containsBox({90, 90, 110, 110}));
+}
+
+TEST(GeometryTest, OverlapLength) {
+  EXPECT_DOUBLE_EQ(overlapLength(0.0, 10.0, 5.0, 15.0), 5.0);
+  EXPECT_DOUBLE_EQ(overlapLength(0.0, 10.0, 10.0, 15.0), 0.0);
+  EXPECT_DOUBLE_EQ(overlapLength(0.0, 10.0, -5.0, 100.0), 10.0);
+}
+
+TEST(GeometryTest, ClampSafe) {
+  EXPECT_DOUBLE_EQ(clampSafe(5.0, 0.0, 10.0), 5.0);
+  EXPECT_DOUBLE_EQ(clampSafe(-5.0, 0.0, 10.0), 0.0);
+  EXPECT_DOUBLE_EQ(clampSafe(15.0, 0.0, 10.0), 10.0);
+  // Inverted bounds fall back to lo instead of UB.
+  EXPECT_DOUBLE_EQ(clampSafe(5.0, 10.0, 0.0), 10.0);
+}
+
+TEST(TimerTest, MeasuresElapsed) {
+  Timer timer;
+  volatile double sink = 0;
+  for (int i = 0; i < 100000; ++i) {
+    sink += std::sqrt(static_cast<double>(i));
+  }
+  EXPECT_GT(timer.elapsed(), 0.0);
+}
+
+TEST(TimingRegistryTest, AccumulatesAndReports) {
+  auto& registry = TimingRegistry::instance();
+  registry.clear();
+  registry.add("stage_a", 1.0);
+  registry.add("stage_a", 0.5);
+  registry.add("stage_a/sub", 0.25);
+  registry.add("stage_b", 2.0);
+  EXPECT_DOUBLE_EQ(registry.total("stage_a"), 1.5);
+  EXPECT_DOUBLE_EQ(registry.total("missing"), 0.0);
+  EXPECT_DOUBLE_EQ(registry.totalPrefix("stage_a"), 1.75);
+  const std::string report = registry.report();
+  EXPECT_NE(report.find("stage_a"), std::string::npos);
+  EXPECT_NE(report.find("stage_b"), std::string::npos);
+  registry.clear();
+  EXPECT_DOUBLE_EQ(registry.total("stage_a"), 0.0);
+}
+
+TEST(TimingRegistryTest, ScopedTimerAdds) {
+  auto& registry = TimingRegistry::instance();
+  registry.clear();
+  {
+    ScopedTimer scope("scoped_key");
+    volatile int x = 0;
+    for (int i = 0; i < 1000; ++i) {
+      x += i;
+    }
+  }
+  EXPECT_GT(registry.total("scoped_key"), 0.0);
+  registry.clear();
+}
+
+}  // namespace
+}  // namespace dreamplace

@@ -1,0 +1,131 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/rng.h"
+#include "fft/dct.h"
+
+namespace dreamplace::fft {
+namespace {
+
+std::vector<double> randomVec(int n, std::uint64_t seed) {
+  Rng rng(seed);
+  std::vector<double> x(n);
+  for (double& v : x) {
+    v = rng.uniform(-3, 3);
+  }
+  return x;
+}
+
+double maxDiff(const std::vector<double>& a, const std::vector<double>& b) {
+  double m = 0;
+  for (size_t i = 0; i < a.size(); ++i) {
+    m = std::max(m, std::abs(a[i] - b[i]));
+  }
+  return m;
+}
+
+/// Parameterized over (size, fast algorithm): both fast DCT formulations
+/// must agree with the naive O(N^2) definition.
+class DctAlgoTest
+    : public ::testing::TestWithParam<std::tuple<int, DctAlgorithm>> {};
+
+TEST_P(DctAlgoTest, DctMatchesNaive) {
+  const auto [n, algo] = GetParam();
+  auto x = randomVec(n, 10 + n);
+  EXPECT_LT(maxDiff(dct(x, DctAlgorithm::kNaive), dct(x, algo)), 1e-9 * n);
+}
+
+TEST_P(DctAlgoTest, IdctMatchesNaive) {
+  const auto [n, algo] = GetParam();
+  auto x = randomVec(n, 20 + n);
+  EXPECT_LT(maxDiff(idct(x, DctAlgorithm::kNaive), idct(x, algo)), 1e-9 * n);
+}
+
+TEST_P(DctAlgoTest, RoundTripScalesByHalfN) {
+  const auto [n, algo] = GetParam();
+  auto x = randomVec(n, 30 + n);
+  auto rt = idct(dct(x, algo), algo);
+  double err = 0;
+  for (int i = 0; i < n; ++i) {
+    err = std::max(err, std::abs(rt[i] - (n / 2.0) * x[i]));
+  }
+  EXPECT_LT(err, 1e-8 * n);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    SizesAndAlgos, DctAlgoTest,
+    ::testing::Combine(::testing::Values(2, 4, 8, 16, 32, 64, 128),
+                       ::testing::Values(DctAlgorithm::kFft2N,
+                                         DctAlgorithm::kFftN)));
+
+TEST(DctTest, KnownConstantInput) {
+  // DCT-II of a constant c: X_0 = N*c, X_k = 0 for k > 0.
+  const int n = 16;
+  std::vector<double> x(n, 2.5);
+  auto spectrum = dct(x, DctAlgorithm::kFftN);
+  EXPECT_NEAR(spectrum[0], n * 2.5, 1e-10);
+  for (int k = 1; k < n; ++k) {
+    EXPECT_NEAR(spectrum[k], 0.0, 1e-10) << k;
+  }
+}
+
+TEST(DctTest, SingleCosineModeIsolated) {
+  // x_n = cos(pi*u*(n+1/2)/N) has DCT with only bin u populated (= N/2).
+  const int n = 32;
+  const int u = 5;
+  std::vector<double> x(n);
+  for (int i = 0; i < n; ++i) {
+    x[i] = std::cos(M_PI * u * (i + 0.5) / n);
+  }
+  auto spectrum = dct(x, DctAlgorithm::kFftN);
+  for (int k = 0; k < n; ++k) {
+    EXPECT_NEAR(spectrum[k], k == u ? n / 2.0 : 0.0, 1e-9) << k;
+  }
+}
+
+TEST(IdxstTest, MatchesDirectDefinition) {
+  const int n = 24;
+  auto c = randomVec(n, 55);
+  std::vector<double> direct(n, 0.0);
+  for (int k = 0; k < n; ++k) {
+    double acc = 0;
+    for (int m = 0; m < n; ++m) {
+      acc += c[m] * std::sin(M_PI * m * (k + 0.5) / n);
+    }
+    direct[k] = acc;
+  }
+  for (auto algo : {DctAlgorithm::kNaive, DctAlgorithm::kFft2N,
+                    DctAlgorithm::kFftN}) {
+    EXPECT_LT(maxDiff(direct, idxst(c, algo)), 1e-9 * n);
+  }
+}
+
+TEST(IdxstTest, IgnoresDcCoefficient) {
+  // sin(0 * anything) = 0, so c_0 must not influence the result.
+  const int n = 16;
+  auto c = randomVec(n, 66);
+  auto a = idxst(c, DctAlgorithm::kFftN);
+  c[0] += 1234.5;
+  auto b = idxst(c, DctAlgorithm::kFftN);
+  EXPECT_LT(maxDiff(a, b), 1e-12);
+}
+
+TEST(DctFloatTest, SinglePrecisionAgreesWithDouble) {
+  const int n = 64;
+  Rng rng(77);
+  std::vector<float> xf(n);
+  std::vector<double> xd(n);
+  for (int i = 0; i < n; ++i) {
+    xd[i] = rng.uniform(-1, 1);
+    xf[i] = static_cast<float>(xd[i]);
+  }
+  auto sf = dct(xf, DctAlgorithm::kFftN);
+  auto sd = dct(xd, DctAlgorithm::kFftN);
+  for (int i = 0; i < n; ++i) {
+    EXPECT_NEAR(sf[i], sd[i], 1e-3);
+  }
+}
+
+}  // namespace
+}  // namespace dreamplace::fft

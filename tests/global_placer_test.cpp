@@ -1,0 +1,208 @@
+#include <gtest/gtest.h>
+
+#include "db/metrics.h"
+#include "gen/netlist_generator.h"
+#include "gp/global_placer.h"
+
+namespace dreamplace {
+namespace {
+
+std::unique_ptr<Database> smallDesign(std::uint64_t seed = 41,
+                                      Index cells = 600) {
+  GeneratorConfig cfg;
+  cfg.numCells = cells;
+  cfg.utilization = 0.7;
+  cfg.seed = seed;
+  return generateNetlist(cfg);
+}
+
+GlobalPlacerOptions fastOptions() {
+  GlobalPlacerOptions options;
+  options.maxIterations = 400;
+  options.binsMax = 64;
+  return options;
+}
+
+TEST(GlobalPlacerTest, ReachesTargetOverflow) {
+  auto db = smallDesign();
+  GlobalPlacer<double> placer(*db, fastOptions());
+  const auto result = placer.run();
+  EXPECT_LT(result.overflow, 0.10);
+  EXPECT_GT(result.iterations, 30);
+  EXPECT_LT(result.iterations, 400);
+}
+
+TEST(GlobalPlacerTest, HpwlWithinSaneRange) {
+  auto db = smallDesign();
+  const double reference = anchoredHpwlBound(*db);
+  GlobalPlacer<double> placer(*db, fastOptions());
+  const auto result = placer.run();
+  // GP should beat the crude anchored placement and stay above zero.
+  EXPECT_GT(result.hpwl, 0.0);
+  EXPECT_LT(result.hpwl, reference);
+}
+
+TEST(GlobalPlacerTest, CommitsPositionsInsideDie) {
+  auto db = smallDesign();
+  GlobalPlacer<double> placer(*db, fastOptions());
+  placer.run();
+  const Box<Coord>& die = db->dieArea();
+  for (Index i = 0; i < db->numMovable(); ++i) {
+    const Box<Coord> box = db->cellBox(i);
+    EXPECT_GE(box.xl, die.xl - 1e-6);
+    EXPECT_LE(box.xh, die.xh + 1e-6);
+    EXPECT_GE(box.yl, die.yl - 1e-6);
+    EXPECT_LE(box.yh, die.yh + 1e-6);
+  }
+}
+
+TEST(GlobalPlacerTest, DeterministicForSameSeed) {
+  auto db1 = smallDesign(43);
+  auto db2 = smallDesign(43);
+  GlobalPlacer<double> p1(*db1, fastOptions());
+  GlobalPlacer<double> p2(*db2, fastOptions());
+  const auto r1 = p1.run();
+  const auto r2 = p2.run();
+  EXPECT_EQ(r1.iterations, r2.iterations);
+  EXPECT_DOUBLE_EQ(r1.hpwl, r2.hpwl);
+}
+
+TEST(GlobalPlacerTest, Float32MatchesFloat64Closely) {
+  auto db64 = smallDesign(47);
+  auto db32 = smallDesign(47);
+  GlobalPlacer<double> p64(*db64, fastOptions());
+  GlobalPlacer<float> p32(*db32, fastOptions());
+  const auto r64 = p64.run();
+  const auto r32 = p32.run();
+  // The paper reports "almost the same" quality between precisions;
+  // allow a few percent on this small noisy instance.
+  EXPECT_NEAR(r32.hpwl, r64.hpwl, 0.08 * r64.hpwl);
+  EXPECT_LT(r32.overflow, 0.12);
+}
+
+TEST(GlobalPlacerTest, CallbackCanStopEarly) {
+  auto db = smallDesign();
+  GlobalPlacer<double> placer(*db, fastOptions());
+  int calls = 0;
+  const auto result = placer.run([&](const IterationStats& stats) {
+    ++calls;
+    return stats.iteration < 19;  // stop after 20 callbacks
+  });
+  EXPECT_EQ(calls, 20);
+  EXPECT_EQ(result.iterations, 20);
+}
+
+TEST(GlobalPlacerTest, IterationStatsArePopulated) {
+  auto db = smallDesign();
+  GlobalPlacer<double> placer(*db, fastOptions());
+  bool saw_valid = false;
+  placer.run([&](const IterationStats& stats) {
+    EXPECT_GE(stats.hpwl, 0.0);
+    EXPECT_GE(stats.overflow, 0.0);
+    EXPECT_GT(stats.gamma, 0.0);
+    EXPECT_GT(stats.lambda, 0.0);
+    saw_valid = true;
+    return stats.iteration < 5;
+  });
+  EXPECT_TRUE(saw_valid);
+}
+
+TEST(GlobalPlacerTest, OverflowTrendsDownward) {
+  auto db = smallDesign();
+  GlobalPlacer<double> placer(*db, fastOptions());
+  std::vector<double> overflow_trace;
+  placer.run([&](const IterationStats& stats) {
+    overflow_trace.push_back(stats.overflow);
+    return true;
+  });
+  ASSERT_GT(overflow_trace.size(), 50u);
+  // Start high, end low: compare first-10 and last-10 averages.
+  double head = 0, tail = 0;
+  for (int i = 0; i < 10; ++i) {
+    head += overflow_trace[i];
+    tail += overflow_trace[overflow_trace.size() - 1 - i];
+  }
+  EXPECT_LT(tail, head * 0.3);
+}
+
+TEST(GlobalPlacerTest, AdamSolverConverges) {
+  auto db = smallDesign(51, 400);
+  GlobalPlacerOptions options = fastOptions();
+  options.solver = SolverKind::kAdam;
+  options.lr = 2.0;
+  options.lrDecay = 0.995;
+  options.maxIterations = 800;
+  GlobalPlacer<double> placer(*db, options);
+  const auto result = placer.run();
+  EXPECT_LT(result.overflow, 0.25);
+}
+
+TEST(GlobalPlacerTest, SpreadInitAlsoConverges) {
+  auto db = smallDesign(53, 400);
+  GlobalPlacerOptions options = fastOptions();
+  options.init = InitialPlacement::kSpread;
+  GlobalPlacer<double> placer(*db, options);
+  const auto result = placer.run();
+  EXPECT_LT(result.overflow, 0.10);
+}
+
+TEST(GlobalPlacerTest, InflationIncreasesSpread) {
+  // Inflating every cell 1.5x forces a wider spread: the resulting
+  // physical (uninflated) overflow should be lower than baseline.
+  auto db1 = smallDesign(57, 400);
+  auto db2 = smallDesign(57, 400);
+  GlobalPlacerOptions base = fastOptions();
+  GlobalPlacer<double> p1(*db1, base);
+  p1.run();
+
+  GlobalPlacerOptions inflated = fastOptions();
+  inflated.inflation.assign(db2->numMovable(), 1.5);
+  GlobalPlacer<double> p2(*db2, inflated);
+  p2.run();
+  // The inflated run spaces cells out more, measured by pairwise overlap.
+  EXPECT_LE(totalOverlapArea(*db2), totalOverlapArea(*db1) * 1.05);
+}
+
+TEST(GlobalPlacerTest, ContinuationFromPositions) {
+  auto db = smallDesign(61, 400);
+  GlobalPlacerOptions options = fastOptions();
+  GlobalPlacer<double> first(*db, options);
+  first.run([&](const IterationStats& stats) {
+    return stats.overflow > 0.5;  // stop early at 50% overflow
+  });
+  auto x = first.nodeX();
+  auto y = first.nodeY();
+  GlobalPlacer<double> second(*db, options);
+  second.setInitialPositions(x, y);
+  const auto result = second.run();
+  EXPECT_LT(result.overflow, 0.10);
+}
+
+TEST(GlobalPlacerTest, LseWirelengthModelConverges) {
+  // Paper Sec. III-A: LSE is implemented alongside WA; both must drive
+  // the GP to the overflow target with comparable quality.
+  auto db_wa = smallDesign(65, 500);
+  auto db_lse = smallDesign(65, 500);
+  GlobalPlacerOptions wa = fastOptions();
+  GlobalPlacerOptions lse = fastOptions();
+  lse.wlModel = WirelengthModel::kLogSumExp;
+  GlobalPlacer<double> p_wa(*db_wa, wa);
+  GlobalPlacer<double> p_lse(*db_lse, lse);
+  const auto r_wa = p_wa.run();
+  const auto r_lse = p_lse.run();
+  EXPECT_LT(r_lse.overflow, 0.10);
+  EXPECT_NEAR(r_lse.hpwl, r_wa.hpwl, 0.15 * r_wa.hpwl);
+}
+
+TEST(GlobalPlacerTest, NoPreconditioningStillRuns) {
+  auto db = smallDesign(63, 300);
+  GlobalPlacerOptions options = fastOptions();
+  options.precondition = false;
+  options.maxIterations = 200;
+  GlobalPlacer<double> placer(*db, options);
+  const auto result = placer.run();
+  EXPECT_TRUE(std::isfinite(result.hpwl));
+}
+
+}  // namespace
+}  // namespace dreamplace

@@ -1,0 +1,82 @@
+#include <gtest/gtest.h>
+
+#include "db/metrics.h"
+#include "gen/netlist_generator.h"
+#include "place/net_weighting.h"
+
+namespace dreamplace {
+namespace {
+
+std::unique_ptr<Database> design(std::uint64_t seed = 91) {
+  GeneratorConfig cfg;
+  cfg.numCells = 600;
+  cfg.seed = seed;
+  return generateNetlist(cfg);
+}
+
+NetWeightingOptions fastOptions() {
+  NetWeightingOptions options;
+  options.gp.maxIterations = 350;
+  options.gp.binsMax = 64;
+  options.rounds = 2;
+  return options;
+}
+
+TEST(TailNetHpwlTest, UnaffectedByWeights) {
+  auto db = design();
+  const double before = tailNetHpwl(*db);
+  for (Index e = 0; e < db->numNets(); e += 3) {
+    db->setNetWeight(e, 5.0);
+  }
+  EXPECT_NEAR(tailNetHpwl(*db), before, 1e-9 * before);
+}
+
+TEST(NetWeightingTest, ReducesTailNetLength) {
+  auto db = design(93);
+  const auto result = netWeightingPlace<double>(*db, fastOptions());
+  ASSERT_EQ(static_cast<int>(result.tailTrace.size()), result.rounds);
+  // The timing proxy (mean length of the longest 5% of nets) must improve
+  // from the unweighted first round to the final weighted round.
+  EXPECT_LT(result.tailTrace.back(), result.tailTrace.front());
+}
+
+TEST(NetWeightingTest, HpwlCostIsBounded) {
+  // Net weighting trades total HPWL for shorter critical nets; the total
+  // (unweighted) HPWL should not degrade unboundedly.
+  auto db_plain = design(97);
+  auto db_weighted = design(97);
+  NetWeightingOptions options = fastOptions();
+
+  NetWeightingOptions no_rounds = options;
+  no_rounds.rounds = 0;  // plain GP through the same code path
+  const auto plain = netWeightingPlace<double>(*db_plain, no_rounds);
+  const auto weighted = netWeightingPlace<double>(*db_weighted, options);
+  EXPECT_LT(weighted.hpwl, 1.25 * plain.hpwl);
+  EXPECT_LT(weighted.tailNetHpwl, plain.tailNetHpwl);
+}
+
+TEST(NetWeightingTest, WeightsAreCapped) {
+  auto db = design(101);
+  NetWeightingOptions options = fastOptions();
+  options.rounds = 6;
+  options.boost = 4.0;
+  options.maxWeight = 8.0;
+  netWeightingPlace<double>(*db, options);
+  for (Index e = 0; e < db->numNets(); ++e) {
+    EXPECT_LE(db->netWeight(e), options.maxWeight + 1e-9);
+  }
+}
+
+TEST(NetWeightingTest, ZeroRoundsMatchesPlainGp) {
+  auto db = design(103);
+  NetWeightingOptions options = fastOptions();
+  options.rounds = 0;
+  const auto result = netWeightingPlace<double>(*db, options);
+  EXPECT_EQ(result.rounds, 1);
+  for (Index e = 0; e < db->numNets(); ++e) {
+    EXPECT_DOUBLE_EQ(db->netWeight(e), 1.0);  // untouched
+  }
+}
+
+}  // namespace
+}  // namespace dreamplace

@@ -1,0 +1,195 @@
+// Cross-module property sweeps: invariants that must hold for any seed.
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "db/metrics.h"
+#include "dp/detailed_placer.h"
+#include "gen/netlist_generator.h"
+#include "gp/global_placer.h"
+#include "lg/abacus_legalizer.h"
+#include "lg/greedy_legalizer.h"
+#include "ops/density_op.h"
+#include "ops/wirelength.h"
+#include "place/placer.h"
+
+namespace dreamplace {
+namespace {
+
+// ---------------------------------------------------------------------------
+// Full flow legality + monotonicity, swept over seeds and utilizations.
+// ---------------------------------------------------------------------------
+
+class FlowPropertyTest
+    : public ::testing::TestWithParam<std::tuple<int, double>> {};
+
+TEST_P(FlowPropertyTest, FlowInvariantsHold) {
+  const auto [seed, utilization] = GetParam();
+  GeneratorConfig cfg;
+  cfg.numCells = 400;
+  cfg.utilization = utilization;
+  cfg.seed = static_cast<std::uint64_t>(seed);
+  auto db = generateNetlist(cfg);
+
+  PlacerOptions options;
+  options.gp.maxIterations = 400;
+  options.gp.binsMax = 64;
+  options.dp.passes = 1;
+  const FlowResult result = placeDesign(*db, options);
+
+  // Invariant 1: the final placement is legal.
+  const auto report = checkLegality(*db);
+  EXPECT_TRUE(report.legal) << report.summary();
+  // Invariant 2: DP never increases HPWL over LG.
+  EXPECT_LE(result.hpwl, result.hpwlLegal + 1e-6);
+  // Invariant 3: committed DB HPWL equals the reported one.
+  EXPECT_NEAR(hpwl(*db), result.hpwl, 1e-9 * result.hpwl);
+  // Invariant 4: overflow ended below a loose bound.
+  EXPECT_LT(result.overflow, 0.2);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    SeedsAndUtilizations, FlowPropertyTest,
+    ::testing::Combine(::testing::Values(201, 202, 203, 204, 205),
+                       ::testing::Values(0.5, 0.7, 0.85)));
+
+// ---------------------------------------------------------------------------
+// Legalization displacement is bounded and legality holds across seeds.
+// ---------------------------------------------------------------------------
+
+class LegalizerPropertyTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(LegalizerPropertyTest, AbacusLegalAndBounded) {
+  const int seed = GetParam();
+  GeneratorConfig cfg;
+  cfg.numCells = 400;
+  cfg.seed = static_cast<std::uint64_t>(seed);
+  auto db = generateNetlist(cfg);
+  Rng rng(seed);
+  const Box<Coord>& die = db->dieArea();
+  for (Index i = 0; i < db->numMovable(); ++i) {
+    db->setCellPosition(i,
+                        rng.uniform(die.xl, die.xh - db->cellWidth(i)),
+                        rng.uniform(die.yl, die.yh - db->cellHeight(i)));
+  }
+  const auto result = AbacusLegalizer().run(*db);
+  EXPECT_EQ(result.failed, 0);
+  EXPECT_TRUE(checkLegality(*db).legal);
+  // From a random-uniform start, average displacement should stay within
+  // a couple of row heights (Abacus is a minimal-movement method).
+  EXPECT_LT(result.totalDisplacement / db->numMovable(),
+            4.0 * db->rowHeight());
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, LegalizerPropertyTest,
+                         ::testing::Range(301, 309));
+
+// ---------------------------------------------------------------------------
+// Wirelength-op sandwich property: WA <= HPWL <= LSE for any placement.
+// ---------------------------------------------------------------------------
+
+class WirelengthSandwichTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(WirelengthSandwichTest, WaBelowHpwlBelowLse) {
+  const int seed = GetParam();
+  GeneratorConfig cfg;
+  cfg.numCells = 150;
+  cfg.seed = static_cast<std::uint64_t>(seed);
+  auto db = generateNetlist(cfg);
+  const Index n = db->numMovable();
+  WaWirelengthOp<double> wa(*db, n);
+  LseWirelengthOp<double> lse(*db, n);
+  std::vector<double> params(2 * static_cast<size_t>(n));
+  Rng rng(seed + 5000);
+  const Box<Coord>& die = db->dieArea();
+  for (Index i = 0; i < n; ++i) {
+    params[i] = rng.uniform(die.xl, die.xh);
+    params[i + n] = rng.uniform(die.yl, die.yh);
+  }
+  std::vector<double> g(params.size());
+  for (double gamma : {1.0, 4.0, 16.0}) {
+    wa.setGamma(gamma);
+    lse.setGamma(gamma);
+    const double v_wa = wa.evaluate(params, g);
+    const double v_lse = lse.evaluate(params, g);
+    const double v_hpwl = wa.hpwl(params);
+    EXPECT_LE(v_wa, v_hpwl + 1e-6) << "gamma " << gamma;
+    EXPECT_GE(v_lse, v_hpwl - 1e-6) << "gamma " << gamma;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, WirelengthSandwichTest,
+                         ::testing::Range(401, 407));
+
+// ---------------------------------------------------------------------------
+// Density scatter conservation for arbitrary node soups (cells fully
+// inside the grid): map mass equals total area for any strategy.
+// ---------------------------------------------------------------------------
+
+class DensityConservationTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(DensityConservationTest, MassConserved) {
+  const int seed = GetParam();
+  Rng rng(seed);
+  DensityGrid<double> grid;
+  grid.mx = 32;
+  grid.my = 32;
+  grid.xl = 0;
+  grid.yl = 0;
+  grid.binW = 4;
+  grid.binH = 4;
+  const int n = 60;
+  std::vector<double> w(n), h(n), x(n), y(n);
+  double total_area = 0;
+  for (int i = 0; i < n; ++i) {
+    w[i] = rng.uniform(0.5, 20.0);
+    h[i] = rng.uniform(0.5, 20.0);
+    // Keep the smoothed footprint (>= sqrt2*bin) inside the region.
+    const double margin = std::max({w[i], h[i], M_SQRT2 * 4.0}) / 2 + 1;
+    x[i] = rng.uniform(margin, 128 - margin);
+    y[i] = rng.uniform(margin, 128 - margin);
+    total_area += w[i] * h[i];
+  }
+  for (auto kernel : {DensityKernel::kNaive, DensityKernel::kSorted}) {
+    DensityMapBuilder<double>::Options options;
+    options.kernel = kernel;
+    options.subdivision = (seed % 3) + 1;
+    DensityMapBuilder<double> builder(grid, w, h, options);
+    std::vector<double> map(32 * 32, 0.0);
+    builder.scatter(x.data(), y.data(), 0, n, map);
+    double mass = 0;
+    for (double d : map) {
+      mass += d;
+    }
+    EXPECT_NEAR(mass * grid.binArea(), total_area, 1e-6 * total_area);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, DensityConservationTest,
+                         ::testing::Range(501, 507));
+
+// ---------------------------------------------------------------------------
+// Determinism of the whole flow across repeated runs (paper future work:
+// run-to-run determinism; single-threaded runs must be bit-identical).
+// ---------------------------------------------------------------------------
+
+TEST(DeterminismPropertyTest, RepeatedFlowsBitIdentical) {
+  for (int seed : {601, 602}) {
+    GeneratorConfig cfg;
+    cfg.numCells = 300;
+    cfg.seed = static_cast<std::uint64_t>(seed);
+    PlacerOptions options;
+    options.gp.maxIterations = 300;
+    options.gp.binsMax = 32;
+    auto db1 = generateNetlist(cfg);
+    auto db2 = generateNetlist(cfg);
+    placeDesign(*db1, options);
+    placeDesign(*db2, options);
+    for (Index i = 0; i < db1->numMovable(); ++i) {
+      ASSERT_EQ(db1->cellX(i), db2->cellX(i)) << "seed " << seed;
+      ASSERT_EQ(db1->cellY(i), db2->cellY(i)) << "seed " << seed;
+    }
+  }
+}
+
+}  // namespace
+}  // namespace dreamplace

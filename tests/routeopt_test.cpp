@@ -1,0 +1,90 @@
+#include <gtest/gtest.h>
+
+#include "db/metrics.h"
+#include "gen/netlist_generator.h"
+#include "routeopt/inflation.h"
+
+namespace dreamplace {
+namespace {
+
+RoutabilityOptions fastOptions() {
+  RoutabilityOptions options;
+  options.gp.maxIterations = 300;
+  options.gp.binsMax = 64;
+  options.router.gridX = 24;
+  options.router.gridY = 24;
+  options.maxRounds = 3;
+  return options;
+}
+
+std::unique_ptr<Database> routabilityDesign(std::uint64_t seed) {
+  GeneratorConfig cfg;
+  cfg.numCells = 600;
+  cfg.utilization = 0.55;  // routability designs run at lower density
+  cfg.seed = seed;
+  return generateNetlist(cfg);
+}
+
+TEST(RoutabilityTest, RunsToCompletion) {
+  auto db = routabilityDesign(71);
+  RoutabilityDrivenPlacer<double> placer(*db, fastOptions());
+  const auto result = placer.run();
+  EXPECT_GT(result.hpwl, 0.0);
+  EXPECT_GE(result.sHpwl, result.hpwl);  // RC >= 100 => sHPWL >= HPWL
+  EXPECT_GE(result.congestion.rc, 100.0);
+  EXPECT_LE(result.inflationRounds, fastOptions().maxRounds + 1);
+  EXPECT_GE(result.routerInvocations, 1);
+  EXPECT_GT(result.nlSeconds, 0.0);
+  EXPECT_GE(result.grSeconds, 0.0);
+}
+
+TEST(RoutabilityTest, FinalOverflowReasonable) {
+  auto db = routabilityDesign(73);
+  RoutabilityDrivenPlacer<double> placer(*db, fastOptions());
+  const auto result = placer.run();
+  EXPECT_LT(result.gp.overflow, 0.25);
+}
+
+TEST(RoutabilityTest, TightCapacityTriggersInflation) {
+  auto db = routabilityDesign(79);
+  RoutabilityOptions options = fastOptions();
+  options.router.capacityPerLayer = 1.5;  // very tight: force congestion
+  RoutabilityDrivenPlacer<double> placer(*db, options);
+  const auto result = placer.run();
+  // The tight capacity must trigger at least one extra router invocation
+  // (the trigger route plus the final estimate) and some inflation.
+  EXPECT_GE(result.routerInvocations, 2);
+  EXPECT_GE(result.inflationRounds, 1);
+}
+
+TEST(RoutabilityTest, AmpleCapacityKeepsRcNearFloor) {
+  auto db = routabilityDesign(83);
+  RoutabilityOptions options = fastOptions();
+  options.router.capacityPerLayer = 1000.0;  // effectively unconstrained
+  RoutabilityDrivenPlacer<double> placer(*db, options);
+  const auto result = placer.run();
+  EXPECT_NEAR(result.congestion.rc, 100.0, 1.0);
+  EXPECT_NEAR(result.sHpwl, result.hpwl, 0.05 * result.hpwl);
+}
+
+TEST(RoutabilityTest, InflationImprovesCongestionVsBaseline) {
+  // Compare final RC of a routability-driven run against plain GP on the
+  // same design under the same (tight) capacity model.
+  auto db_plain = routabilityDesign(89);
+  auto db_opt = routabilityDesign(89);
+  RoutabilityOptions options = fastOptions();
+  options.router.capacityPerLayer = 3.0;
+
+  GlobalPlacer<double> plain(*db_plain, options.gp);
+  plain.run();
+  const auto rc_plain =
+      computeCongestion(GlobalRouter(options.router).route(*db_plain)).rc;
+
+  RoutabilityDrivenPlacer<double> opt(*db_opt, options);
+  const auto result = opt.run();
+  // Inflation should not make congestion (much) worse; typically better.
+  EXPECT_LE(result.congestion.rc, rc_plain * 1.05 + 1.0);
+}
+
+}  // namespace
+}  // namespace dreamplace

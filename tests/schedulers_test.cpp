@@ -1,0 +1,93 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "ops/schedulers.h"
+
+namespace dreamplace {
+namespace {
+
+TEST(DensityWeightTest, InitialWeightBalancesGradients) {
+  EXPECT_DOUBLE_EQ(DensityWeightScheduler::initialWeight(10.0, 5.0), 2.0);
+  EXPECT_DOUBLE_EQ(DensityWeightScheduler::initialWeight(10.0, 0.0), 1.0);
+}
+
+TEST(DensityWeightTest, NegativeDeltaUsesMuMaxOriginal) {
+  DensityWeightScheduler::Options options;
+  options.tcadMuVariant = false;
+  DensityWeightScheduler sched(options);
+  // HPWL decreased => p < 0 => mu = mu_max (eq. (18a) first case).
+  EXPECT_DOUBLE_EQ(sched.mu(-100.0, 0), 1.05);
+  EXPECT_DOUBLE_EQ(sched.mu(-100.0, 10000), 1.05);
+}
+
+TEST(DensityWeightTest, TcadVariantDampsWithIterations) {
+  DensityWeightScheduler::Options options;
+  options.tcadMuVariant = true;
+  DensityWeightScheduler sched(options);
+  // Paper Sec. III-C: mu drops from 1.05 toward 1.05*0.98 = 1.029 as k
+  // grows, settling at the floor after ~iteration 200.
+  EXPECT_NEAR(sched.mu(-1.0, 0), 1.05, 1e-12);
+  const double mu100 = sched.mu(-1.0, 100);
+  EXPECT_LT(mu100, 1.05);
+  EXPECT_GT(mu100, 1.029);
+  EXPECT_NEAR(sched.mu(-1.0, 10000), 1.05 * 0.98, 1e-12);
+  // Monotone non-increasing in k.
+  double prev = 2.0;
+  for (long k : {0L, 50L, 100L, 200L, 400L, 1000L}) {
+    const double mu = sched.mu(-1.0, k);
+    EXPECT_LE(mu, prev + 1e-15);
+    prev = mu;
+  }
+}
+
+TEST(DensityWeightTest, PositiveDeltaShrinksMu) {
+  DensityWeightScheduler::Options options;
+  options.refDeltaHpwl = 100.0;
+  DensityWeightScheduler sched(options);
+  // p = 0 => mu = mu_max; p = 1 => mu = 1; large p => floor at mu_min.
+  EXPECT_NEAR(sched.mu(0.0, 0), 1.05, 1e-12);
+  EXPECT_NEAR(sched.mu(100.0, 0), 1.0, 1e-12);
+  EXPECT_NEAR(sched.mu(10000.0, 0), 0.95, 1e-12);
+  // Monotone decreasing in deltaHpwl.
+  double prev = 2.0;
+  for (double d : {0.0, 20.0, 50.0, 100.0, 200.0, 1000.0}) {
+    const double mu = sched.mu(d, 0);
+    EXPECT_LE(mu, prev + 1e-15);
+    prev = mu;
+  }
+}
+
+TEST(DensityWeightTest, UpdateMultiplies) {
+  DensityWeightScheduler::Options options;
+  options.refDeltaHpwl = 100.0;
+  DensityWeightScheduler sched(options);
+  EXPECT_NEAR(sched.update(2.0, 0.0, 0), 2.0 * 1.05, 1e-12);
+}
+
+TEST(GammaSchedulerTest, MatchesEndpoints) {
+  GammaScheduler sched(10.0);  // bin size 10
+  // At overflow 0.1 the exponent is -1: gamma = 8 * 10 * 0.1 = 8.
+  EXPECT_NEAR(sched.gamma(0.1), 8.0, 1e-9);
+  // At overflow 1.0 the exponent is +1: gamma = 8 * 10 * 10 = 800.
+  EXPECT_NEAR(sched.gamma(1.0), 800.0, 1e-9);
+}
+
+TEST(GammaSchedulerTest, MonotoneInOverflow) {
+  GammaScheduler sched(5.0);
+  double prev = 0;
+  for (double ovf : {0.0, 0.05, 0.1, 0.3, 0.5, 0.8, 1.0}) {
+    const double g = sched.gamma(ovf);
+    EXPECT_GT(g, prev);
+    prev = g;
+  }
+}
+
+TEST(GammaSchedulerTest, ClampsOverflowOutOfRange) {
+  GammaScheduler sched(1.0);
+  EXPECT_DOUBLE_EQ(sched.gamma(-0.5), sched.gamma(0.0));
+  EXPECT_DOUBLE_EQ(sched.gamma(2.0), sched.gamma(1.0));
+}
+
+}  // namespace
+}  // namespace dreamplace
