@@ -8,9 +8,12 @@
 #include "bench_util.h"
 #include "gen/netlist_generator.h"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace dreamplace;
   using namespace dreamplace::bench;
+
+  // Optional observability exports (--trace=, --telemetry-jsonl=, ...).
+  TelemetrySession telemetry(argc, argv);
 
   // GP-only sweep over many configs: use a smaller default scale so the
   // 48-run matrix stays tractable on one core.
@@ -53,6 +56,9 @@ int main() {
            {Precision::kFloat64, Precision::kFloat32}) {
         auto db = generateNetlist(entry.config);
         GlobalPlacerOptions gp = config.gp;
+        telemetry.attach(
+            gp, entry.name + "/" + config.name +
+                    (precision == Precision::kFloat32 ? "/f32" : "/f64"));
         if (precision == Precision::kFloat32) {
           GlobalPlacer<float> placer(*db, gp);
           Timer timer;

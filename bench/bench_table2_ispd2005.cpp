@@ -11,9 +11,12 @@
 #include "bench_util.h"
 #include "gen/netlist_generator.h"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace dreamplace;
   using namespace dreamplace::bench;
+
+  // Optional observability exports (--trace=, --telemetry-jsonl=, ...).
+  TelemetrySession telemetry(argc, argv);
 
   const double scale = benchScale(0.01);
   std::printf("Table II: ISPD 2005 suite (scale %.3f of paper sizes, "
@@ -37,6 +40,7 @@ int main() {
       PlacerOptions options;
       options.precision = Precision::kFloat64;
       options.gp = configs[c].gp;
+      telemetry.attach(options, entry.name + "/" + configs[c].name);
       FlowRow row;
       row.design = entry.name;
       row.cellsK = db->numMovable() / 1000.0;

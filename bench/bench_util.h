@@ -26,13 +26,126 @@
 
 #include <cstdio>
 #include <cstdlib>
+#include <cstring>
+#include <memory>
 #include <string>
 
+#include "common/trace.h"
 #include "gen/suites.h"
 #include "gp/global_placer.h"
+#include "gp/telemetry.h"
 #include "place/placer.h"
 
 namespace dreamplace::bench {
+
+// ---------------------------------------------------------------------------
+// Observability exports (docs/OBSERVABILITY.md). All off by default:
+//   --trace=<file>            Chrome trace JSON (chrome://tracing)
+//   --telemetry-jsonl=<file>  per-iteration GP records, one JSON per line
+//   --telemetry-csv=<file>    per-run GP summary rows
+// Environment fallbacks: DREAMPLACE_TRACE, DREAMPLACE_TELEMETRY_JSONL,
+// DREAMPLACE_TELEMETRY_CSV.
+// ---------------------------------------------------------------------------
+
+struct TelemetryArgs {
+  std::string traceFile;
+  std::string jsonlFile;
+  std::string csvFile;
+};
+
+inline TelemetryArgs parseTelemetryArgs(int argc, char** argv) {
+  TelemetryArgs args;
+  const auto fromEnv = [](const char* name) {
+    const char* v = std::getenv(name);
+    return v ? std::string(v) : std::string();
+  };
+  args.traceFile = fromEnv("DREAMPLACE_TRACE");
+  args.jsonlFile = fromEnv("DREAMPLACE_TELEMETRY_JSONL");
+  args.csvFile = fromEnv("DREAMPLACE_TELEMETRY_CSV");
+  for (int i = 1; i < argc; ++i) {
+    const char* arg = argv[i];
+    const auto match = [arg](const char* prefix) -> const char* {
+      const std::size_t len = std::strlen(prefix);
+      return std::strncmp(arg, prefix, len) == 0 ? arg + len : nullptr;
+    };
+    if (const char* v = match("--trace=")) {
+      args.traceFile = v;
+    } else if (const char* v = match("--telemetry-jsonl=")) {
+      args.jsonlFile = v;
+    } else if (const char* v = match("--telemetry-csv=")) {
+      args.csvFile = v;
+    }
+  }
+  return args;
+}
+
+/// RAII bench telemetry session: enables trace recording and opens the
+/// requested sinks for the program's lifetime; writes the trace file and
+/// flushes on destruction. sink() is null when nothing was requested, so
+/// an unconfigured bench pays nothing.
+class TelemetrySession {
+ public:
+  explicit TelemetrySession(const TelemetryArgs& args)
+      : trace_file_(args.traceFile) {
+    // Fail fast with a clean message on an unwritable export path: the
+    // user asked for a file, and discovering it is missing only after a
+    // long sweep would waste the whole run.
+    try {
+      if (!args.jsonlFile.empty()) {
+        jsonl_ = std::make_unique<JsonlTelemetrySink>(args.jsonlFile);
+        mux_.addSink(jsonl_.get());
+      }
+      if (!args.csvFile.empty()) {
+        csv_ = std::make_unique<CsvTelemetrySink>(args.csvFile);
+        mux_.addSink(csv_.get());
+      }
+    } catch (const std::exception& e) {
+      std::fprintf(stderr, "error: %s\n", e.what());
+      std::exit(1);
+    }
+    if (!trace_file_.empty()) {
+      TraceRecorder::instance().setEnabled(true);
+      mux_.addSink(&trace_sink_);
+    }
+  }
+
+  TelemetrySession(int argc, char** argv)
+      : TelemetrySession(parseTelemetryArgs(argc, argv)) {}
+
+  ~TelemetrySession() {
+    if (!trace_file_.empty()) {
+      TraceRecorder& trace = TraceRecorder::instance();
+      trace.setEnabled(false);
+      if (trace.writeJson(trace_file_)) {
+        std::printf("trace written to %s\n", trace_file_.c_str());
+      } else {
+        std::printf("trace: cannot write %s\n", trace_file_.c_str());
+      }
+    }
+  }
+
+  TelemetrySink* sink() { return mux_.empty() ? nullptr : &mux_; }
+
+  /// Installs the session's sink into GP options under `label`.
+  void attach(GlobalPlacerOptions& gp, const std::string& label) {
+    gp.telemetry = sink();
+    gp.telemetryLabel = label;
+  }
+
+  /// Installs the session's exports into flow options under `label`.
+  /// (File sinks are owned here, so only the extra sink is forwarded.)
+  void attach(PlacerOptions& options, const std::string& label) {
+    options.telemetry = sink();
+    options.telemetryLabel = label;
+  }
+
+ private:
+  TelemetryMux mux_;
+  std::unique_ptr<JsonlTelemetrySink> jsonl_;
+  std::unique_ptr<CsvTelemetrySink> csv_;
+  TraceTelemetrySink trace_sink_;
+  std::string trace_file_;
+};
 
 /// Suite scale factor; override with DREAMPLACE_BENCH_SCALE.
 inline double benchScale(double fallback = 0.01) {

@@ -2,6 +2,7 @@
 
 #include <cmath>
 
+#include "common/counters.h"
 #include "common/log.h"
 
 namespace dreamplace {
@@ -52,6 +53,8 @@ template <typename T>
 double NesterovOptimizer<T>::evalAt(const std::vector<T>& point,
                                     std::vector<T>& grad) {
   ++evaluations_;
+  static Counter evals("optimizer/nesterov/evaluations");
+  evals.add();
   return objective_.evaluate(std::span<const T>(point), std::span<T>(grad));
 }
 
@@ -82,6 +85,8 @@ double NesterovOptimizer<T>::estimateInitialStep() {
 
 template <typename T>
 double NesterovOptimizer<T>::step() {
+  static Counter steps("optimizer/nesterov/steps");
+  steps.add();
   const std::size_t n = u_.size();
   double value = 0.0;
   if (first_step_) {
@@ -155,6 +160,8 @@ void AdamOptimizer<T>::reset() {
 
 template <typename T>
 double AdamOptimizer<T>::step() {
+  static Counter steps("optimizer/adam/steps");
+  steps.add();
   const double value = objective_.evaluate(std::span<const T>(params_),
                                            std::span<T>(grad_));
   ++t_;
@@ -197,6 +204,8 @@ void SgdMomentumOptimizer<T>::reset() {
 
 template <typename T>
 double SgdMomentumOptimizer<T>::step() {
+  static Counter steps("optimizer/sgd_momentum/steps");
+  steps.add();
   const double value = objective_.evaluate(std::span<const T>(params_),
                                            std::span<T>(grad_));
   for (std::size_t i = 0; i < params_.size(); ++i) {
@@ -231,6 +240,8 @@ void RmsPropOptimizer<T>::reset() {
 
 template <typename T>
 double RmsPropOptimizer<T>::step() {
+  static Counter steps("optimizer/rmsprop/steps");
+  steps.add();
   const double value = objective_.evaluate(std::span<const T>(params_),
                                            std::span<T>(grad_));
   for (std::size_t i = 0; i < params_.size(); ++i) {

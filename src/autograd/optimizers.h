@@ -30,6 +30,10 @@ class Optimizer {
   /// Re-arms internal state after an external parameter change (e.g. the
   /// routability loop moving cells between restarts).
   virtual void reset() = 0;
+  /// Effective step size of the last step(): the backtracked Lipschitz
+  /// step for Nesterov, the (decayed) learning rate for the others.
+  /// Telemetry-only; 0 before the first step.
+  virtual double stepSize() const { return 0.0; }
 };
 
 /// Nesterov's method with Lipschitz step-size estimation (ePlace).
@@ -54,6 +58,7 @@ class NesterovOptimizer final : public Optimizer<T> {
   std::vector<T>& mutableParams() override { return u_; }
   std::string name() const override { return "nesterov"; }
   void reset() override;
+  double stepSize() const override { return alpha_; }
 
   /// Number of objective evaluations so far (line search costs extra).
   long evaluations() const { return evaluations_; }
@@ -101,6 +106,7 @@ class AdamOptimizer final : public Optimizer<T> {
   std::vector<T>& mutableParams() override { return params_; }
   std::string name() const override { return "adam"; }
   void reset() override;
+  double stepSize() const override { return lr_; }
 
  private:
   ObjectiveFunction<T>& objective_;
@@ -133,6 +139,7 @@ class SgdMomentumOptimizer final : public Optimizer<T> {
   std::vector<T>& mutableParams() override { return params_; }
   std::string name() const override { return "sgd_momentum"; }
   void reset() override;
+  double stepSize() const override { return lr_; }
 
  private:
   ObjectiveFunction<T>& objective_;
@@ -164,6 +171,7 @@ class RmsPropOptimizer final : public Optimizer<T> {
   std::vector<T>& mutableParams() override { return params_; }
   std::string name() const override { return "rmsprop"; }
   void reset() override;
+  double stepSize() const override { return lr_; }
 
  private:
   ObjectiveFunction<T>& objective_;

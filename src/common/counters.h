@@ -1,0 +1,68 @@
+// Named scalar-counter registry, the event-count sibling of TimingRegistry.
+//
+// Timing answers "where did the seconds go"; counters answer "how many
+// times did it happen" — op invocations, FFT transforms, workspace
+// allocations vs. reuses, optimizer line-search evaluations. Keys are
+// '/'-separated paths like the timing registry ("ops/wirelength/evaluate")
+// so prefix sums work the same way.
+//
+// Hot paths increment through a Counter handle, which caches the atomic's
+// address once (function-local static) and then costs one relaxed
+// fetch_add per event — no map lookup, no lock.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+
+namespace dreamplace {
+
+/// Process-wide registry of named monotonic counters.
+class CounterRegistry {
+ public:
+  using Value = std::int64_t;
+
+  static CounterRegistry& instance();
+
+  /// Returns the counter cell for `key`, creating it at zero. The address
+  /// stays valid for the process lifetime (clear() zeroes, never erases).
+  std::atomic<Value>& counter(const std::string& key);
+
+  void add(const std::string& key, Value delta = 1);
+  Value value(const std::string& key) const;
+  /// Sum of all counters whose key starts with `prefix`.
+  Value totalPrefix(const std::string& prefix) const;
+  std::map<std::string, Value> snapshot() const;
+  /// Resets every counter to zero (registered keys remain).
+  void clear();
+
+  /// Pretty-print all counters as "key  value".
+  std::string report() const;
+
+ private:
+  CounterRegistry() = default;
+  mutable std::mutex mutex_;
+  std::map<std::string, std::unique_ptr<std::atomic<Value>>> counters_;
+};
+
+/// Cheap increment handle bound to one registry cell.
+class Counter {
+ public:
+  explicit Counter(const char* key)
+      : cell_(CounterRegistry::instance().counter(key)) {}
+
+  void add(CounterRegistry::Value delta = 1) {
+    cell_.fetch_add(delta, std::memory_order_relaxed);
+  }
+  CounterRegistry::Value value() const {
+    return cell_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  std::atomic<CounterRegistry::Value>& cell_;
+};
+
+}  // namespace dreamplace

@@ -2,7 +2,18 @@
 
 #include <cstdio>
 
+#include "common/trace.h"
+
 namespace dreamplace {
+
+ScopedTimer::~ScopedTimer() {
+  const double seconds = timer_.elapsed();
+  TimingRegistry::instance().add(key_, seconds);
+  TraceRecorder& trace = TraceRecorder::instance();
+  if (trace.enabled()) {
+    trace.completeEvent(key_, seconds);
+  }
+}
 
 TimingRegistry& TimingRegistry::instance() {
   static TimingRegistry registry;

@@ -54,10 +54,12 @@ class TimingRegistry {
 };
 
 /// RAII scope that adds its lifetime to the registry under `key`.
+/// When trace recording is enabled (common/trace.h) the scope also emits
+/// a duration event, so every timed region shows up on the timeline.
 class ScopedTimer {
  public:
   explicit ScopedTimer(std::string key) : key_(std::move(key)) {}
-  ~ScopedTimer() { TimingRegistry::instance().add(key_, timer_.elapsed()); }
+  ~ScopedTimer();
 
   ScopedTimer(const ScopedTimer&) = delete;
   ScopedTimer& operator=(const ScopedTimer&) = delete;

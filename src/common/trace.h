@@ -1,0 +1,109 @@
+// Chrome trace-event recording (chrome://tracing / Perfetto JSON).
+//
+// The placer is a training loop; understanding where iterations spend
+// their time needs a timeline, not just stage totals. TraceRecorder
+// collects duration ("X"), instant ("i"), and counter ("C") events and
+// serializes them in the Trace Event Format that chrome://tracing,
+// Perfetto, and speedscope all load. Recording is off by default: every
+// entry point first checks an atomic flag, so instrumented code costs a
+// relaxed load when tracing is disabled. ScopedTimer emits trace events
+// for its timing scope automatically, so the existing "gp/op/..."
+// hierarchy shows up on the timeline without extra instrumentation;
+// TraceScope records trace-only scopes that should not pollute the
+// timing registry.
+#pragma once
+
+#include <atomic>
+#include <chrono>
+#include <map>
+#include <mutex>
+#include <string>
+#include <string_view>
+#include <thread>
+#include <vector>
+
+namespace dreamplace {
+
+/// One trace event; `args` holds pre-rendered JSON ("" => no args).
+struct TraceEvent {
+  std::string name;
+  char phase = 'X';     ///< 'X' complete, 'i' instant, 'C' counter.
+  double tsUs = 0.0;    ///< Microseconds since recorder epoch.
+  double durUs = 0.0;   ///< Complete events only.
+  int tid = 0;
+  std::string args;
+};
+
+/// Process-wide trace-event collector.
+///
+/// Thread-safe: events from concurrent scopes are appended under a mutex
+/// (recording is rare enough that contention is irrelevant; the disabled
+/// path never takes the lock).
+class TraceRecorder {
+ public:
+  static TraceRecorder& instance();
+
+  bool enabled() const { return enabled_.load(std::memory_order_relaxed); }
+  /// Enabling (re)starts the time epoch so timestamps start near zero.
+  void setEnabled(bool enabled);
+  void clear();
+  std::size_t size() const;
+
+  /// Records a duration event that ends now and lasted `seconds`.
+  void completeEvent(std::string_view name, double seconds);
+  /// Records a thread-scoped instant event, optionally with JSON args.
+  void instantEvent(std::string_view name, std::string_view argsJson = {});
+  /// Records a counter sample (rendered as a stacked chart in the UI).
+  void counterEvent(std::string_view name, double value);
+
+  /// Serializes all events as a Trace Event Format JSON object.
+  std::string toJson() const;
+  /// Writes toJson() to `path`; returns false on I/O failure.
+  bool writeJson(const std::string& path) const;
+
+ private:
+  TraceRecorder();
+  int threadId();
+
+  std::atomic<bool> enabled_{false};
+  std::chrono::steady_clock::time_point epoch_;
+  mutable std::mutex mutex_;
+  std::vector<TraceEvent> events_;
+  std::map<std::thread::id, int> thread_ids_;
+};
+
+/// RAII trace-only scope: a complete event spanning the scope lifetime.
+/// Near-zero cost when recording is disabled (one relaxed load in the
+/// constructor, one branch in the destructor).
+class TraceScope {
+ public:
+  explicit TraceScope(std::string_view name) {
+    if (TraceRecorder::instance().enabled()) {
+      name_ = name;
+      start_ = std::chrono::steady_clock::now();
+      active_ = true;
+    }
+  }
+  ~TraceScope() {
+    if (active_) {
+      const double seconds =
+          std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                        start_)
+              .count();
+      TraceRecorder::instance().completeEvent(name_, seconds);
+    }
+  }
+
+  TraceScope(const TraceScope&) = delete;
+  TraceScope& operator=(const TraceScope&) = delete;
+
+ private:
+  std::string name_;
+  std::chrono::steady_clock::time_point start_;
+  bool active_ = false;
+};
+
+/// Escapes a string for inclusion inside a JSON string literal.
+std::string jsonEscape(std::string_view s);
+
+}  // namespace dreamplace

@@ -3,6 +3,7 @@
 #include <cmath>
 #include <complex>
 
+#include "common/counters.h"
 #include "common/log.h"
 #include "fft/fft.h"
 
@@ -206,6 +207,8 @@ void idct2dFft(const T* in, T* out, int n1, int n2) {
 
 template <typename T>
 void dct2d(const T* in, T* out, int n1, int n2, Dct2dAlgorithm algo) {
+  static Counter calls("fft/dct2d");
+  calls.add();
   if (algo == Dct2dAlgorithm::kFft2dN) {
     dct2dFft(in, out, n1, n2);
     return;
@@ -219,6 +222,8 @@ void dct2d(const T* in, T* out, int n1, int n2, Dct2dAlgorithm algo) {
 
 template <typename T>
 void idct2d(const T* in, T* out, int n1, int n2, Dct2dAlgorithm algo) {
+  static Counter calls("fft/idct2d");
+  calls.add();
   if (algo == Dct2dAlgorithm::kFft2dN) {
     idct2dFft(in, out, n1, n2);
     return;

@@ -113,6 +113,8 @@ void GlobalPlacer<T>::setInitialPositions(std::vector<T> x,
 template <typename T>
 GlobalPlacerResult GlobalPlacer<T>::run(const Callback& callback) {
   ScopedTimer gp_timer("gp");
+  Timer run_timer;
+  TelemetrySink* telemetry = options_.telemetry;
   const Index n = num_nodes_;
 
   // --- Initial placement -----------------------------------------------------
@@ -233,11 +235,27 @@ GlobalPlacerResult GlobalPlacer<T>::run(const Callback& callback) {
   }
 
   // --- Kernel GP iterations ---------------------------------------------------------
+  if (telemetry) {
+    TelemetryRunInfo info;
+    info.label = options_.telemetryLabel;
+    info.numNodes = n;
+    info.numMovable = db_.numMovable();
+    info.numNets = db_.numNets();
+    info.solver = optimizer_->name();
+    telemetry->onRunBegin(info);
+  }
+  TimingRegistry& timing = TimingRegistry::instance();
   GlobalPlacerResult result;
-  double prev_hpwl = hpwl0;
   double overflow = density_->overflow(std::span<const T>(params));
   int iter = 0;
   for (; iter < options_.maxIterations; ++iter) {
+    // Per-op time attribution: the ops accumulate into the timing
+    // registry; the delta across one step is this iteration's share.
+    double wl_t0 = 0.0, density_t0 = 0.0;
+    if (telemetry) {
+      wl_t0 = timing.total("gp/op/wirelength");
+      density_t0 = timing.total("gp/op/density");
+    }
     wirelength_->setGamma(gamma_scheduler.gamma(overflow));
     const double obj = optimizer_->step();
     const std::vector<T>& cur = optimizer_->params();
@@ -256,7 +274,6 @@ GlobalPlacerResult GlobalPlacer<T>::run(const Callback& callback) {
       lambda = lambda_scheduler.update(lambda, ema_hpwl - prev_ema, iter);
       objective_->setDensityWeight(lambda);
     }
-    prev_hpwl = cur_hpwl;
 
     IterationStats stats;
     stats.iteration = iter;
@@ -267,6 +284,12 @@ GlobalPlacerResult GlobalPlacer<T>::run(const Callback& callback) {
     stats.overflow = overflow;
     stats.gamma = wirelength_->gamma();
     stats.lambda = lambda;
+    stats.stepSize = optimizer_->stepSize();
+    if (telemetry) {
+      stats.wlOpSeconds = timing.total("gp/op/wirelength") - wl_t0;
+      stats.densityOpSeconds = timing.total("gp/op/density") - density_t0;
+      telemetry->onIteration(stats);
+    }
     if (options_.verbose && iter % 50 == 0) {
       logInfo("gp iter %4d: hpwl %.4e overflow %.4f lambda %.3e", iter,
               cur_hpwl, overflow, lambda);
@@ -287,6 +310,15 @@ GlobalPlacerResult GlobalPlacer<T>::run(const Callback& callback) {
   result.hpwl = wirelength_->hpwl(std::span<const T>(final_params_));
   result.overflow = overflow;
   result.finalLambda = lambda;
+  if (telemetry) {
+    TelemetryRunSummary summary;
+    summary.iterations = result.iterations;
+    summary.hpwl = result.hpwl;
+    summary.overflow = result.overflow;
+    summary.lambda = result.finalLambda;
+    summary.seconds = run_timer.elapsed();
+    telemetry->onRunEnd(summary);
+  }
   logInfo("gp: done after %d iterations, hpwl %.4e, overflow %.4f",
           result.iterations, result.hpwl, result.overflow);
   return result;

@@ -15,6 +15,7 @@
 #include "db/database.h"
 #include "gp/initial_placement.h"
 #include "gp/placement_objective.h"
+#include "gp/telemetry.h"
 #include "ops/density_op.h"
 #include "ops/fence_density_op.h"
 #include "ops/schedulers.h"
@@ -58,17 +59,11 @@ struct GlobalPlacerOptions {
   /// weight through solver restarts so convergence resumes where it left
   /// off instead of re-ramping under the slowed schedule.
   double initialDensityWeight = 0.0;
-};
-
-struct IterationStats {
-  int iteration = 0;
-  double objective = 0.0;
-  double wirelength = 0.0;  ///< Smoothed WA wirelength.
-  double hpwl = 0.0;        ///< Exact HPWL.
-  double density = 0.0;
-  double overflow = 0.0;
-  double gamma = 0.0;
-  double lambda = 0.0;
+  /// Per-iteration stats observer (gp/telemetry.h); non-owning, may be
+  /// null (the default — the loop then skips all telemetry work).
+  TelemetrySink* telemetry = nullptr;
+  /// Label forwarded to the telemetry sink (design / config name).
+  std::string telemetryLabel;
 };
 
 struct GlobalPlacerResult {

@@ -1,0 +1,126 @@
+#include "gp/telemetry.h"
+
+#include <stdexcept>
+
+#include "common/trace.h"
+
+namespace dreamplace {
+
+namespace {
+
+std::FILE* openOrThrow(const std::string& path) {
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  if (!f) {
+    throw std::runtime_error("telemetry: cannot write " + path);
+  }
+  return f;
+}
+
+}  // namespace
+
+// ---------------------------------------------------------------------------
+// JsonlTelemetrySink
+// ---------------------------------------------------------------------------
+
+JsonlTelemetrySink::JsonlTelemetrySink(const std::string& path)
+    : file_(openOrThrow(path)) {}
+
+JsonlTelemetrySink::~JsonlTelemetrySink() {
+  if (file_) {
+    std::fclose(file_);
+  }
+}
+
+void JsonlTelemetrySink::onRunBegin(const TelemetryRunInfo& info) {
+  std::fprintf(file_,
+               "{\"run\":\"%s\",\"nodes\":%d,\"movable\":%d,\"nets\":%d,"
+               "\"solver\":\"%s\"}\n",
+               jsonEscape(info.label).c_str(), info.numNodes, info.numMovable,
+               info.numNets, jsonEscape(info.solver).c_str());
+}
+
+void JsonlTelemetrySink::onIteration(const IterationStats& s) {
+  std::fprintf(file_,
+               "{\"iter\":%d,\"objective\":%.17g,\"wl\":%.17g,"
+               "\"density\":%.17g,\"lambda\":%.17g,\"gamma\":%.17g,"
+               "\"overflow\":%.17g,\"hpwl\":%.17g,\"step\":%.17g,"
+               "\"wl_op_s\":%.6g,\"density_op_s\":%.6g}\n",
+               s.iteration, s.objective, s.wirelength, s.density, s.lambda,
+               s.gamma, s.overflow, s.hpwl, s.stepSize, s.wlOpSeconds,
+               s.densityOpSeconds);
+}
+
+void JsonlTelemetrySink::onRunEnd(const TelemetryRunSummary& s) {
+  std::fprintf(file_,
+               "{\"run_end\":true,\"iterations\":%d,\"hpwl\":%.17g,"
+               "\"overflow\":%.17g,\"lambda\":%.17g,\"seconds\":%.6g}\n",
+               s.iterations, s.hpwl, s.overflow, s.lambda, s.seconds);
+  std::fflush(file_);
+}
+
+// ---------------------------------------------------------------------------
+// CsvTelemetrySink
+// ---------------------------------------------------------------------------
+
+CsvTelemetrySink::CsvTelemetrySink(const std::string& path)
+    : file_(openOrThrow(path)) {
+  std::fprintf(file_, "label,iterations,hpwl,overflow,lambda,seconds\n");
+}
+
+CsvTelemetrySink::~CsvTelemetrySink() {
+  if (file_) {
+    std::fclose(file_);
+  }
+}
+
+void CsvTelemetrySink::onRunBegin(const TelemetryRunInfo& info) {
+  label_ = info.label;
+}
+
+void CsvTelemetrySink::onIteration(const IterationStats& /*stats*/) {}
+
+void CsvTelemetrySink::onRunEnd(const TelemetryRunSummary& s) {
+  std::fprintf(file_, "%s,%d,%.17g,%.17g,%.17g,%.6g\n", label_.c_str(),
+               s.iterations, s.hpwl, s.overflow, s.lambda, s.seconds);
+  std::fflush(file_);
+}
+
+// ---------------------------------------------------------------------------
+// TraceTelemetrySink
+// ---------------------------------------------------------------------------
+
+void TraceTelemetrySink::onIteration(const IterationStats& s) {
+  TraceRecorder& trace = TraceRecorder::instance();
+  if (!trace.enabled()) {
+    return;
+  }
+  trace.counterEvent("gp.overflow", s.overflow);
+  trace.counterEvent("gp.hpwl", s.hpwl);
+  trace.counterEvent("gp.lambda", s.lambda);
+  trace.counterEvent("gp.gamma", s.gamma);
+  trace.counterEvent("gp.step", s.stepSize);
+}
+
+// ---------------------------------------------------------------------------
+// TelemetryMux
+// ---------------------------------------------------------------------------
+
+void TelemetryMux::onRunBegin(const TelemetryRunInfo& info) {
+  for (TelemetrySink* sink : sinks_) {
+    sink->onRunBegin(info);
+  }
+}
+
+void TelemetryMux::onIteration(const IterationStats& stats) {
+  for (TelemetrySink* sink : sinks_) {
+    sink->onIteration(stats);
+  }
+}
+
+void TelemetryMux::onRunEnd(const TelemetryRunSummary& summary) {
+  for (TelemetrySink* sink : sinks_) {
+    sink->onRunEnd(summary);
+  }
+}
+
+}  // namespace dreamplace

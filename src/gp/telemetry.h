@@ -1,0 +1,154 @@
+// Per-iteration GP telemetry: the placement analogue of a training
+// stack's metrics layer.
+//
+// The paper casts global placement as neural-network training (Fig. 1);
+// ePlace/RePlAce tune their schedulers off per-iteration signals
+// (overflow, HPWL delta, density weight lambda of eq. (18), the gamma
+// schedule, the Nesterov step size). IterationStats is that record, one
+// per kernel-GP iteration; TelemetrySink is the observer API the loop
+// publishes it through. Concrete sinks export JSONL (one JSON object per
+// iteration), a per-run CSV summary, and chrome://tracing counter tracks.
+// Everything is off by default: a null sink costs the loop one pointer
+// compare per iteration.
+#pragma once
+
+#include <cstdio>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/types.h"
+
+namespace dreamplace {
+
+/// One kernel-GP iteration's worth of observable state.
+struct IterationStats {
+  int iteration = 0;
+  double objective = 0.0;
+  double wirelength = 0.0;  ///< Smoothed WA/LSE wirelength.
+  double hpwl = 0.0;        ///< Exact HPWL.
+  double density = 0.0;
+  double overflow = 0.0;
+  double gamma = 0.0;
+  double lambda = 0.0;
+  double stepSize = 0.0;         ///< Optimizer step (Nesterov alpha / lr).
+  double wlOpSeconds = 0.0;      ///< Wirelength op time this iteration.
+  double densityOpSeconds = 0.0; ///< Density op time this iteration.
+};
+
+/// Static facts about one GP run, published before the first iteration.
+struct TelemetryRunInfo {
+  std::string label;     ///< Design / configuration name (may be empty).
+  Index numNodes = 0;    ///< Movable + filler.
+  Index numMovable = 0;
+  Index numNets = 0;
+  std::string solver;
+};
+
+/// Final outcome of one GP run.
+struct TelemetryRunSummary {
+  int iterations = 0;
+  double hpwl = 0.0;
+  double overflow = 0.0;
+  double lambda = 0.0;
+  double seconds = 0.0;
+};
+
+/// Observer of the kernel-GP loop. Implementations must tolerate multiple
+/// runs through the same sink (the routability loop restarts GP; benches
+/// sweep configurations).
+class TelemetrySink {
+ public:
+  virtual ~TelemetrySink() = default;
+
+  virtual void onRunBegin(const TelemetryRunInfo& /*info*/) {}
+  virtual void onIteration(const IterationStats& stats) = 0;
+  virtual void onRunEnd(const TelemetryRunSummary& /*summary*/) {}
+};
+
+/// Writes one JSON object per iteration (JSONL). Schema:
+///   {"iter":..,"objective":..,"wl":..,"density":..,"lambda":..,
+///    "gamma":..,"overflow":..,"hpwl":..,"step":..,
+///    "wl_op_s":..,"density_op_s":..}
+/// Run boundaries are marked with {"run":"<label>",...} header records so
+/// multi-run files stay self-describing.
+class JsonlTelemetrySink final : public TelemetrySink {
+ public:
+  /// Opens `path` for writing; throws std::runtime_error on failure.
+  explicit JsonlTelemetrySink(const std::string& path);
+  ~JsonlTelemetrySink() override;
+
+  void onRunBegin(const TelemetryRunInfo& info) override;
+  void onIteration(const IterationStats& stats) override;
+  void onRunEnd(const TelemetryRunSummary& summary) override;
+
+ private:
+  std::FILE* file_ = nullptr;
+};
+
+/// Appends one CSV row per GP run (summary, not per-iteration):
+///   label,iterations,hpwl,overflow,lambda,seconds
+class CsvTelemetrySink final : public TelemetrySink {
+ public:
+  /// Opens `path` for writing and emits the header; throws on failure.
+  explicit CsvTelemetrySink(const std::string& path);
+  ~CsvTelemetrySink() override;
+
+  void onRunBegin(const TelemetryRunInfo& info) override;
+  void onIteration(const IterationStats& stats) override;
+  void onRunEnd(const TelemetryRunSummary& summary) override;
+
+ private:
+  std::FILE* file_ = nullptr;
+  std::string label_;
+};
+
+/// Publishes per-iteration scalars as chrome://tracing counter tracks, so
+/// the overflow/HPWL/lambda curves render above the kernel timeline.
+class TraceTelemetrySink final : public TelemetrySink {
+ public:
+  void onIteration(const IterationStats& stats) override;
+};
+
+/// Fans one stats stream out to several sinks (non-owning).
+class TelemetryMux final : public TelemetrySink {
+ public:
+  void addSink(TelemetrySink* sink) {
+    if (sink != nullptr) {
+      sinks_.push_back(sink);
+    }
+  }
+  bool empty() const { return sinks_.empty(); }
+
+  void onRunBegin(const TelemetryRunInfo& info) override;
+  void onIteration(const IterationStats& stats) override;
+  void onRunEnd(const TelemetryRunSummary& summary) override;
+
+ private:
+  std::vector<TelemetrySink*> sinks_;
+};
+
+/// In-memory sink for tests and programmatic consumers.
+class RecordingTelemetrySink final : public TelemetrySink {
+ public:
+  void onRunBegin(const TelemetryRunInfo& info) override { runs_.push_back(info); }
+  void onIteration(const IterationStats& stats) override {
+    iterations_.push_back(stats);
+  }
+  void onRunEnd(const TelemetryRunSummary& summary) override {
+    summaries_.push_back(summary);
+  }
+
+  const std::vector<TelemetryRunInfo>& runs() const { return runs_; }
+  const std::vector<IterationStats>& iterations() const { return iterations_; }
+  const std::vector<TelemetryRunSummary>& summaries() const {
+    return summaries_;
+  }
+
+ private:
+  std::vector<TelemetryRunInfo> runs_;
+  std::vector<IterationStats> iterations_;
+  std::vector<TelemetryRunSummary> summaries_;
+};
+
+}  // namespace dreamplace

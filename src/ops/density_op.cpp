@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cmath>
 
+#include "common/counters.h"
 #include "common/log.h"
 #include "common/timer.h"
 
@@ -45,6 +46,8 @@ DensityOp<T>::DensityOp(const Database& db, const DensityGrid<T>& grid,
 template <typename T>
 double DensityOp<T>::evaluate(std::span<const T> params, std::span<T> grad) {
   DP_ASSERT(params.size() == size() && grad.size() == size());
+  static Counter calls("ops/density/evaluate");
+  calls.add();
   const T* x = params.data();
   const T* y = params.data() + num_nodes_;
 

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cmath>
 
+#include "common/counters.h"
 #include "common/log.h"
 #include "common/timer.h"
 
@@ -126,6 +127,8 @@ template <typename T>
 double FenceDensityOp<T>::evaluate(std::span<const T> params,
                                    std::span<T> grad) {
   DP_ASSERT(params.size() == size() && grad.size() == size());
+  static Counter calls("ops/density/evaluate");
+  calls.add();
   std::fill(grad.begin(), grad.end(), T(0));
   double energy = 0.0;
   T* gx_out = grad.data();

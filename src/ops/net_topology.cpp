@@ -1,0 +1,81 @@
+#include "ops/net_topology.h"
+
+#include <algorithm>
+#include <limits>
+
+namespace dreamplace {
+
+template <typename T>
+NetTopology<T>::NetTopology(const Database& db) {
+  const Index num_nets = db.numNets();
+  const Index num_pins = db.numPins();
+  net_start_.assign(db.netPinStarts().begin(), db.netPinStarts().end());
+  pin_net_.resize(num_pins);
+  pin_node_.resize(num_pins);
+  pin_fixed_x_.assign(num_pins, T(0));
+  pin_fixed_y_.assign(num_pins, T(0));
+  pin_offset_x_.assign(num_pins, T(0));
+  pin_offset_y_.assign(num_pins, T(0));
+  net_weight_.resize(num_nets);
+  for (Index e = 0; e < num_nets; ++e) {
+    net_weight_[e] = static_cast<T>(db.netWeight(e));
+  }
+  for (Index p = 0; p < num_pins; ++p) {
+    pin_net_[p] = db.pinNet(p);
+    const Index c = db.pinCell(p);
+    if (db.isMovable(c)) {
+      pin_node_[p] = c;
+      pin_offset_x_[p] = static_cast<T>(db.pinOffsetX(p));
+      pin_offset_y_[p] = static_cast<T>(db.pinOffsetY(p));
+    } else {
+      pin_node_[p] = kInvalidIndex;
+      pin_fixed_x_[p] = static_cast<T>(db.pinX(p));
+      pin_fixed_y_[p] = static_cast<T>(db.pinY(p));
+    }
+  }
+}
+
+template <typename T>
+double topologyHpwl(const NetTopologyView<T>& topo, std::span<const T> params,
+                    Index numNodes) {
+  const Index num_nets = topo.numNets();
+  const T* x = params.data();
+  const T* y = params.data() + numNodes;
+  double total = 0.0;
+#pragma omp parallel for schedule(static) reduction(+ : total)
+  for (Index e = 0; e < num_nets; ++e) {
+    const Index begin = topo.netBegin(e);
+    const Index end = topo.netEnd(e);
+    if (end - begin < 2) {
+      continue;
+    }
+    T xl = std::numeric_limits<T>::infinity();
+    T xh = -xl, yl = xl, yh = -xl;
+    for (Index p = begin; p < end; ++p) {
+      const Index node = topo.pinNode[p];
+      const T px =
+          node >= 0 ? x[node] + topo.pinOffsetX[p] : topo.pinFixedX[p];
+      const T py =
+          node >= 0 ? y[node] + topo.pinOffsetY[p] : topo.pinFixedY[p];
+      xl = std::min(xl, px);
+      xh = std::max(xh, px);
+      yl = std::min(yl, py);
+      yh = std::max(yh, py);
+    }
+    total +=
+        static_cast<double>(topo.netWeight[e] * ((xh - xl) + (yh - yl)));
+  }
+  return total;
+}
+
+#define DP_INSTANTIATE_TOPO(T)                                          \
+  template class NetTopology<T>;                                        \
+  template double topologyHpwl<T>(const NetTopologyView<T>&,            \
+                                  std::span<const T>, Index);
+
+DP_INSTANTIATE_TOPO(float)
+DP_INSTANTIATE_TOPO(double)
+
+#undef DP_INSTANTIATE_TOPO
+
+}  // namespace dreamplace

@@ -1,9 +1,9 @@
 #include "ops/wirelength.h"
 
-#include <atomic>
 #include <cmath>
 #include <limits>
 
+#include "common/counters.h"
 #include "common/log.h"
 
 namespace dreamplace {
@@ -23,38 +23,6 @@ void atomicCombine(std::atomic<T>& target, T value, Combine combine) {
   }
 }
 
-template <typename T>
-void buildPinTables(const Database& db, Index /*numNodes*/,
-                    std::vector<Index>& netStart, std::vector<Index>& pinNode,
-                    std::vector<T>& fixedX, std::vector<T>& fixedY,
-                    std::vector<T>& offX, std::vector<T>& offY,
-                    std::vector<T>& netWeight) {
-  const Index num_nets = db.numNets();
-  const Index num_pins = db.numPins();
-  netStart.assign(db.netPinStarts().begin(), db.netPinStarts().end());
-  pinNode.resize(num_pins);
-  fixedX.assign(num_pins, T(0));
-  fixedY.assign(num_pins, T(0));
-  offX.resize(num_pins);
-  offY.resize(num_pins);
-  netWeight.resize(num_nets);
-  for (Index e = 0; e < num_nets; ++e) {
-    netWeight[e] = static_cast<T>(db.netWeight(e));
-  }
-  for (Index p = 0; p < num_pins; ++p) {
-    const Index c = db.pinCell(p);
-    if (db.isMovable(c)) {
-      pinNode[p] = c;
-      offX[p] = static_cast<T>(db.pinOffsetX(p));
-      offY[p] = static_cast<T>(db.pinOffsetY(p));
-    } else {
-      pinNode[p] = kInvalidIndex;
-      fixedX[p] = static_cast<T>(db.pinX(p));
-      fixedY[p] = static_cast<T>(db.pinY(p));
-    }
-  }
-}
-
 }  // namespace
 
 // ---------------------------------------------------------------------------
@@ -64,36 +32,36 @@ void buildPinTables(const Database& db, Index /*numNodes*/,
 template <typename T>
 WaWirelengthOp<T>::WaWirelengthOp(const Database& db, Index numNodes,
                                   Options options)
-    : db_(db), num_nodes_(numNodes), options_(options) {
+    : num_nodes_(numNodes), options_(options), topo_(db) {
   DP_ASSERT(numNodes >= db.numMovable());
-  buildPinTables(db, numNodes, net_start_, pin_node_, pin_fixed_x_,
-                 pin_fixed_y_, pin_offset_x_, pin_offset_y_, net_weight_);
-  net_ignored_.assign(db.numNets(), 0);
+  const NetTopologyView<T> topo = topo_.view();
+  net_ignored_.assign(topo.numNets(), 0);
   if (options_.ignoreNetDegree > 0) {
-    for (Index e = 0; e < db.numNets(); ++e) {
-      if (db.netDegree(e) > options_.ignoreNetDegree) {
+    for (Index e = 0; e < topo.numNets(); ++e) {
+      if (topo.netDegree(e) > options_.ignoreNetDegree) {
         net_ignored_[e] = 1;
       }
     }
   }
-  pin_x_.resize(db.numPins());
-  pin_y_.resize(db.numPins());
+  pin_x_.resize(topo.numPins());
+  pin_y_.resize(topo.numPins());
 }
 
 template <typename T>
-void WaWirelengthOp<T>::computePinPositions(std::span<const T> params) {
-  const Index num_pins = db_.numPins();
+void WaWirelengthOp<T>::computePinPositions(const NetTopologyView<T>& topo,
+                                            std::span<const T> params) {
+  const Index num_pins = topo.numPins();
   const T* x = params.data();
   const T* y = params.data() + num_nodes_;
 #pragma omp parallel for schedule(static)
   for (Index p = 0; p < num_pins; ++p) {
-    const Index node = pin_node_[p];
+    const Index node = topo.pinNode[p];
     if (node >= 0) {
-      pin_x_[p] = x[node] + pin_offset_x_[p];
-      pin_y_[p] = y[node] + pin_offset_y_[p];
+      pin_x_[p] = x[node] + topo.pinOffsetX[p];
+      pin_y_[p] = y[node] + topo.pinOffsetY[p];
     } else {
-      pin_x_[p] = pin_fixed_x_[p];
-      pin_y_[p] = pin_fixed_y_[p];
+      pin_x_[p] = topo.pinFixedX[p];
+      pin_y_[p] = topo.pinFixedY[p];
     }
   }
 }
@@ -102,24 +70,27 @@ template <typename T>
 double WaWirelengthOp<T>::evaluate(std::span<const T> params,
                                    std::span<T> grad) {
   DP_ASSERT(params.size() == size() && grad.size() == size());
+  static Counter calls("ops/wirelength/evaluate");
+  calls.add();
   std::fill(grad.begin(), grad.end(), T(0));
-  computePinPositions(params);
+  const NetTopologyView<T> topo = topo_.view();
+  computePinPositions(topo, params);
   switch (options_.kernel) {
     case WirelengthKernel::kMerged:
-      return evaluateMerged(params, grad);
+      return evaluateMerged(topo, grad);
     case WirelengthKernel::kNetByNet:
-      return evaluateNetByNet(params, grad);
+      return evaluateNetByNet(topo, grad);
     case WirelengthKernel::kAtomic:
-      return evaluateAtomic(params, grad);
+      return evaluateAtomic(topo, grad);
   }
   logFatal("unknown wirelength kernel");
 }
 
 // Fused forward+backward, all per-net intermediates in locals (Alg. 2).
 template <typename T>
-double WaWirelengthOp<T>::evaluateMerged(std::span<const T> /*params*/,
+double WaWirelengthOp<T>::evaluateMerged(const NetTopologyView<T>& topo,
                                          std::span<T> grad) {
-  const Index num_nets = db_.numNets();
+  const Index num_nets = topo.numNets();
   const T inv_gamma = static_cast<T>(1.0 / gamma_);
   T* gx = grad.data();
   T* gy = grad.data() + num_nodes_;
@@ -132,12 +103,12 @@ double WaWirelengthOp<T>::evaluateMerged(std::span<const T> /*params*/,
     if (net_ignored_[e]) {
       continue;
     }
-    const Index begin = net_start_[e];
-    const Index end = net_start_[e + 1];
+    const Index begin = topo.netBegin(e);
+    const Index end = topo.netEnd(e);
     if (end - begin < 2) {
       continue;
     }
-    const T weight = net_weight_[e];
+    const T weight = topo.netWeight[e];
     // Process x and y identically.
     for (int dim = 0; dim < 2; ++dim) {
       const T* pos = dim == 0 ? pin_x_.data() : pin_y_.data();
@@ -184,7 +155,7 @@ double WaWirelengthOp<T>::evaluateMerged(std::span<const T> /*params*/,
                          (T(1) + ((pos[p] - pmax) - wa_plus) * inv_gamma);
         const T g_minus = a_minus / b_minus *
                           (T(1) - ((pos[p] - pmin) - wa_minus) * inv_gamma);
-        const Index node = pin_node_[p];
+        const Index node = topo.pinNode[p];
         if (node >= 0) {
           const T contrib = weight * (g_plus - g_minus);
 #pragma omp atomic
@@ -199,10 +170,10 @@ double WaWirelengthOp<T>::evaluateMerged(std::span<const T> /*params*/,
 // Net-level forward and backward as separate passes with all intermediates
 // stored per pin / per net (the DATE'18-style baseline in Fig. 10).
 template <typename T>
-double WaWirelengthOp<T>::evaluateNetByNet(std::span<const T> /*params*/,
+double WaWirelengthOp<T>::evaluateNetByNet(const NetTopologyView<T>& topo,
                                            std::span<T> grad) {
-  const Index num_nets = db_.numNets();
-  const Index num_pins = db_.numPins();
+  const Index num_nets = topo.numNets();
+  const Index num_pins = topo.numPins();
   const T inv_gamma = static_cast<T>(1.0 / gamma_);
   a_plus_.resize(2 * static_cast<size_t>(num_pins));
   a_minus_.resize(2 * static_cast<size_t>(num_pins));
@@ -231,8 +202,8 @@ double WaWirelengthOp<T>::evaluateNetByNet(std::span<const T> /*params*/,
       if (net_ignored_[e]) {
         continue;
       }
-      const Index begin = net_start_[e];
-      const Index end = net_start_[e + 1];
+      const Index begin = topo.netBegin(e);
+      const Index end = topo.netEnd(e);
       if (end - begin < 2) {
         continue;
       }
@@ -259,7 +230,7 @@ double WaWirelengthOp<T>::evaluateNetByNet(std::span<const T> /*params*/,
       b_minus[e] = bm;
       c_plus[e] = cp;
       c_minus[e] = cm;
-      total += static_cast<double>(net_weight_[e] *
+      total += static_cast<double>(topo.netWeight[e] *
                                    ((cp / bp + mx) - (cm / bm + mn)));
     }
   }
@@ -284,15 +255,15 @@ double WaWirelengthOp<T>::evaluateNetByNet(std::span<const T> /*params*/,
       if (net_ignored_[e]) {
         continue;
       }
-      const Index begin = net_start_[e];
-      const Index end = net_start_[e + 1];
+      const Index begin = topo.netBegin(e);
+      const Index end = topo.netEnd(e);
       if (end - begin < 2) {
         continue;
       }
       const T wa_plus = c_plus[e] / b_plus[e];
       const T wa_minus = c_minus[e] / b_minus[e];
       for (Index p = begin; p < end; ++p) {
-        const Index node = pin_node_[p];
+        const Index node = topo.pinNode[p];
         if (node < 0) {
           continue;
         }
@@ -302,7 +273,7 @@ double WaWirelengthOp<T>::evaluateNetByNet(std::span<const T> /*params*/,
         const T g_minus =
             a_minus[p] / b_minus[e] *
             (T(1) - ((pos[p] - pmin[e]) - wa_minus) * inv_gamma);
-        const T contrib = net_weight_[e] * (g_plus - g_minus);
+        const T contrib = topo.netWeight[e] * (g_plus - g_minus);
 #pragma omp atomic
         g[node] += contrib;
       }
@@ -311,26 +282,45 @@ double WaWirelengthOp<T>::evaluateNetByNet(std::span<const T> /*params*/,
   return total;
 }
 
+template <typename T>
+void WaWirelengthOp<T>::ensureAtomicWorkspace(Index numNets) {
+  static Counter allocs("ops/wirelength/atomic_ws_alloc");
+  static Counter reuses("ops/wirelength/atomic_ws_reuse");
+  if (static_cast<Index>(ws_xmax_.size()) == numNets) {
+    reuses.add();
+    return;
+  }
+  // vector<atomic> is not resizable; move-assign freshly sized buffers.
+  // The net count is fixed for the op's lifetime, so this runs once.
+  ws_xmax_ = std::vector<std::atomic<T>>(numNets);
+  ws_xmin_ = std::vector<std::atomic<T>>(numNets);
+  ws_bplus_ = std::vector<std::atomic<T>>(numNets);
+  ws_bminus_ = std::vector<std::atomic<T>>(numNets);
+  ws_cplus_ = std::vector<std::atomic<T>>(numNets);
+  ws_cminus_ = std::vector<std::atomic<T>>(numNets);
+  allocs.add();
+}
+
 // Pin-level parallelism with atomic reductions (Algorithm 1). Six kernel
 // passes per dimension, each a parallel loop over pins/nets with atomics:
 // this maximizes parallelism but pays for the global-memory traffic, which
 // is exactly the drawback the paper measures.
 template <typename T>
-double WaWirelengthOp<T>::evaluateAtomic(std::span<const T> /*params*/,
+double WaWirelengthOp<T>::evaluateAtomic(const NetTopologyView<T>& topo,
                                          std::span<T> grad) {
-  const Index num_nets = db_.numNets();
-  const Index num_pins = db_.numPins();
+  const Index num_nets = topo.numNets();
+  const Index num_pins = topo.numPins();
   const T inv_gamma = static_cast<T>(1.0 / gamma_);
 
   a_plus_.resize(num_pins);
   a_minus_.resize(num_pins);
-
-  std::vector<std::atomic<T>> xmax(num_nets);
-  std::vector<std::atomic<T>> xmin(num_nets);
-  std::vector<std::atomic<T>> bplus(num_nets);
-  std::vector<std::atomic<T>> bminus(num_nets);
-  std::vector<std::atomic<T>> cplus(num_nets);
-  std::vector<std::atomic<T>> cminus(num_nets);
+  ensureAtomicWorkspace(num_nets);
+  std::vector<std::atomic<T>>& xmax = ws_xmax_;
+  std::vector<std::atomic<T>>& xmin = ws_xmin_;
+  std::vector<std::atomic<T>>& bplus = ws_bplus_;
+  std::vector<std::atomic<T>>& bminus = ws_bminus_;
+  std::vector<std::atomic<T>>& cplus = ws_cplus_;
+  std::vector<std::atomic<T>>& cminus = ws_cminus_;
 
   double total = 0.0;
   T* gx = grad.data();
@@ -351,7 +341,7 @@ double WaWirelengthOp<T>::evaluateAtomic(std::span<const T> /*params*/,
     }
 #pragma omp parallel for schedule(static)
     for (Index p = 0; p < num_pins; ++p) {
-      const Index e = db_.pinNet(p);
+      const Index e = topo.pinNet[p];
       if (net_ignored_[e]) {
         continue;
       }
@@ -363,7 +353,7 @@ double WaWirelengthOp<T>::evaluateAtomic(std::span<const T> /*params*/,
     // a+/a- kernel.
 #pragma omp parallel for schedule(static)
     for (Index p = 0; p < num_pins; ++p) {
-      const Index e = db_.pinNet(p);
+      const Index e = topo.pinNet[p];
       if (net_ignored_[e]) {
         a_plus_[p] = 0;
         a_minus_[p] = 0;
@@ -375,7 +365,7 @@ double WaWirelengthOp<T>::evaluateAtomic(std::span<const T> /*params*/,
     // b kernel (atomic add).
 #pragma omp parallel for schedule(static)
     for (Index p = 0; p < num_pins; ++p) {
-      const Index e = db_.pinNet(p);
+      const Index e = topo.pinNet[p];
       if (net_ignored_[e]) {
         continue;
       }
@@ -385,7 +375,7 @@ double WaWirelengthOp<T>::evaluateAtomic(std::span<const T> /*params*/,
     // c kernel (atomic add).
 #pragma omp parallel for schedule(static)
     for (Index p = 0; p < num_pins; ++p) {
-      const Index e = db_.pinNet(p);
+      const Index e = topo.pinNet[p];
       if (net_ignored_[e]) {
         continue;
       }
@@ -399,21 +389,21 @@ double WaWirelengthOp<T>::evaluateAtomic(std::span<const T> /*params*/,
     // WL kernel + reduction.
 #pragma omp parallel for schedule(static) reduction(+ : total)
     for (Index e = 0; e < num_nets; ++e) {
-      if (net_ignored_[e] || net_start_[e + 1] - net_start_[e] < 2) {
+      if (net_ignored_[e] || topo.netDegree(e) < 2) {
         continue;
       }
       const T wl = (cplus[e].load() / bplus[e].load() + xmax[e].load()) -
                    (cminus[e].load() / bminus[e].load() + xmin[e].load());
-      total += static_cast<double>(net_weight_[e] * wl);
+      total += static_cast<double>(topo.netWeight[e] * wl);
     }
     // Gradient kernel over pins.
 #pragma omp parallel for schedule(static)
     for (Index p = 0; p < num_pins; ++p) {
-      const Index e = db_.pinNet(p);
-      if (net_ignored_[e] || net_start_[e + 1] - net_start_[e] < 2) {
+      const Index e = topo.pinNet[p];
+      if (net_ignored_[e] || topo.netDegree(e) < 2) {
         continue;
       }
-      const Index node = pin_node_[p];
+      const Index node = topo.pinNode[p];
       if (node < 0) {
         continue;
       }
@@ -425,7 +415,7 @@ double WaWirelengthOp<T>::evaluateAtomic(std::span<const T> /*params*/,
       const T g_minus =
           a_minus_[p] / bminus[e].load() *
           (T(1) - ((pos[p] - xmin[e].load()) - wa_minus) * inv_gamma);
-      const T contrib = net_weight_[e] * (g_plus - g_minus);
+      const T contrib = topo.netWeight[e] * (g_plus - g_minus);
 #pragma omp atomic
       g[node] += contrib;
     }
@@ -435,31 +425,9 @@ double WaWirelengthOp<T>::evaluateAtomic(std::span<const T> /*params*/,
 
 template <typename T>
 double WaWirelengthOp<T>::hpwl(std::span<const T> params) const {
-  const Index num_nets = db_.numNets();
-  const T* x = params.data();
-  const T* y = params.data() + num_nodes_;
-  double total = 0.0;
-#pragma omp parallel for schedule(static) reduction(+ : total)
-  for (Index e = 0; e < num_nets; ++e) {
-    const Index begin = net_start_[e];
-    const Index end = net_start_[e + 1];
-    if (end - begin < 2) {
-      continue;
-    }
-    T xl = std::numeric_limits<T>::infinity();
-    T xh = -xl, yl = xl, yh = -xl;
-    for (Index p = begin; p < end; ++p) {
-      const Index node = pin_node_[p];
-      const T px = node >= 0 ? x[node] + pin_offset_x_[p] : pin_fixed_x_[p];
-      const T py = node >= 0 ? y[node] + pin_offset_y_[p] : pin_fixed_y_[p];
-      xl = std::min(xl, px);
-      xh = std::max(xh, px);
-      yl = std::min(yl, py);
-      yh = std::max(yh, py);
-    }
-    total += static_cast<double>(net_weight_[e] * ((xh - xl) + (yh - yl)));
-  }
-  return total;
+  static Counter calls("ops/wirelength/hpwl");
+  calls.add();
+  return topologyHpwl(topo_.view(), params, num_nodes_);
 }
 
 // ---------------------------------------------------------------------------
@@ -469,9 +437,7 @@ double WaWirelengthOp<T>::hpwl(std::span<const T> params) const {
 template <typename T>
 LseWirelengthOp<T>::LseWirelengthOp(const Database& db, Index numNodes,
                                     Index ignoreNetDegree)
-    : db_(db), num_nodes_(numNodes), ignore_net_degree_(ignoreNetDegree) {
-  buildPinTables(db, numNodes, net_start_, pin_node_, pin_fixed_x_,
-                 pin_fixed_y_, pin_offset_x_, pin_offset_y_, net_weight_);
+    : num_nodes_(numNodes), ignore_net_degree_(ignoreNetDegree), topo_(db) {
   pin_x_.resize(db.numPins());
   pin_y_.resize(db.numPins());
 }
@@ -480,18 +446,21 @@ template <typename T>
 double LseWirelengthOp<T>::evaluate(std::span<const T> params,
                                     std::span<T> grad) {
   DP_ASSERT(params.size() == size() && grad.size() == size());
+  static Counter calls("ops/wirelength/evaluate");
+  calls.add();
   std::fill(grad.begin(), grad.end(), T(0));
-  const Index num_pins = db_.numPins();
+  const NetTopologyView<T> topo = topo_.view();
+  const Index num_pins = topo.numPins();
   const T* x = params.data();
   const T* y = params.data() + num_nodes_;
 #pragma omp parallel for schedule(static)
   for (Index p = 0; p < num_pins; ++p) {
-    const Index node = pin_node_[p];
-    pin_x_[p] = node >= 0 ? x[node] + pin_offset_x_[p] : pin_fixed_x_[p];
-    pin_y_[p] = node >= 0 ? y[node] + pin_offset_y_[p] : pin_fixed_y_[p];
+    const Index node = topo.pinNode[p];
+    pin_x_[p] = node >= 0 ? x[node] + topo.pinOffsetX[p] : topo.pinFixedX[p];
+    pin_y_[p] = node >= 0 ? y[node] + topo.pinOffsetY[p] : topo.pinFixedY[p];
   }
 
-  const Index num_nets = db_.numNets();
+  const Index num_nets = topo.numNets();
   const T inv_gamma = static_cast<T>(1.0 / gamma_);
   const T gamma = static_cast<T>(gamma_);
   T* gx = grad.data();
@@ -499,14 +468,14 @@ double LseWirelengthOp<T>::evaluate(std::span<const T> params,
   double total = 0.0;
 #pragma omp parallel for schedule(dynamic, 64) reduction(+ : total)
   for (Index e = 0; e < num_nets; ++e) {
-    const Index begin = net_start_[e];
-    const Index end = net_start_[e + 1];
+    const Index begin = topo.netBegin(e);
+    const Index end = topo.netEnd(e);
     const Index degree = end - begin;
     if (degree < 2 ||
         (ignore_net_degree_ > 0 && degree > ignore_net_degree_)) {
       continue;
     }
-    const T weight = net_weight_[e];
+    const T weight = topo.netWeight[e];
     for (int dim = 0; dim < 2; ++dim) {
       const T* pos = dim == 0 ? pin_x_.data() : pin_y_.data();
       T* g = dim == 0 ? gx : gy;
@@ -525,7 +494,7 @@ double LseWirelengthOp<T>::evaluate(std::span<const T> params,
                    (pmax - pmin);
       total += static_cast<double>(weight * wl);
       for (Index p = begin; p < end; ++p) {
-        const Index node = pin_node_[p];
+        const Index node = topo.pinNode[p];
         if (node < 0) {
           continue;
         }
@@ -542,31 +511,9 @@ double LseWirelengthOp<T>::evaluate(std::span<const T> params,
 
 template <typename T>
 double LseWirelengthOp<T>::hpwl(std::span<const T> params) const {
-  const Index num_nets = db_.numNets();
-  const T* x = params.data();
-  const T* y = params.data() + num_nodes_;
-  double total = 0.0;
-#pragma omp parallel for schedule(static) reduction(+ : total)
-  for (Index e = 0; e < num_nets; ++e) {
-    const Index begin = net_start_[e];
-    const Index end = net_start_[e + 1];
-    if (end - begin < 2) {
-      continue;
-    }
-    T xl = std::numeric_limits<T>::infinity();
-    T xh = -xl, yl = xl, yh = -xl;
-    for (Index p = begin; p < end; ++p) {
-      const Index node = pin_node_[p];
-      const T px = node >= 0 ? x[node] + pin_offset_x_[p] : pin_fixed_x_[p];
-      const T py = node >= 0 ? y[node] + pin_offset_y_[p] : pin_fixed_y_[p];
-      xl = std::min(xl, px);
-      xh = std::max(xh, px);
-      yl = std::min(yl, py);
-      yh = std::max(yh, py);
-    }
-    total += static_cast<double>(net_weight_[e] * ((xh - xl) + (yh - yl)));
-  }
-  return total;
+  static Counter calls("ops/wirelength/hpwl");
+  calls.add();
+  return topologyHpwl(topo_.view(), params, num_nodes_);
 }
 
 #define DP_INSTANTIATE_WL(T)     \

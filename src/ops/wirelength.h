@@ -10,6 +10,9 @@
 //    kernel-local registers (Algorithm 2); the default.
 // The log-sum-exp (LSE) wirelength is also implemented, as in the paper.
 //
+// All strategies consume the same NetTopologyView (ops/net_topology.h),
+// so they are guaranteed to agree on the flattened netlist.
+//
 // Parameter layout shared by all placement ops: params[0..n) are node
 // center x coordinates, params[n..2n) node center y coordinates, where
 // nodes are the database's movable cells [0, numMovable) followed by any
@@ -18,11 +21,13 @@
 // positions.
 #pragma once
 
+#include <atomic>
 #include <span>
 #include <vector>
 
 #include "autograd/objective.h"
 #include "db/database.h"
+#include "ops/net_topology.h"
 
 namespace dreamplace {
 
@@ -65,27 +70,27 @@ class WaWirelengthOp final : public WirelengthOp<T> {
 
   double hpwl(std::span<const T> params) const override;
 
+  /// The flattened netlist all kernel strategies consume.
+  NetTopologyView<T> topology() const { return topo_.view(); }
+
  private:
-  double evaluateMerged(std::span<const T> params, std::span<T> grad);
-  double evaluateNetByNet(std::span<const T> params, std::span<T> grad);
-  double evaluateAtomic(std::span<const T> params, std::span<T> grad);
+  double evaluateMerged(const NetTopologyView<T>& topo, std::span<T> grad);
+  double evaluateNetByNet(const NetTopologyView<T>& topo, std::span<T> grad);
+  double evaluateAtomic(const NetTopologyView<T>& topo, std::span<T> grad);
 
   /// Computes per-pin absolute positions into pin_x_/pin_y_.
-  void computePinPositions(std::span<const T> params);
+  void computePinPositions(const NetTopologyView<T>& topo,
+                           std::span<const T> params);
+  /// Allocates the kAtomic per-net atomic workspace on first use
+  /// (vector<atomic> cannot be resized); reports allocation vs. reuse
+  /// through the counter registry.
+  void ensureAtomicWorkspace(Index numNets);
 
-  const Database& db_;
   Index num_nodes_ = 0;
   Options options_;
   double gamma_ = 1.0;
 
-  // Flat copies for kernel speed.
-  std::vector<Index> net_start_;   // CSR offsets per net
-  std::vector<Index> pin_node_;    // node index or -1 for fixed-cell pins
-  std::vector<T> pin_fixed_x_;     // absolute position if fixed
-  std::vector<T> pin_fixed_y_;
-  std::vector<T> pin_offset_x_;    // offset from node center if movable
-  std::vector<T> pin_offset_y_;
-  std::vector<T> net_weight_;
+  NetTopology<T> topo_;            // flat copies for kernel speed
   std::vector<char> net_ignored_;
 
   // Workspaces.
@@ -96,6 +101,10 @@ class WaWirelengthOp final : public WirelengthOp<T> {
   std::vector<T> b_plus_, b_minus_;        // per net
   std::vector<T> c_plus_, c_minus_;        // per net
   std::vector<T> x_max_, x_min_;           // per net
+  // kAtomic per-net reduction cells, reused across iterations.
+  std::vector<std::atomic<T>> ws_xmax_, ws_xmin_;
+  std::vector<std::atomic<T>> ws_bplus_, ws_bminus_;
+  std::vector<std::atomic<T>> ws_cplus_, ws_cminus_;
 };
 
 /// Log-sum-exp wirelength (Naylor et al.): WL_e = gamma*(log sum
@@ -116,16 +125,13 @@ class LseWirelengthOp final : public WirelengthOp<T> {
   double evaluate(std::span<const T> params, std::span<T> grad) override;
   double hpwl(std::span<const T> params) const override;
 
+  NetTopologyView<T> topology() const { return topo_.view(); }
+
  private:
-  const Database& db_;
   Index num_nodes_ = 0;
   Index ignore_net_degree_ = 0;
   double gamma_ = 1.0;
-  std::vector<Index> net_start_;
-  std::vector<Index> pin_node_;
-  std::vector<T> pin_fixed_x_, pin_fixed_y_;
-  std::vector<T> pin_offset_x_, pin_offset_y_;
-  std::vector<T> net_weight_;
+  NetTopology<T> topo_;
   std::vector<T> pin_x_, pin_y_;
 };
 

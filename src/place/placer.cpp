@@ -1,7 +1,11 @@
 #include "place/placer.h"
 
+#include <memory>
+#include <stdexcept>
+
 #include "common/log.h"
 #include "common/timer.h"
+#include "common/trace.h"
 #include "db/metrics.h"
 #include "lg/macro_legalizer.h"
 
@@ -9,16 +13,63 @@ namespace dreamplace {
 
 namespace {
 
+/// Builds the telemetry sink stack requested by the options and wires it
+/// into the GP options. Owns the file sinks; must outlive the flow run.
+class FlowTelemetry {
+ public:
+  explicit FlowTelemetry(const PlacerOptions& options) {
+    if (!options.telemetryJsonl.empty()) {
+      jsonl_ = std::make_unique<JsonlTelemetrySink>(options.telemetryJsonl);
+      mux_.addSink(jsonl_.get());
+    }
+    if (!options.telemetryCsv.empty()) {
+      csv_ = std::make_unique<CsvTelemetrySink>(options.telemetryCsv);
+      mux_.addSink(csv_.get());
+    }
+    if (!options.traceFile.empty()) {
+      trace_file_ = options.traceFile;
+      TraceRecorder::instance().setEnabled(true);
+      mux_.addSink(&trace_sink_);
+    }
+    mux_.addSink(options.telemetry);
+  }
+
+  ~FlowTelemetry() {
+    if (!trace_file_.empty()) {
+      TraceRecorder& trace = TraceRecorder::instance();
+      trace.setEnabled(false);
+      if (!trace.writeJson(trace_file_)) {
+        logWarn("trace: cannot write %s", trace_file_.c_str());
+      }
+    }
+  }
+
+  /// Null when no sink is configured, so the GP loop skips all telemetry.
+  TelemetrySink* sink() { return mux_.empty() ? nullptr : &mux_; }
+
+ private:
+  TelemetryMux mux_;
+  std::unique_ptr<JsonlTelemetrySink> jsonl_;
+  std::unique_ptr<CsvTelemetrySink> csv_;
+  TraceTelemetrySink trace_sink_;
+  std::string trace_file_;
+};
+
 template <typename T>
-FlowResult runFlow(Database& db, const PlacerOptions& options) {
+FlowResult runFlow(Database& db, const PlacerOptions& options,
+                   FlowTelemetry& telemetry) {
   FlowResult result;
   Timer total;
+
+  GlobalPlacerOptions gp_options = options.gp;
+  gp_options.telemetry = telemetry.sink();
+  gp_options.telemetryLabel = options.telemetryLabel;
 
   // --- Global placement -------------------------------------------------
   Timer gp_timer;
   if (options.routability) {
     RoutabilityOptions ropts = options.routabilityOptions;
-    ropts.gp = options.gp;
+    ropts.gp = gp_options;
     RoutabilityDrivenPlacer<T> placer(db, ropts);
     const RoutabilityResult r = placer.run();
     result.gpIterations = r.gp.iterations;
@@ -27,7 +78,7 @@ FlowResult runFlow(Database& db, const PlacerOptions& options) {
     result.grSeconds = r.grSeconds;
     result.rc = r.congestion.rc;
   } else {
-    GlobalPlacer<T> placer(db, options.gp);
+    GlobalPlacer<T> placer(db, gp_options);
     const GlobalPlacerResult r = placer.run();
     result.gpIterations = r.iterations;
     result.overflow = r.overflow;
@@ -86,11 +137,106 @@ FlowResult runFlow(Database& db, const PlacerOptions& options) {
 
 }  // namespace
 
-FlowResult placeDesign(Database& db, const PlacerOptions& options) {
-  if (options.precision == Precision::kFloat32) {
-    return runFlow<float>(db, options);
+void PlacerOptions::validate() const {
+  std::string errors;
+  const auto fail = [&errors](const std::string& message) {
+    errors += (errors.empty() ? "" : "; ") + message;
+  };
+
+  if (gp.binsMax <= 0) {
+    fail("gp.binsMax must be positive (got " + std::to_string(gp.binsMax) +
+         "); the density grid needs at least one bin per axis");
   }
-  return runFlow<double>(db, options);
+  if (!(gp.targetDensity > 0.0) || gp.targetDensity > 1.0) {
+    fail("gp.targetDensity must be in (0, 1] (got " +
+         std::to_string(gp.targetDensity) +
+         "); it is the bin utilization GP spreads toward");
+  }
+  if (!(gp.stopOverflow > 0.0) || gp.stopOverflow >= 1.0) {
+    fail("gp.stopOverflow must be in (0, 1) (got " +
+         std::to_string(gp.stopOverflow) +
+         "); GP stops when density overflow falls below it");
+  }
+  if (gp.maxIterations <= 0) {
+    fail("gp.maxIterations must be positive (got " +
+         std::to_string(gp.maxIterations) + ")");
+  }
+  if (gp.minIterations < 0 || gp.minIterations > gp.maxIterations) {
+    fail("gp.minIterations must be in [0, maxIterations] (got " +
+         std::to_string(gp.minIterations) + " with maxIterations " +
+         std::to_string(gp.maxIterations) + ")");
+  }
+  if (gp.lambdaUpdateEvery < 1) {
+    fail("gp.lambdaUpdateEvery must be >= 1 (got " +
+         std::to_string(gp.lambdaUpdateEvery) +
+         "); it is the eq. (18) update period in iterations");
+  }
+  if (gp.densitySubdivision < 1) {
+    fail("gp.densitySubdivision must be >= 1 (got " +
+         std::to_string(gp.densitySubdivision) + ")");
+  }
+  if (gp.noiseRatio < 0.0) {
+    fail("gp.noiseRatio must be non-negative (got " +
+         std::to_string(gp.noiseRatio) + ")");
+  }
+  if (gp.solver != SolverKind::kNesterov && gp.lr <= 0.0) {
+    fail("gp.lr must be positive for the " +
+         std::string(solverName(gp.solver)) +
+         " solver (got " + std::to_string(gp.lr) +
+         "); only Nesterov derives its own step size");
+  }
+  if (gp.lrDecay <= 0.0 || gp.lrDecay > 1.0) {
+    fail("gp.lrDecay must be in (0, 1] (got " + std::to_string(gp.lrDecay) +
+         "); it multiplies the learning rate each iteration");
+  }
+  if (gp.fences.empty() && !gp.cellFence.empty()) {
+    fail("gp.cellFence assigns cells to fence regions but gp.fences is "
+         "empty; provide the fence list or clear cellFence");
+  }
+  for (const int f : gp.cellFence) {
+    if (f < 0 || f > static_cast<int>(gp.fences.size())) {
+      fail("gp.cellFence entries must be 0 (default region) or a 1-based "
+           "index into gp.fences (got " + std::to_string(f) + " with " +
+           std::to_string(gp.fences.size()) + " fences)");
+      break;
+    }
+  }
+  if (routability) {
+    const RouterOptions& router = routabilityOptions.router;
+    if (router.gridX <= 0 || router.gridY <= 0) {
+      fail("routability mode needs a positive router grid "
+           "(routabilityOptions.router.gridX/gridY, got " +
+           std::to_string(router.gridX) + "x" + std::to_string(router.gridY) +
+           ")");
+    }
+    if (router.numLayerPairs <= 0) {
+      fail("routabilityOptions.router.numLayerPairs must be positive (got " +
+           std::to_string(router.numLayerPairs) + ")");
+    }
+    if (!(routabilityOptions.inflationTrigger > 0.0) ||
+        routabilityOptions.inflationTrigger >= 1.0) {
+      fail("routabilityOptions.inflationTrigger must be in (0, 1) (got " +
+           std::to_string(routabilityOptions.inflationTrigger) +
+           "); it is the overflow at which inflation starts");
+    }
+    if (routabilityOptions.maxRounds < 1) {
+      fail("routabilityOptions.maxRounds must be >= 1 (got " +
+           std::to_string(routabilityOptions.maxRounds) + ")");
+    }
+  }
+
+  if (!errors.empty()) {
+    throw std::invalid_argument("PlacerOptions: " + errors);
+  }
+}
+
+FlowResult placeDesign(Database& db, const PlacerOptions& options) {
+  options.validate();
+  FlowTelemetry telemetry(options);
+  if (options.precision == Precision::kFloat32) {
+    return runFlow<float>(db, options, telemetry);
+  }
+  return runFlow<double>(db, options, telemetry);
 }
 
 }  // namespace dreamplace

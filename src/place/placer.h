@@ -25,6 +25,25 @@ struct PlacerOptions {
   bool runDetailedPlacement = true;
   bool routability = false;          ///< Table V mode.
   RoutabilityOptions routabilityOptions;
+
+  // --- Observability exports (all off by default; see
+  // docs/OBSERVABILITY.md) -------------------------------------------------
+  /// Per-iteration GP telemetry as JSONL, one record per iteration.
+  std::string telemetryJsonl;
+  /// Per-run GP summary CSV (one row per GP run, incl. restarts).
+  std::string telemetryCsv;
+  /// Chrome trace-event JSON (chrome://tracing / Perfetto) covering the
+  /// whole flow: every ScopedTimer scope plus GP counter tracks.
+  std::string traceFile;
+  /// Additional caller-provided sink (non-owning); composed with the
+  /// file exports above.
+  TelemetrySink* telemetry = nullptr;
+  /// Label stamped on telemetry records (design name); defaults to "".
+  std::string telemetryLabel;
+
+  /// Rejects nonsensical configurations with an actionable message.
+  /// Throws std::invalid_argument listing every violated constraint.
+  void validate() const;
 };
 
 struct FlowResult {

@@ -1,11 +1,15 @@
 #include <gtest/gtest.h>
 
 #include <cmath>
+#include <cstdio>
 #include <set>
+#include <thread>
 
+#include "common/counters.h"
 #include "common/geometry.h"
 #include "common/rng.h"
 #include "common/timer.h"
+#include "common/trace.h"
 
 namespace dreamplace {
 namespace {
@@ -147,6 +151,20 @@ TEST(TimingRegistryTest, AccumulatesAndReports) {
   EXPECT_DOUBLE_EQ(registry.total("stage_a"), 0.0);
 }
 
+TEST(TimingRegistryTest, TotalPrefixIsStringPrefix) {
+  auto& registry = TimingRegistry::instance();
+  registry.clear();
+  registry.add("gp", 1.0);
+  registry.add("gp/op/wirelength", 2.0);
+  registry.add("gp/op/density", 4.0);
+  registry.add("gq", 8.0);  // sorts after every "gp*" key
+  EXPECT_DOUBLE_EQ(registry.totalPrefix("gp/op"), 6.0);
+  EXPECT_DOUBLE_EQ(registry.totalPrefix("gp"), 7.0);
+  EXPECT_DOUBLE_EQ(registry.totalPrefix(""), 15.0);
+  EXPECT_DOUBLE_EQ(registry.totalPrefix("nope"), 0.0);
+  registry.clear();
+}
+
 TEST(TimingRegistryTest, ScopedTimerAdds) {
   auto& registry = TimingRegistry::instance();
   registry.clear();
@@ -159,6 +177,163 @@ TEST(TimingRegistryTest, ScopedTimerAdds) {
   }
   EXPECT_GT(registry.total("scoped_key"), 0.0);
   registry.clear();
+}
+
+TEST(CounterRegistryTest, AddValueAndPrefix) {
+  auto& registry = CounterRegistry::instance();
+  registry.clear();
+  registry.add("ops/a");
+  registry.add("ops/a", 4);
+  registry.add("ops/b", 2);
+  registry.add("fft/forward", 3);
+  EXPECT_EQ(registry.value("ops/a"), 5);
+  EXPECT_EQ(registry.value("missing"), 0);
+  EXPECT_EQ(registry.totalPrefix("ops"), 7);
+  EXPECT_EQ(registry.totalPrefix("fft"), 3);
+  const std::string report = registry.report();
+  EXPECT_NE(report.find("ops/a"), std::string::npos);
+  EXPECT_NE(report.find("fft/forward"), std::string::npos);
+  registry.clear();
+  EXPECT_EQ(registry.value("ops/a"), 0);
+}
+
+TEST(CounterRegistryTest, ClearKeepsAddressesValid) {
+  // Counter handles cache the atomic's address; clear() must zero in
+  // place rather than erase, or cached handles would dangle.
+  auto& registry = CounterRegistry::instance();
+  std::atomic<CounterRegistry::Value>& cell = registry.counter("stable/key");
+  cell.fetch_add(7);
+  registry.clear();
+  EXPECT_EQ(&registry.counter("stable/key"), &cell);
+  EXPECT_EQ(cell.load(), 0);
+  Counter handle("stable/key");
+  handle.add(3);
+  EXPECT_EQ(registry.value("stable/key"), 3);
+  EXPECT_EQ(handle.value(), 3);
+  registry.clear();
+}
+
+TEST(CounterRegistryTest, ConcurrentIncrementsAreLossless) {
+  auto& registry = CounterRegistry::instance();
+  registry.clear();
+  constexpr int kThreads = 4;
+  constexpr int kPerThread = 10000;
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([] {
+      Counter c("concurrent/key");
+      for (int i = 0; i < kPerThread; ++i) {
+        c.add();
+      }
+    });
+  }
+  for (auto& t : threads) {
+    t.join();
+  }
+  EXPECT_EQ(registry.value("concurrent/key"), kThreads * kPerThread);
+  registry.clear();
+}
+
+TEST(TraceRecorderTest, DisabledPathRecordsNothing) {
+  auto& trace = TraceRecorder::instance();
+  trace.setEnabled(false);
+  trace.clear();
+  trace.completeEvent("ignored", 0.5);
+  trace.instantEvent("ignored");
+  trace.counterEvent("ignored", 1.0);
+  { TraceScope scope("ignored"); }
+  { ScopedTimer timer("trace_test/ignored"); }
+  EXPECT_EQ(trace.size(), 0u);
+  TimingRegistry::instance().clear();
+}
+
+TEST(TraceRecorderTest, RecordsAllEventKinds) {
+  auto& trace = TraceRecorder::instance();
+  trace.clear();
+  trace.setEnabled(true);
+  trace.completeEvent("span", 0.001);
+  trace.instantEvent("marker", "{\"k\":1}");
+  trace.counterEvent("gauge", 42.5);
+  { TraceScope scope("scoped"); }
+  { ScopedTimer timer("trace_test/timed"); }
+  trace.setEnabled(false);
+  EXPECT_EQ(trace.size(), 5u);
+
+  const std::string json = trace.toJson();
+  EXPECT_NE(json.find("\"traceEvents\""), std::string::npos);
+  EXPECT_NE(json.find("\"span\""), std::string::npos);
+  EXPECT_NE(json.find("\"marker\""), std::string::npos);
+  EXPECT_NE(json.find("\"gauge\""), std::string::npos);
+  EXPECT_NE(json.find("\"scoped\""), std::string::npos);
+  EXPECT_NE(json.find("\"trace_test/timed\""), std::string::npos);
+  EXPECT_NE(json.find("\"ph\":\"X\""), std::string::npos);
+  EXPECT_NE(json.find("\"ph\":\"i\""), std::string::npos);
+  EXPECT_NE(json.find("\"ph\":\"C\""), std::string::npos);
+
+  // Minimal structural validity: balanced braces/brackets outside strings.
+  int braces = 0, brackets = 0;
+  bool in_string = false;
+  for (size_t i = 0; i < json.size(); ++i) {
+    const char c = json[i];
+    if (in_string) {
+      if (c == '\\') {
+        ++i;
+      } else if (c == '"') {
+        in_string = false;
+      }
+      continue;
+    }
+    if (c == '"') {
+      in_string = true;
+    } else if (c == '{') {
+      ++braces;
+    } else if (c == '}') {
+      --braces;
+    } else if (c == '[') {
+      ++brackets;
+    } else if (c == ']') {
+      --brackets;
+    }
+    ASSERT_GE(braces, 0);
+    ASSERT_GE(brackets, 0);
+  }
+  EXPECT_EQ(braces, 0);
+  EXPECT_EQ(brackets, 0);
+  EXPECT_FALSE(in_string);
+  trace.clear();
+  TimingRegistry::instance().clear();
+}
+
+TEST(TraceRecorderTest, WriteJsonRoundTrips) {
+  auto& trace = TraceRecorder::instance();
+  trace.clear();
+  trace.setEnabled(true);
+  trace.completeEvent("file_span", 0.002);
+  trace.setEnabled(false);
+  const std::string path =
+      ::testing::TempDir() + "trace_recorder_test.json";
+  ASSERT_TRUE(trace.writeJson(path));
+  std::FILE* f = std::fopen(path.c_str(), "rb");
+  ASSERT_NE(f, nullptr);
+  std::string content;
+  char buf[4096];
+  size_t n;
+  while ((n = std::fread(buf, 1, sizeof(buf), f)) > 0) {
+    content.append(buf, n);
+  }
+  std::fclose(f);
+  std::remove(path.c_str());
+  EXPECT_EQ(content, trace.toJson());
+  EXPECT_FALSE(trace.writeJson("/nonexistent-dir/trace.json"));
+  trace.clear();
+}
+
+TEST(TraceRecorderTest, JsonEscape) {
+  EXPECT_EQ(jsonEscape("plain"), "plain");
+  EXPECT_EQ(jsonEscape("a\"b"), "a\\\"b");
+  EXPECT_EQ(jsonEscape("a\\b"), "a\\\\b");
+  EXPECT_EQ(jsonEscape("a\nb\tc"), "a\\nb\\tc");
+  EXPECT_EQ(jsonEscape(std::string_view("\x01", 1)), "\\u0001");
 }
 
 }  // namespace

@@ -127,5 +127,146 @@ TEST(FlowTest, DeterministicEndToEnd) {
   EXPECT_EQ(r1.gpIterations, r2.gpIterations);
 }
 
+// ---------------------------------------------------------------------------
+// PlacerOptions::validate()
+// ---------------------------------------------------------------------------
+
+/// The thrown message should tell the user which knob is wrong.
+void expectValidateFails(const PlacerOptions& options,
+                         const std::string& expected_fragment) {
+  try {
+    options.validate();
+    FAIL() << "expected validate() to throw for " << expected_fragment;
+  } catch (const std::invalid_argument& e) {
+    EXPECT_NE(std::string(e.what()).find(expected_fragment),
+              std::string::npos)
+        << "message was: " << e.what();
+  }
+}
+
+TEST(PlacerOptionsValidateTest, DefaultsAreValid) {
+  PlacerOptions options;
+  EXPECT_NO_THROW(options.validate());
+  EXPECT_NO_THROW(fastFlow().validate());
+}
+
+TEST(PlacerOptionsValidateTest, RejectsBadGpKnobs) {
+  PlacerOptions options;
+  options.gp.targetDensity = 1.5;
+  expectValidateFails(options, "targetDensity");
+
+  options = PlacerOptions();
+  options.gp.targetDensity = 0.0;
+  expectValidateFails(options, "targetDensity");
+
+  options = PlacerOptions();
+  options.gp.binsMax = 0;
+  expectValidateFails(options, "binsMax");
+
+  options = PlacerOptions();
+  options.gp.stopOverflow = 0.0;
+  expectValidateFails(options, "stopOverflow");
+
+  options = PlacerOptions();
+  options.gp.maxIterations = 0;
+  expectValidateFails(options, "maxIterations");
+
+  options = PlacerOptions();
+  options.gp.minIterations = 500;
+  options.gp.maxIterations = 100;
+  expectValidateFails(options, "minIterations");
+
+  options = PlacerOptions();
+  options.gp.lambdaUpdateEvery = 0;
+  expectValidateFails(options, "lambdaUpdateEvery");
+
+  options = PlacerOptions();
+  options.gp.densitySubdivision = 0;
+  expectValidateFails(options, "densitySubdivision");
+
+  options = PlacerOptions();
+  options.gp.noiseRatio = -0.1;
+  expectValidateFails(options, "noiseRatio");
+}
+
+TEST(PlacerOptionsValidateTest, RejectsBadSolverLearningRate) {
+  PlacerOptions options;
+  options.gp.solver = SolverKind::kAdam;
+  options.gp.lr = 0.0;
+  expectValidateFails(options, "gp.lr");
+
+  // Nesterov derives its own step size, so lr is not consulted.
+  options = PlacerOptions();
+  options.gp.solver = SolverKind::kNesterov;
+  options.gp.lr = 0.0;
+  EXPECT_NO_THROW(options.validate());
+
+  options = PlacerOptions();
+  options.gp.lrDecay = 0.0;
+  expectValidateFails(options, "lrDecay");
+}
+
+TEST(PlacerOptionsValidateTest, RejectsInconsistentFences) {
+  PlacerOptions options;
+  options.gp.cellFence = {0, 1};
+  expectValidateFails(options, "fences");
+
+  options = PlacerOptions();
+  options.gp.fences = {{{0, 0, 10, 10}}};
+  options.gp.cellFence = {0, 2};  // 2 is out of range with one fence
+  expectValidateFails(options, "cellFence");
+
+  options = PlacerOptions();
+  options.gp.fences = {{{0, 0, 10, 10}}};
+  options.gp.cellFence = {0, 1, 0};
+  EXPECT_NO_THROW(options.validate());
+}
+
+TEST(PlacerOptionsValidateTest, RejectsBadRoutabilityConfig) {
+  PlacerOptions options;
+  options.routability = true;
+  options.routabilityOptions.router.gridX = 0;
+  expectValidateFails(options, "gridX");
+
+  options = PlacerOptions();
+  options.routability = true;
+  options.routabilityOptions.inflationTrigger = 1.5;
+  expectValidateFails(options, "inflationTrigger");
+
+  options = PlacerOptions();
+  options.routability = true;
+  options.routabilityOptions.maxRounds = 0;
+  expectValidateFails(options, "maxRounds");
+
+  // The same knobs are ignored when routability mode is off.
+  options = PlacerOptions();
+  options.routability = false;
+  options.routabilityOptions.maxRounds = 0;
+  EXPECT_NO_THROW(options.validate());
+}
+
+TEST(PlacerOptionsValidateTest, ReportsEveryViolationAtOnce) {
+  PlacerOptions options;
+  options.gp.targetDensity = -1.0;
+  options.gp.maxIterations = -5;
+  options.gp.lambdaUpdateEvery = 0;
+  try {
+    options.validate();
+    FAIL() << "expected validate() to throw";
+  } catch (const std::invalid_argument& e) {
+    const std::string message = e.what();
+    EXPECT_NE(message.find("targetDensity"), std::string::npos);
+    EXPECT_NE(message.find("maxIterations"), std::string::npos);
+    EXPECT_NE(message.find("lambdaUpdateEvery"), std::string::npos);
+  }
+}
+
+TEST(PlacerOptionsValidateTest, PlaceDesignRejectsInvalidOptions) {
+  auto db = flowDesign(139, 200);
+  PlacerOptions options;
+  options.gp.targetDensity = 2.0;
+  EXPECT_THROW(placeDesign(*db, options), std::invalid_argument);
+}
+
 }  // namespace
 }  // namespace dreamplace

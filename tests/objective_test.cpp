@@ -1,0 +1,131 @@
+// CompositeObjective: the "loss + lambda * regularizer" seam between the
+// placement ops and the optimizers.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <span>
+#include <vector>
+
+#include "autograd/objective.h"
+
+namespace dreamplace {
+namespace {
+
+/// f(x) = 0.5 * sum_i a_i * (x_i - c_i)^2, gradient a_i * (x_i - c_i).
+class QuadraticTerm final : public ObjectiveFunction<double> {
+ public:
+  QuadraticTerm(std::vector<double> scale, std::vector<double> center)
+      : scale_(std::move(scale)), center_(std::move(center)) {}
+
+  std::size_t size() const override { return scale_.size(); }
+
+  double evaluate(std::span<const double> params,
+                  std::span<double> grad) override {
+    ++evaluations_;
+    double value = 0.0;
+    for (std::size_t i = 0; i < scale_.size(); ++i) {
+      const double d = params[i] - center_[i];
+      value += 0.5 * scale_[i] * d * d;
+      grad[i] = scale_[i] * d;
+    }
+    return value;
+  }
+
+  int evaluations() const { return evaluations_; }
+
+ private:
+  std::vector<double> scale_;
+  std::vector<double> center_;
+  int evaluations_ = 0;
+};
+
+TEST(CompositeObjectiveTest, EmptyCompositeHasZeroSize) {
+  CompositeObjective<double> composite;
+  EXPECT_EQ(composite.size(), 0u);
+  EXPECT_EQ(composite.numTerms(), 0u);
+}
+
+TEST(CompositeObjectiveTest, WeightedSumOfValuesAndGradients) {
+  QuadraticTerm a({1.0, 2.0}, {0.0, 0.0});
+  QuadraticTerm b({3.0, 1.0}, {1.0, -1.0});
+  CompositeObjective<double> composite;
+  composite.addTerm(&a, 1.0);
+  composite.addTerm(&b, 0.5);
+  EXPECT_EQ(composite.numTerms(), 2u);
+  EXPECT_EQ(composite.size(), 2u);
+
+  const std::vector<double> x = {2.0, 3.0};
+  std::vector<double> grad(2), ga(2), gb(2);
+  const double value = composite.evaluate(x, grad);
+  const double va = a.evaluate(x, ga);
+  const double vb = b.evaluate(x, gb);
+  EXPECT_DOUBLE_EQ(value, va + 0.5 * vb);
+  for (int i = 0; i < 2; ++i) {
+    EXPECT_DOUBLE_EQ(grad[i], ga[i] + 0.5 * gb[i]);
+  }
+}
+
+TEST(CompositeObjectiveTest, GradientOverwritesNotAccumulates) {
+  QuadraticTerm a({1.0}, {0.0});
+  CompositeObjective<double> composite;
+  composite.addTerm(&a, 1.0);
+  const std::vector<double> x = {4.0};
+  std::vector<double> grad = {123.0};  // stale garbage must be overwritten
+  composite.evaluate(x, grad);
+  EXPECT_DOUBLE_EQ(grad[0], 4.0);
+  composite.evaluate(x, grad);
+  EXPECT_DOUBLE_EQ(grad[0], 4.0);
+}
+
+TEST(CompositeObjectiveTest, SetWeightRescalesTerm) {
+  QuadraticTerm a({2.0}, {0.0});
+  QuadraticTerm b({2.0}, {0.0});
+  CompositeObjective<double> composite;
+  composite.addTerm(&a, 1.0);
+  composite.addTerm(&b, 1.0);
+  EXPECT_DOUBLE_EQ(composite.weight(1), 1.0);
+
+  const std::vector<double> x = {3.0};
+  std::vector<double> grad(1);
+  const double v1 = composite.evaluate(x, grad);
+  EXPECT_DOUBLE_EQ(grad[0], 12.0);
+
+  composite.setWeight(1, 10.0);  // the density-weight schedule move
+  EXPECT_DOUBLE_EQ(composite.weight(1), 10.0);
+  const double v2 = composite.evaluate(x, grad);
+  EXPECT_DOUBLE_EQ(v2 - v1, 9.0 * 9.0);  // 9 * (0.5 * 2 * 3^2)
+  EXPECT_DOUBLE_EQ(grad[0], 6.0 + 60.0);
+}
+
+TEST(CompositeObjectiveTest, LastTermValueTracksUnweightedTerms) {
+  QuadraticTerm a({2.0}, {0.0});
+  QuadraticTerm b({4.0}, {0.0});
+  CompositeObjective<double> composite;
+  composite.addTerm(&a, 0.25);
+  composite.addTerm(&b, 100.0);
+  const std::vector<double> x = {1.0};
+  std::vector<double> grad(1);
+  composite.evaluate(x, grad);
+  // lastTermValue reports the raw term value, before weighting — that is
+  // what the GP loop exports as the wirelength/density telemetry fields.
+  EXPECT_DOUBLE_EQ(composite.lastTermValue(0), 1.0);
+  EXPECT_DOUBLE_EQ(composite.lastTermValue(1), 2.0);
+}
+
+TEST(CompositeObjectiveTest, EvaluatesEachTermExactlyOnce) {
+  QuadraticTerm a({1.0}, {0.0});
+  QuadraticTerm b({1.0}, {0.0});
+  CompositeObjective<double> composite;
+  composite.addTerm(&a, 1.0);
+  composite.addTerm(&b, 2.0);
+  const std::vector<double> x = {1.0};
+  std::vector<double> grad(1);
+  for (int i = 1; i <= 3; ++i) {
+    composite.evaluate(x, grad);
+    EXPECT_EQ(a.evaluations(), i);
+    EXPECT_EQ(b.evaluations(), i);
+  }
+}
+
+}  // namespace
+}  // namespace dreamplace

@@ -2,6 +2,7 @@
 
 #include <cmath>
 
+#include "common/counters.h"
 #include "common/rng.h"
 #include "db/metrics.h"
 #include "gen/netlist_generator.h"
@@ -199,6 +200,54 @@ TEST(WaWirelengthTest, PerNetGradientConservation) {
   const double v2 = op.evaluate(params, grad2);
   EXPECT_DOUBLE_EQ(v1, v2);
   EXPECT_EQ(grad, grad2);
+}
+
+TEST(WaWirelengthTest, AtomicWorkspaceAllocatesOnce) {
+  // The atomic kernel's six scatter buffers are member workspace: the
+  // first evaluate() allocates them, every later call reuses them. The
+  // counter registry is the witness (deltas, since other tests in this
+  // binary also exercise the atomic kernel).
+  auto& registry = CounterRegistry::instance();
+  const auto allocs0 = registry.value("ops/wirelength/atomic_ws_alloc");
+  const auto reuses0 = registry.value("ops/wirelength/atomic_ws_reuse");
+
+  auto db = smallDesign(90, 13);
+  const Index n = db->numMovable();
+  WaWirelengthOp<double>::Options opts;
+  opts.kernel = WirelengthKernel::kAtomic;
+  WaWirelengthOp<double> op(*db, n, opts);
+  op.setGamma(4.0);
+  auto params = centerParams<double>(*db, n);
+  std::vector<double> grad(params.size());
+
+  constexpr int kEvals = 8;
+  for (int i = 0; i < kEvals; ++i) {
+    op.evaluate(params, grad);
+  }
+  EXPECT_EQ(registry.value("ops/wirelength/atomic_ws_alloc") - allocs0, 1);
+  EXPECT_EQ(registry.value("ops/wirelength/atomic_ws_reuse") - reuses0,
+            kEvals - 1);
+}
+
+TEST(WaWirelengthTest, TopologyViewIsConsistent) {
+  // All three kernels and the HPWL path consume the same NetTopologyView;
+  // its CSR invariants are what make that sharing sound.
+  auto db = smallDesign(70, 29);
+  const Index n = db->numMovable();
+  WaWirelengthOp<double> op(*db, n);
+  const NetTopologyView<double> topo = op.topology();
+  EXPECT_EQ(topo.numNets(), db->numNets());
+  EXPECT_EQ(topo.netStart[0], 0);
+  EXPECT_EQ(topo.netStart[topo.numNets()], topo.numPins());
+  for (Index e = 0; e < topo.numNets(); ++e) {
+    EXPECT_LE(topo.netBegin(e), topo.netEnd(e));
+    EXPECT_EQ(topo.netDegree(e), topo.netEnd(e) - topo.netBegin(e));
+    for (Index p = topo.netBegin(e); p < topo.netEnd(e); ++p) {
+      EXPECT_EQ(topo.pinNet[p], e);
+      const Index node = topo.pinNode[p];
+      EXPECT_TRUE(node == kInvalidIndex || (node >= 0 && node < n));
+    }
+  }
 }
 
 TEST(LseWirelengthTest, UpperBoundsHpwl) {
