@@ -6,8 +6,10 @@
 // single-pass 2-D N-point formulation (Alg. 4) ~5.0x / ~4.1x faster.
 #include <benchmark/benchmark.h>
 
+#include <chrono>
 #include <map>
 
+#include "bench_util.h"
 #include "common/rng.h"
 #include "fft/dct2d.h"
 
@@ -68,11 +70,70 @@ void registerAll() {
   }
 }
 
+// Self-timed sweep for the machine-readable export: google-benchmark's
+// JSON reporter would redirect the console tables, so the file keeps its
+// own (smaller) measurement pass — best of `kIters` after one warm-up
+// call, which is also what makes the fft/* counter snapshot deterministic.
+void writeJsonReport(const std::string& path) {
+  struct Variant {
+    const char* name;
+    Dct2dAlgorithm algo;
+  };
+  const Variant variants[] = {
+      {"2N", Dct2dAlgorithm::kRowCol2N},
+      {"N", Dct2dAlgorithm::kRowColN},
+      {"2D-N", Dct2dAlgorithm::kFft2dN},
+  };
+  constexpr int kIters = 3;
+  bench::BenchJsonWriter writer("fig11_dct");
+  for (const auto& v : variants) {
+    for (bool inverse : {false, true}) {
+      for (int m : {128, 256, 512}) {
+        auto& in = mapOfSize(m);
+        std::vector<float> out(in.size());
+        const auto run = [&] {
+          if (inverse) {
+            fft::idct2d(in.data(), out.data(), m, m, v.algo);
+          } else {
+            fft::dct2d(in.data(), out.data(), m, m, v.algo);
+          }
+          benchmark::DoNotOptimize(out.data());
+        };
+        run();  // warm-up: builds the thread-local plan for (m, algo)
+        double best_ms = 0;
+        for (int i = 0; i < kIters; ++i) {
+          const auto t0 = std::chrono::steady_clock::now();
+          run();
+          const double ms = std::chrono::duration<double, std::milli>(
+                                std::chrono::steady_clock::now() - t0)
+                                .count();
+          if (i == 0 || ms < best_ms) {
+            best_ms = ms;
+          }
+        }
+        writer.addResult(std::string(inverse ? "IDCT-" : "DCT-") + v.name,
+                         m, best_ms);
+      }
+    }
+  }
+  writer.addCounterPrefix("fft/");
+  if (writer.write(path)) {
+    std::printf("bench json written to %s\n", path.c_str());
+  } else {
+    std::fprintf(stderr, "bench json: cannot write %s\n", path.c_str());
+  }
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
+  const std::string json_path =
+      bench::benchJsonPath(argc, argv, "BENCH_fig11_dct.json");
   registerAll();
   benchmark::Initialize(&argc, argv);
   benchmark::RunSpecifiedBenchmarks();
+  if (!json_path.empty()) {
+    writeJsonReport(json_path);
+  }
   return 0;
 }

@@ -24,12 +24,15 @@
 // benches reproduce.
 #pragma once
 
+#include <cstdint>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
 #include <memory>
 #include <string>
+#include <vector>
 
+#include "common/counters.h"
 #include "common/trace.h"
 #include "gen/suites.h"
 #include "gp/global_placer.h"
@@ -145,6 +148,83 @@ class TelemetrySession {
   std::unique_ptr<CsvTelemetrySink> csv_;
   TraceTelemetrySink trace_sink_;
   std::string trace_file_;
+};
+
+/// Output path for the machine-readable result file of a bench binary.
+/// Precedence: --json=<file> > DREAMPLACE_BENCH_JSON > `fallback`; an
+/// empty value disables the export. Parse before benchmark::Initialize so
+/// the flag never reaches google-benchmark's own parser.
+inline std::string benchJsonPath(int argc, char** argv,
+                                 const std::string& fallback) {
+  std::string path = fallback;
+  if (const char* env = std::getenv("DREAMPLACE_BENCH_JSON")) {
+    path = env;
+  }
+  for (int i = 1; i < argc; ++i) {
+    if (std::strncmp(argv[i], "--json=", 7) == 0) {
+      path = argv[i] + 7;
+    }
+  }
+  return path;
+}
+
+/// Machine-readable benchmark export: collects (name, n, ms) rows plus a
+/// counter-registry snapshot and writes them as one JSON document, so CI
+/// and regression tooling can diff runs without scraping console tables.
+///
+///   {"bench":"fig11_dct","schema":1,
+///    "results":[{"name":"DCT-2D-N","n":512,"ms":5.02}, ...],
+///    "counters":{"fft/plan/create":14, ...}}
+class BenchJsonWriter {
+ public:
+  explicit BenchJsonWriter(std::string bench) : bench_(std::move(bench)) {}
+
+  void addResult(const std::string& name, std::int64_t n, double ms) {
+    results_.push_back({name, n, ms});
+  }
+
+  /// Records every counter whose key starts with `prefix` (call multiple
+  /// times to merge several subsystems into the snapshot).
+  void addCounterPrefix(const std::string& prefix) {
+    for (const auto& [key, value] : CounterRegistry::instance().snapshot()) {
+      if (key.compare(0, prefix.size(), prefix) == 0) {
+        counters_.push_back({key, value});
+      }
+    }
+  }
+
+  bool write(const std::string& path) const {
+    std::FILE* f = std::fopen(path.c_str(), "w");
+    if (f == nullptr) {
+      return false;
+    }
+    std::fprintf(f, "{\"bench\":\"%s\",\"schema\":1,\"results\":[",
+                 bench_.c_str());
+    for (size_t i = 0; i < results_.size(); ++i) {
+      const auto& r = results_[i];
+      std::fprintf(f, "%s{\"name\":\"%s\",\"n\":%lld,\"ms\":%.6g}",
+                   i == 0 ? "" : ",", r.name.c_str(),
+                   static_cast<long long>(r.n), r.ms);
+    }
+    std::fprintf(f, "],\"counters\":{");
+    for (size_t i = 0; i < counters_.size(); ++i) {
+      std::fprintf(f, "%s\"%s\":%lld", i == 0 ? "" : ",",
+                   counters_[i].first.c_str(),
+                   static_cast<long long>(counters_[i].second));
+    }
+    std::fprintf(f, "}}\n");
+    return std::fclose(f) == 0;
+  }
+
+ private:
+  struct Row {
+    std::string name;
+    std::int64_t n;
+    double ms;
+  };
+  std::string bench_;
+  std::vector<Row> results_;
+  std::vector<std::pair<std::string, CounterRegistry::Value>> counters_;
 };
 
 /// Suite scale factor; override with DREAMPLACE_BENCH_SCALE.

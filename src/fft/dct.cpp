@@ -10,10 +10,28 @@ namespace dreamplace::fft {
 
 namespace {
 
+/// Thread-local quarter-wave twiddle table exp(-i*pi*k/(2n)), k < n.
+/// The row-column drivers call the 1-D transforms with the same n for a
+/// whole pass, so each thread computes the table once per pass instead of
+/// n trig pairs per row.
 template <typename T>
-std::vector<T> dctNaive(const std::vector<T>& x) {
-  const int n = static_cast<int>(x.size());
-  std::vector<T> out(n);
+const std::complex<T>* quarterTwiddles(int n) {
+  thread_local std::vector<std::complex<T>> tw;
+  thread_local int cached_n = 0;
+  if (cached_n != n) {
+    tw.resize(n);
+    for (int k = 0; k < n; ++k) {
+      const double angle = -M_PI * k / (2.0 * n);
+      tw[k] = std::complex<T>(static_cast<T>(std::cos(angle)),
+                              static_cast<T>(std::sin(angle)));
+    }
+    cached_n = n;
+  }
+  return tw.data();
+}
+
+template <typename T>
+void dctNaive(const T* x, T* out, int n) {
   for (int k = 0; k < n; ++k) {
     double acc = 0.0;
     for (int m = 0; m < n; ++m) {
@@ -21,13 +39,10 @@ std::vector<T> dctNaive(const std::vector<T>& x) {
     }
     out[k] = static_cast<T>(acc);
   }
-  return out;
 }
 
 template <typename T>
-std::vector<T> idctNaive(const std::vector<T>& c) {
-  const int n = static_cast<int>(c.size());
-  std::vector<T> out(n);
+void idctNaive(const T* c, T* out, int n) {
   for (int k = 0; k < n; ++k) {
     double acc = 0.5 * static_cast<double>(c[0]);
     for (int m = 1; m < n; ++m) {
@@ -35,151 +50,159 @@ std::vector<T> idctNaive(const std::vector<T>& c) {
     }
     out[k] = static_cast<T>(acc);
   }
-  return out;
 }
 
 /// DCT-II via a 2N-point complex FFT of the half-sample even extension
 /// [x_0..x_{N-1}, x_{N-1}..x_0]: Y_k = 2 e^{+j pi k/2N} X_k.
 template <typename T>
-std::vector<T> dctFft2N(const std::vector<T>& x) {
-  const int n = static_cast<int>(x.size());
-  std::vector<std::complex<T>> y(2 * n);
+void dctFft2N(const T* x, T* out, int n) {
+  thread_local std::vector<std::complex<T>> y;
+  y.assign(2 * n, std::complex<T>(0, 0));
   for (int i = 0; i < n; ++i) {
     y[i] = x[i];
     y[2 * n - 1 - i] = x[i];
   }
   fft(y.data(), 2 * n, false);
-  std::vector<T> out(n);
+  const std::complex<T>* tw = quarterTwiddles<T>(n);
   for (int k = 0; k < n; ++k) {
-    const double angle = -M_PI * k / (2.0 * n);
-    const std::complex<T> tw(static_cast<T>(std::cos(angle)),
-                             static_cast<T>(std::sin(angle)));
-    out[k] = T(0.5) * (tw * y[k]).real();
+    out[k] = T(0.5) * (tw[k] * y[k]).real();
   }
-  return out;
 }
 
 /// IDCT via a 2N-point inverse FFT: idct(c)_k = Re(S_k) - c_0/2 with
 /// S = 2N * IDFT_2N(d), d_n = c_n e^{+j pi n/2N} zero-padded to 2N.
 template <typename T>
-std::vector<T> idctFft2N(const std::vector<T>& c) {
-  const int n = static_cast<int>(c.size());
-  std::vector<std::complex<T>> d(2 * n, std::complex<T>(0, 0));
+void idctFft2N(const T* c, T* out, int n) {
+  thread_local std::vector<std::complex<T>> d;
+  d.assign(2 * n, std::complex<T>(0, 0));
+  const std::complex<T>* tw = quarterTwiddles<T>(n);
   for (int m = 0; m < n; ++m) {
-    const double angle = M_PI * m / (2.0 * n);
-    d[m] = static_cast<T>(c[m]) *
-           std::complex<T>(static_cast<T>(std::cos(angle)),
-                           static_cast<T>(std::sin(angle)));
+    d[m] = c[m] * std::conj(tw[m]);
   }
   fft(d.data(), 2 * n, true);
-  std::vector<T> out(n);
   const T half_c0 = c[0] / T(2);
   for (int k = 0; k < n; ++k) {
     out[k] = static_cast<T>(2 * n) * d[k].real() - half_c0;
   }
-  return out;
 }
 
 /// Makhoul N-point DCT (Algorithm 3 in the paper): reorder, one-sided real
 /// FFT, and a linear-time twiddle pass.
 template <typename T>
-std::vector<T> dctFftN(const std::vector<T>& x) {
-  const int n = static_cast<int>(x.size());
+void dctFftN(const T* x, T* out, int n) {
   DP_ASSERT_MSG(n % 2 == 0, "N-point DCT requires even N, got %d", n);
-  std::vector<T> v(n);
   const int h = n / 2;
+  thread_local std::vector<T> v;
+  thread_local std::vector<std::complex<T>> spectrum;
+  v.resize(n);
+  spectrum.resize(h + 1);
   for (int t = 0; t < n; ++t) {
     v[t] = (t < h) ? x[2 * t] : x[2 * (n - t) - 1];
   }
-  std::vector<std::complex<T>> spectrum(h + 1);
   rfft(v.data(), spectrum.data(), n);
-  std::vector<T> out(n);
+  const std::complex<T>* tw = quarterTwiddles<T>(n);
   for (int k = 0; k < n; ++k) {
-    const double angle = -M_PI * k / (2.0 * n);
-    const std::complex<T> tw(static_cast<T>(std::cos(angle)),
-                             static_cast<T>(std::sin(angle)));
     // Conjugate symmetry of the real FFT covers k > N/2.
     const std::complex<T> vk =
         (k <= h) ? spectrum[k] : std::conj(spectrum[n - k]);
-    out[k] = (tw * vk).real();
+    out[k] = (tw[k] * vk).real();
   }
-  return out;
 }
 
 /// Makhoul N-point IDCT: U_t = e^{+j pi t/2N} (c_t - j c_{N-t}) for
 /// t = 0..N/2 (c_N := 0), one-sided inverse real FFT, inverse reorder,
 /// scale by N/2.
 template <typename T>
-std::vector<T> idctFftN(const std::vector<T>& c) {
-  const int n = static_cast<int>(c.size());
+void idctFftN(const T* c, T* out, int n) {
   DP_ASSERT_MSG(n % 2 == 0, "N-point IDCT requires even N, got %d", n);
   const int h = n / 2;
-  std::vector<std::complex<T>> u(h + 1);
+  thread_local std::vector<std::complex<T>> u;
+  thread_local std::vector<T> v;
+  u.resize(h + 1);
+  v.resize(n);
+  const std::complex<T>* tw = quarterTwiddles<T>(n);
   for (int t = 0; t <= h; ++t) {
     const T ct = c[t];
     const T cnt = (t == 0) ? T(0) : c[n - t];
-    const double angle = M_PI * t / (2.0 * n);
-    const std::complex<T> tw(static_cast<T>(std::cos(angle)),
-                             static_cast<T>(std::sin(angle)));
-    u[t] = tw * std::complex<T>(ct, -cnt);
+    u[t] = std::conj(tw[t]) * std::complex<T>(ct, -cnt);
   }
-  std::vector<T> v(n);
   irfft(u.data(), v.data(), n);
-  std::vector<T> out(n);
   const T scale = static_cast<T>(n) / T(2);
   for (int k = 0; k < n; ++k) {
     // Inverse of the forward reorder: even outputs from the first half.
     out[k] = scale * ((k % 2 == 0) ? v[k / 2] : v[n - (k + 1) / 2]);
   }
-  return out;
 }
 
 }  // namespace
 
 template <typename T>
-std::vector<T> dct(const std::vector<T>& x, DctAlgorithm algo) {
+void dct(const T* in, T* out, int n, DctAlgorithm algo) {
   switch (algo) {
     case DctAlgorithm::kNaive:
-      return dctNaive(x);
+      return dctNaive(in, out, n);
     case DctAlgorithm::kFft2N:
-      return dctFft2N(x);
+      return dctFft2N(in, out, n);
     case DctAlgorithm::kFftN:
-      return dctFftN(x);
+      return dctFftN(in, out, n);
   }
   logFatal("unknown DCT algorithm");
 }
 
 template <typename T>
-std::vector<T> idct(const std::vector<T>& c, DctAlgorithm algo) {
+void idct(const T* in, T* out, int n, DctAlgorithm algo) {
   switch (algo) {
     case DctAlgorithm::kNaive:
-      return idctNaive(c);
+      return idctNaive(in, out, n);
     case DctAlgorithm::kFft2N:
-      return idctFft2N(c);
+      return idctFft2N(in, out, n);
     case DctAlgorithm::kFftN:
-      return idctFftN(c);
+      return idctFftN(in, out, n);
   }
   logFatal("unknown IDCT algorithm");
 }
 
 template <typename T>
-std::vector<T> idxst(const std::vector<T>& c, DctAlgorithm algo) {
-  const int n = static_cast<int>(c.size());
+void idxst(const T* in, T* out, int n, DctAlgorithm algo) {
   // Paper eq. (8e): idxst(c)_k = (-1)^k idct(z)_k, z_0 = 0, z_n = c_{N-n}.
-  std::vector<T> z(n);
+  thread_local std::vector<T> z;
+  z.resize(n);
   z[0] = T(0);
   for (int m = 1; m < n; ++m) {
-    z[m] = c[n - m];
+    z[m] = in[n - m];
   }
-  std::vector<T> y = idct(z, algo);
+  idct(z.data(), out, n, algo);
   for (int k = 1; k < n; k += 2) {
-    y[k] = -y[k];
+    out[k] = -out[k];
   }
-  return y;
 }
 
-#define DP_INSTANTIATE_DCT(T)                                          \
-  template std::vector<T> dct<T>(const std::vector<T>&, DctAlgorithm); \
+template <typename T>
+std::vector<T> dct(const std::vector<T>& x, DctAlgorithm algo) {
+  std::vector<T> out(x.size());
+  dct(x.data(), out.data(), static_cast<int>(x.size()), algo);
+  return out;
+}
+
+template <typename T>
+std::vector<T> idct(const std::vector<T>& c, DctAlgorithm algo) {
+  std::vector<T> out(c.size());
+  idct(c.data(), out.data(), static_cast<int>(c.size()), algo);
+  return out;
+}
+
+template <typename T>
+std::vector<T> idxst(const std::vector<T>& c, DctAlgorithm algo) {
+  std::vector<T> out(c.size());
+  idxst(c.data(), out.data(), static_cast<int>(c.size()), algo);
+  return out;
+}
+
+#define DP_INSTANTIATE_DCT(T)                                           \
+  template void dct<T>(const T*, T*, int, DctAlgorithm);                \
+  template void idct<T>(const T*, T*, int, DctAlgorithm);               \
+  template void idxst<T>(const T*, T*, int, DctAlgorithm);              \
+  template std::vector<T> dct<T>(const std::vector<T>&, DctAlgorithm);  \
   template std::vector<T> idct<T>(const std::vector<T>&, DctAlgorithm); \
   template std::vector<T> idxst<T>(const std::vector<T>&, DctAlgorithm);
 

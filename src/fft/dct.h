@@ -37,4 +37,19 @@ template <typename T>
 std::vector<T> idxst(const std::vector<T>& c,
                      DctAlgorithm algo = DctAlgorithm::kFftN);
 
+// Pointer-based forms used by the 2-D row-column drivers: write the n
+// outputs into `out` with no per-call vector round trip. `in` and `out`
+// must not alias. Internal temporaries are thread-local, so steady-state
+// calls are allocation-free per thread.
+template <typename T>
+void dct(const T* in, T* out, int n, DctAlgorithm algo = DctAlgorithm::kFftN);
+
+template <typename T>
+void idct(const T* in, T* out, int n,
+          DctAlgorithm algo = DctAlgorithm::kFftN);
+
+template <typename T>
+void idxst(const T* in, T* out, int n,
+           DctAlgorithm algo = DctAlgorithm::kFftN);
+
 }  // namespace dreamplace::fft

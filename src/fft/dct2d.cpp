@@ -1,7 +1,13 @@
 #include "fft/dct2d.h"
 
 #include <cmath>
-#include <complex>
+#include <map>
+#include <memory>
+#include <tuple>
+
+#ifdef _OPENMP
+#include <omp.h>
+#endif
 
 #include "common/counters.h"
 #include "common/log.h"
@@ -11,36 +17,41 @@ namespace dreamplace::fft {
 
 namespace {
 
+int maxThreads() {
+#ifdef _OPENMP
+  return omp_get_max_threads();
+#else
+  return 1;
+#endif
+}
+
+int threadId() {
+#ifdef _OPENMP
+  return omp_get_thread_num();
+#else
+  return 0;
+#endif
+}
+
+/// Cache-blocked transpose: walks 64x64 tiles so the strided writes stay
+/// within one L1-resident tile instead of thrashing a whole column of
+/// cache lines per row on large maps.
 template <typename T>
-void transpose(const T* in, T* out, int n1, int n2) {
-  for (int i = 0; i < n1; ++i) {
-    for (int j = 0; j < n2; ++j) {
-      out[j * n1 + i] = in[i * n2 + j];
+void transposeBlocked(const T* in, T* out, int n1, int n2) {
+  constexpr int kBlock = 64;
+#pragma omp parallel for schedule(static)
+  for (int ib = 0; ib < n1; ib += kBlock) {
+    const int iend = std::min(ib + kBlock, n1);
+    for (int jb = 0; jb < n2; jb += kBlock) {
+      const int jend = std::min(jb + kBlock, n2);
+      for (int i = ib; i < iend; ++i) {
+        for (int j = jb; j < jend; ++j) {
+          out[static_cast<size_t>(j) * n1 + i] =
+              in[static_cast<size_t>(i) * n2 + j];
+        }
+      }
     }
   }
-}
-
-/// Applies a 1-D transform to every row of an n1 x n2 map.
-template <typename T, typename Fn>
-void applyRows(const T* in, T* out, int n1, int n2, Fn fn) {
-#pragma omp parallel for schedule(static)
-  for (int i = 0; i < n1; ++i) {
-    std::vector<T> row(in + i * n2, in + (i + 1) * n2);
-    std::vector<T> res = fn(row);
-    std::copy(res.begin(), res.end(), out + i * n2);
-  }
-}
-
-/// Row-column driver: transform dim1 (rows), transpose, transform dim0,
-/// transpose back. `fn0` acts along dim0, `fn1` along dim1.
-template <typename T, typename Fn0, typename Fn1>
-void rowCol(const T* in, T* out, int n1, int n2, Fn0 fn0, Fn1 fn1) {
-  std::vector<T> tmp(static_cast<size_t>(n1) * n2);
-  std::vector<T> tmp2(static_cast<size_t>(n1) * n2);
-  applyRows(in, tmp.data(), n1, n2, fn1);
-  transpose(tmp.data(), tmp2.data(), n1, n2);
-  applyRows(tmp2.data(), tmp.data(), n2, n1, fn0);
-  transpose(tmp.data(), out, n2, n1);
 }
 
 DctAlgorithm to1d(Dct2dAlgorithm algo) {
@@ -71,43 +82,139 @@ std::complex<T> unitPhase(double angle) {
   return {static_cast<T>(std::cos(angle)), static_cast<T>(std::sin(angle))};
 }
 
+}  // namespace
+
+// ---------------------------------------------------------------------------
+// Dct2dPlan
+// ---------------------------------------------------------------------------
+
+template <typename T>
+Dct2dPlan<T>::Dct2dPlan(int n1, int n2, Dct2dAlgorithm algo)
+    : n1_(n1), n2_(n2), algo_(algo) {
+  DP_ASSERT(n1 >= 1 && n2 >= 1);
+  const size_t total = static_cast<size_t>(n1_) * n2_;
+  buf_a_.resize(total);
+  if (algo_ != Dct2dAlgorithm::kFft2dN) {
+    buf_b_.resize(total);
+    flip_.resize(total);
+    return;
+  }
+
+  DP_ASSERT_MSG(n2_ % 2 == 0, "2-D FFT DCT requires even n2, got %d", n2_);
+  h2_ = n2_ / 2;
+  stride_ = h2_ + 1;
+  row_fwd_ = PlanCache::realPlan<T>(n2_, false);
+  row_inv_ = PlanCache::realPlan<T>(n2_, true);
+  col_fwd_ = PlanCache::complexPlan<T>(n1_, false);
+  col_inv_ = PlanCache::complexPlan<T>(n1_, true);
+
+  tw1_.resize(n1_);
+  for (int k = 0; k < n1_; ++k) {
+    tw1_[k] = unitPhase<T>(-M_PI * k / (2.0 * n1_));
+  }
+  tw2_.resize(n2_);
+  for (int k = 0; k < n2_; ++k) {
+    tw2_[k] = unitPhase<T>(-M_PI * k / (2.0 * n2_));
+  }
+  reorder1_.resize(n1_);
+  inv_reorder1_.resize(n1_);
+  for (int t = 0; t < n1_; ++t) {
+    reorder1_[t] = reorderIndex(t, n1_);
+    inv_reorder1_[t] = inverseReorderIndex(t, n1_);
+  }
+  reorder2_.resize(n2_);
+  inv_reorder2_.resize(n2_);
+  for (int t = 0; t < n2_; ++t) {
+    reorder2_[t] = reorderIndex(t, n2_);
+    inv_reorder2_[t] = inverseReorderIndex(t, n2_);
+  }
+
+  spec_.resize(static_cast<size_t>(n1_) * stride_);
+  const int threads = maxThreads();
+  row_scratch_stride_ =
+      std::max(row_fwd_->scratchSize(), row_inv_->scratchSize());
+  col_scratch_stride_ = static_cast<size_t>(n1_) +
+      std::max(col_fwd_->scratchSize(), col_inv_->scratchSize());
+  row_ws_.resize(row_scratch_stride_ * threads);
+  col_ws_.resize(col_scratch_stride_ * threads);
+}
+
+template <typename T>
+std::complex<T>* Dct2dPlan<T>::rowScratch(int thread) {
+  return row_ws_.data() + row_scratch_stride_ * thread;
+}
+
+template <typename T>
+std::complex<T>* Dct2dPlan<T>::colScratch(int thread) {
+  return col_ws_.data() + col_scratch_stride_ * thread;
+}
+
+/// Row-column driver: transform dim1 (rows), transpose, transform dim0,
+/// transpose back. The 1-D transforms write straight into the plan's
+/// buffers through the pointer API — no per-row vector round trips.
+template <typename T>
+void Dct2dPlan<T>::rowColApply(const T* in, T* out, bool forward) {
+  const DctAlgorithm algo1d = to1d(algo_);
+#pragma omp parallel for schedule(static)
+  for (int i = 0; i < n1_; ++i) {
+    if (forward) {
+      dct(in + static_cast<size_t>(i) * n2_,
+          buf_a_.data() + static_cast<size_t>(i) * n2_, n2_, algo1d);
+    } else {
+      idct(in + static_cast<size_t>(i) * n2_,
+           buf_a_.data() + static_cast<size_t>(i) * n2_, n2_, algo1d);
+    }
+  }
+  transposeBlocked(buf_a_.data(), buf_b_.data(), n1_, n2_);
+#pragma omp parallel for schedule(static)
+  for (int j = 0; j < n2_; ++j) {
+    if (forward) {
+      dct(buf_b_.data() + static_cast<size_t>(j) * n1_,
+          buf_a_.data() + static_cast<size_t>(j) * n1_, n1_, algo1d);
+    } else {
+      idct(buf_b_.data() + static_cast<size_t>(j) * n1_,
+           buf_a_.data() + static_cast<size_t>(j) * n1_, n1_, algo1d);
+    }
+  }
+  transposeBlocked(buf_a_.data(), out, n2_, n1_);
+}
+
 /// Single-pass 2-D DCT via one 2-D real FFT (paper Algorithm 4 / Makhoul).
 ///
 /// Steps: 2-D reorder -> row-wise real FFT (dim1) -> column-wise complex
 /// FFT (dim0) -> O(N^2) twiddle combining the spectrum with its conjugate
-/// mirror. Only the one-sided half of dim1 is ever materialized.
+/// mirror. Only the one-sided half of dim1 is ever materialized, and every
+/// twiddle comes from the plan tables.
 template <typename T>
-void dct2dFft(const T* in, T* out, int n1, int n2) {
-  DP_ASSERT_MSG(n2 % 2 == 0, "2-D DCT requires even n2, got %d", n2);
-  const int h2 = n2 / 2;
-  const int stride = h2 + 1;
-
+void Dct2dPlan<T>::forwardFft2d(const T* in, T* out) {
   // Reorder both dimensions (eq. (10)).
-  std::vector<T> reordered(static_cast<size_t>(n1) * n2);
-  for (int t1 = 0; t1 < n1; ++t1) {
-    const int s1 = reorderIndex(t1, n1);
-    for (int t2 = 0; t2 < n2; ++t2) {
-      reordered[t1 * n2 + t2] = in[s1 * n2 + reorderIndex(t2, n2)];
+#pragma omp parallel for schedule(static)
+  for (int t1 = 0; t1 < n1_; ++t1) {
+    const T* src = in + static_cast<size_t>(reorder1_[t1]) * n2_;
+    T* dst = buf_a_.data() + static_cast<size_t>(t1) * n2_;
+    for (int t2 = 0; t2 < n2_; ++t2) {
+      dst[t2] = src[reorder2_[t2]];
     }
   }
 
   // One-sided real FFT along dim1.
-  std::vector<std::complex<T>> spec(static_cast<size_t>(n1) * stride);
 #pragma omp parallel for schedule(static)
-  for (int t1 = 0; t1 < n1; ++t1) {
-    rfft(reordered.data() + t1 * n2, spec.data() + t1 * stride, n2);
+  for (int t1 = 0; t1 < n1_; ++t1) {
+    row_fwd_->forward(buf_a_.data() + static_cast<size_t>(t1) * n2_,
+                      spec_.data() + static_cast<size_t>(t1) * stride_,
+                      rowScratch(threadId()));
   }
 
   // Complex FFT along dim0, column by column.
 #pragma omp parallel for schedule(static)
-  for (int k2 = 0; k2 <= h2; ++k2) {
-    std::vector<std::complex<T>> col(n1);
-    for (int t1 = 0; t1 < n1; ++t1) {
-      col[t1] = spec[t1 * stride + k2];
+  for (int k2 = 0; k2 <= h2_; ++k2) {
+    std::complex<T>* col = colScratch(threadId());
+    for (int t1 = 0; t1 < n1_; ++t1) {
+      col[t1] = spec_[static_cast<size_t>(t1) * stride_ + k2];
     }
-    fft(col.data(), n1, false);
-    for (int t1 = 0; t1 < n1; ++t1) {
-      spec[t1 * stride + k2] = col[t1];
+    col_fwd_->execute(col, col + n1_);
+    for (int t1 = 0; t1 < n1_; ++t1) {
+      spec_[static_cast<size_t>(t1) * stride_ + k2] = col[t1];
     }
   }
 
@@ -117,23 +224,24 @@ void dct2dFft(const T* in, T* out, int n1, int n2) {
   // expanded through the Hermitian symmetry V(k1,k2) = conj(V((n1-k1)%n1,
   // n2-k2)).
 #pragma omp parallel for schedule(static)
-  for (int k1 = 0; k1 < n1; ++k1) {
-    const int r1 = (n1 - k1) % n1;
-    const std::complex<T> tw1 = unitPhase<T>(-M_PI * k1 / (2.0 * n1));
-    for (int k2 = 0; k2 < n2; ++k2) {
+  for (int k1 = 0; k1 < n1_; ++k1) {
+    const int r1 = (n1_ - k1) % n1_;
+    const std::complex<T> tw1 = tw1_[k1];
+    for (int k2 = 0; k2 < n2_; ++k2) {
       std::complex<T> a;
       std::complex<T> b;
-      if (k2 <= h2) {
-        a = spec[k1 * stride + k2];
-        b = std::conj(spec[r1 * stride + k2]);
+      if (k2 <= h2_) {
+        a = spec_[static_cast<size_t>(k1) * stride_ + k2];
+        b = std::conj(spec_[static_cast<size_t>(r1) * stride_ + k2]);
       } else {
-        const int m2 = n2 - k2;
-        a = std::conj(spec[r1 * stride + m2]);
-        b = spec[k1 * stride + m2];
+        const int m2 = n2_ - k2;
+        a = std::conj(spec_[static_cast<size_t>(r1) * stride_ + m2]);
+        b = spec_[static_cast<size_t>(k1) * stride_ + m2];
       }
-      const std::complex<T> tw2 = unitPhase<T>(-M_PI * k2 / (2.0 * n2));
+      const std::complex<T> tw2 = tw2_[k2];
       const std::complex<T> combined = tw2 * a + std::conj(tw2) * b;
-      out[k1 * n2 + k2] = T(0.5) * (tw1 * combined).real();
+      out[static_cast<size_t>(k1) * n2_ + k2] =
+          T(0.5) * (tw1 * combined).real();
     }
   }
 }
@@ -145,139 +253,211 @@ void dct2dFft(const T* in, T* out, int n1, int n2) {
 /// with out-of-range c treated as zero (paper eq. (12)); then a column-wise
 /// inverse complex FFT, a row-wise inverse real FFT, the inverse reorder of
 /// eq. (13), and the (n1/2)(n2/2) scale from the 1-D convention.
+///
+/// `flip0`/`flip1` fuse the IDXST reductions: the eq. (14)/(16) input flip
+/// is applied inside the gather (reading c'(i) = c(n-i), c'(0) = 0) and
+/// the eq. (15)/(17) (-1)^k sign inside the output reorder, saving one
+/// full-map copy and one full-map sign sweep per transform.
 template <typename T>
-void idct2dFft(const T* in, T* out, int n1, int n2) {
-  DP_ASSERT_MSG(n2 % 2 == 0, "2-D IDCT requires even n2, got %d", n2);
-  const int h2 = n2 / 2;
-  const int stride = h2 + 1;
-
-  auto at = [&](int i1, int i2) -> T {
-    // c with zero padding at index n1 / n2 (not periodic wrap).
-    if (i1 >= n1 || i2 >= n2) {
+void Dct2dPlan<T>::inverseFft2d(const T* in, T* out, bool flip0,
+                                bool flip1) {
+  const auto at = [&](int i1, int i2) -> T {
+    // c with zero padding at index n1 / n2 (not periodic wrap); under a
+    // flip the zero also lands on index 0, matching z_0 = 0 in eq. (8e).
+    if (flip0) {
+      if (i1 == 0 || i1 >= n1_) {
+        return T(0);
+      }
+      i1 = n1_ - i1;
+    } else if (i1 >= n1_) {
       return T(0);
     }
-    return in[i1 * n2 + i2];
+    if (flip1) {
+      if (i2 == 0 || i2 >= n2_) {
+        return T(0);
+      }
+      i2 = n2_ - i2;
+    } else if (i2 >= n2_) {
+      return T(0);
+    }
+    return in[static_cast<size_t>(i1) * n2_ + i2];
   };
 
-  std::vector<std::complex<T>> u(static_cast<size_t>(n1) * stride);
 #pragma omp parallel for schedule(static)
-  for (int t1 = 0; t1 < n1; ++t1) {
-    const std::complex<T> tw1 = unitPhase<T>(M_PI * t1 / (2.0 * n1));
-    for (int t2 = 0; t2 <= h2; ++t2) {
-      const std::complex<T> tw2 = unitPhase<T>(M_PI * t2 / (2.0 * n2));
-      const T re = at(t1, t2) - at(n1 - t1, n2 - t2);
-      const T im = -(at(t1, n2 - t2) + at(n1 - t1, t2));
-      u[t1 * stride + t2] = tw1 * tw2 * std::complex<T>(re, im);
+  for (int t1 = 0; t1 < n1_; ++t1) {
+    const std::complex<T> tw1 = std::conj(tw1_[t1]);
+    for (int t2 = 0; t2 <= h2_; ++t2) {
+      const std::complex<T> tw2 = std::conj(tw2_[t2]);
+      const T re = at(t1, t2) - at(n1_ - t1, n2_ - t2);
+      const T im = -(at(t1, n2_ - t2) + at(n1_ - t1, t2));
+      spec_[static_cast<size_t>(t1) * stride_ + t2] =
+          tw1 * tw2 * std::complex<T>(re, im);
     }
   }
 
   // Inverse complex FFT along dim0.
 #pragma omp parallel for schedule(static)
-  for (int t2 = 0; t2 <= h2; ++t2) {
-    std::vector<std::complex<T>> col(n1);
-    for (int t1 = 0; t1 < n1; ++t1) {
-      col[t1] = u[t1 * stride + t2];
+  for (int t2 = 0; t2 <= h2_; ++t2) {
+    std::complex<T>* col = colScratch(threadId());
+    for (int t1 = 0; t1 < n1_; ++t1) {
+      col[t1] = spec_[static_cast<size_t>(t1) * stride_ + t2];
     }
-    fft(col.data(), n1, true);
-    for (int t1 = 0; t1 < n1; ++t1) {
-      u[t1 * stride + t2] = col[t1];
+    col_inv_->execute(col, col + n1_);
+    for (int t1 = 0; t1 < n1_; ++t1) {
+      spec_[static_cast<size_t>(t1) * stride_ + t2] = col[t1];
     }
   }
 
   // Inverse real FFT along dim1.
-  std::vector<T> w(static_cast<size_t>(n1) * n2);
 #pragma omp parallel for schedule(static)
-  for (int t1 = 0; t1 < n1; ++t1) {
-    irfft(u.data() + t1 * stride, w.data() + t1 * n2, n2);
+  for (int t1 = 0; t1 < n1_; ++t1) {
+    row_inv_->inverse(spec_.data() + static_cast<size_t>(t1) * stride_,
+                      buf_a_.data() + static_cast<size_t>(t1) * n2_,
+                      rowScratch(threadId()));
   }
 
-  // Inverse reorder (eq. (13)) and scale.
-  const T scale = static_cast<T>(n1) * static_cast<T>(n2) / T(4);
+  // Inverse reorder (eq. (13)), scale, and the fused (-1)^k signs.
+  const T scale = static_cast<T>(n1_) * static_cast<T>(n2_) / T(4);
 #pragma omp parallel for schedule(static)
-  for (int k1 = 0; k1 < n1; ++k1) {
-    const int s1 = inverseReorderIndex(k1, n1);
-    for (int k2 = 0; k2 < n2; ++k2) {
-      out[k1 * n2 + k2] =
-          scale * w[s1 * n2 + inverseReorderIndex(k2, n2)];
+  for (int k1 = 0; k1 < n1_; ++k1) {
+    const T* src = buf_a_.data() + static_cast<size_t>(inv_reorder1_[k1]) * n2_;
+    const T row_scale = (flip0 && (k1 & 1)) ? -scale : scale;
+    T* dst = out + static_cast<size_t>(k1) * n2_;
+    for (int k2 = 0; k2 < n2_; ++k2) {
+      T v = row_scale * src[inv_reorder2_[k2]];
+      if (flip1 && (k2 & 1)) {
+        v = -v;
+      }
+      dst[k2] = v;
     }
   }
+}
+
+template <typename T>
+void Dct2dPlan<T>::dct2d(const T* in, T* out) {
+  static Counter calls("fft/dct2d");
+  calls.add();
+  if (algo_ == Dct2dAlgorithm::kFft2dN) {
+    forwardFft2d(in, out);
+  } else {
+    rowColApply(in, out, /*forward=*/true);
+  }
+}
+
+template <typename T>
+void Dct2dPlan<T>::idct2d(const T* in, T* out) {
+  static Counter calls("fft/idct2d");
+  calls.add();
+  if (algo_ == Dct2dAlgorithm::kFft2dN) {
+    inverseFft2d(in, out, /*flip0=*/false, /*flip1=*/false);
+  } else {
+    rowColApply(in, out, /*forward=*/false);
+  }
+}
+
+template <typename T>
+void Dct2dPlan<T>::idctIdxst(const T* in, T* out) {
+  static Counter calls("fft/idct_idxst");
+  calls.add();
+  if (algo_ == Dct2dAlgorithm::kFft2dN) {
+    inverseFft2d(in, out, /*flip0=*/false, /*flip1=*/true);
+    return;
+  }
+  // Paper Alg. 4 IDCT_IDXST on the row-column baselines: flip dim1
+  // (eq. (14)), 2-D IDCT, then apply (-1)^{k2} (eq. (15)).
+  for (int i1 = 0; i1 < n1_; ++i1) {
+    flip_[static_cast<size_t>(i1) * n2_] = T(0);
+    for (int i2 = 1; i2 < n2_; ++i2) {
+      flip_[static_cast<size_t>(i1) * n2_ + i2] =
+          in[static_cast<size_t>(i1) * n2_ + (n2_ - i2)];
+    }
+  }
+  idct2d(flip_.data(), out);
+  for (int i1 = 0; i1 < n1_; ++i1) {
+    for (int i2 = 1; i2 < n2_; i2 += 2) {
+      out[static_cast<size_t>(i1) * n2_ + i2] =
+          -out[static_cast<size_t>(i1) * n2_ + i2];
+    }
+  }
+}
+
+template <typename T>
+void Dct2dPlan<T>::idxstIdct(const T* in, T* out) {
+  static Counter calls("fft/idxst_idct");
+  calls.add();
+  if (algo_ == Dct2dAlgorithm::kFft2dN) {
+    inverseFft2d(in, out, /*flip0=*/true, /*flip1=*/false);
+    return;
+  }
+  // Paper Alg. 4 IDXST_IDCT on the row-column baselines: flip dim0
+  // (eq. (16)), 2-D IDCT, then apply (-1)^{k1} (eq. (17)).
+  for (int i2 = 0; i2 < n2_; ++i2) {
+    flip_[i2] = T(0);
+  }
+  for (int i1 = 1; i1 < n1_; ++i1) {
+    for (int i2 = 0; i2 < n2_; ++i2) {
+      flip_[static_cast<size_t>(i1) * n2_ + i2] =
+          in[static_cast<size_t>(n1_ - i1) * n2_ + i2];
+    }
+  }
+  idct2d(flip_.data(), out);
+  for (int i1 = 1; i1 < n1_; i1 += 2) {
+    for (int i2 = 0; i2 < n2_; ++i2) {
+      out[static_cast<size_t>(i1) * n2_ + i2] =
+          -out[static_cast<size_t>(i1) * n2_ + i2];
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Stateless wrappers over a thread-local plan cache
+// ---------------------------------------------------------------------------
+
+namespace {
+
+/// Plans are not thread-safe (they own workspace), so the stateless entry
+/// points memoize one plan per (n1, n2, algo) per thread. Counters:
+/// `fft/plan2d/create` and `fft/plan2d/hit`.
+template <typename T>
+Dct2dPlan<T>& threadLocalPlan(int n1, int n2, Dct2dAlgorithm algo) {
+  static Counter creates("fft/plan2d/create");
+  static Counter hits("fft/plan2d/hit");
+  thread_local std::map<std::tuple<int, int, int>,
+                        std::unique_ptr<Dct2dPlan<T>>> cache;
+  auto& slot = cache[std::make_tuple(n1, n2, static_cast<int>(algo))];
+  if (!slot) {
+    creates.add();
+    slot = std::make_unique<Dct2dPlan<T>>(n1, n2, algo);
+  } else {
+    hits.add();
+  }
+  return *slot;
 }
 
 }  // namespace
 
 template <typename T>
 void dct2d(const T* in, T* out, int n1, int n2, Dct2dAlgorithm algo) {
-  static Counter calls("fft/dct2d");
-  calls.add();
-  if (algo == Dct2dAlgorithm::kFft2dN) {
-    dct2dFft(in, out, n1, n2);
-    return;
-  }
-  const DctAlgorithm algo1d = to1d(algo);
-  rowCol(
-      in, out, n1, n2,
-      [algo1d](const std::vector<T>& v) { return dct(v, algo1d); },
-      [algo1d](const std::vector<T>& v) { return dct(v, algo1d); });
+  threadLocalPlan<T>(n1, n2, algo).dct2d(in, out);
 }
 
 template <typename T>
 void idct2d(const T* in, T* out, int n1, int n2, Dct2dAlgorithm algo) {
-  static Counter calls("fft/idct2d");
-  calls.add();
-  if (algo == Dct2dAlgorithm::kFft2dN) {
-    idct2dFft(in, out, n1, n2);
-    return;
-  }
-  const DctAlgorithm algo1d = to1d(algo);
-  rowCol(
-      in, out, n1, n2,
-      [algo1d](const std::vector<T>& v) { return idct(v, algo1d); },
-      [algo1d](const std::vector<T>& v) { return idct(v, algo1d); });
+  threadLocalPlan<T>(n1, n2, algo).idct2d(in, out);
 }
 
 template <typename T>
 void idctIdxst(const T* in, T* out, int n1, int n2, Dct2dAlgorithm algo) {
-  // Paper Alg. 4 IDCT_IDXST: flip dim1 (eq. (14)), 2-D IDCT, then apply
-  // (-1)^{k2} (eq. (15)). This realizes IDXST along dim1.
-  const size_t total = static_cast<size_t>(n1) * n2;
-  std::vector<T> flipped(total);
-  for (int i1 = 0; i1 < n1; ++i1) {
-    flipped[i1 * n2 + 0] = T(0);
-    for (int i2 = 1; i2 < n2; ++i2) {
-      flipped[i1 * n2 + i2] = in[i1 * n2 + (n2 - i2)];
-    }
-  }
-  idct2d(flipped.data(), out, n1, n2, algo);
-  for (int i1 = 0; i1 < n1; ++i1) {
-    for (int i2 = 1; i2 < n2; i2 += 2) {
-      out[i1 * n2 + i2] = -out[i1 * n2 + i2];
-    }
-  }
+  threadLocalPlan<T>(n1, n2, algo).idctIdxst(in, out);
 }
 
 template <typename T>
 void idxstIdct(const T* in, T* out, int n1, int n2, Dct2dAlgorithm algo) {
-  // Paper Alg. 4 IDXST_IDCT: flip dim0 (eq. (16)), 2-D IDCT, then apply
-  // (-1)^{k1} (eq. (17)). This realizes IDXST along dim0.
-  const size_t total = static_cast<size_t>(n1) * n2;
-  std::vector<T> flipped(total);
-  for (int i2 = 0; i2 < n2; ++i2) {
-    flipped[0 * n2 + i2] = T(0);
-  }
-  for (int i1 = 1; i1 < n1; ++i1) {
-    for (int i2 = 0; i2 < n2; ++i2) {
-      flipped[i1 * n2 + i2] = in[(n1 - i1) * n2 + i2];
-    }
-  }
-  idct2d(flipped.data(), out, n1, n2, algo);
-  for (int i1 = 1; i1 < n1; i1 += 2) {
-    for (int i2 = 0; i2 < n2; ++i2) {
-      out[i1 * n2 + i2] = -out[i1 * n2 + i2];
-    }
-  }
+  threadLocalPlan<T>(n1, n2, algo).idxstIdct(in, out);
 }
 
 #define DP_INSTANTIATE_DCT2D(T)                                      \
+  template class Dct2dPlan<T>;                                       \
   template void dct2d<T>(const T*, T*, int, int, Dct2dAlgorithm);    \
   template void idct2d<T>(const T*, T*, int, int, Dct2dAlgorithm);   \
   template void idctIdxst<T>(const T*, T*, int, int, Dct2dAlgorithm); \

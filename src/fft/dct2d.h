@@ -11,11 +11,19 @@
 //
 // Scaling follows the 1-D conventions in dct.h applied per dimension, so
 // idct2d(dct2d(x)) == (n1/2)*(n2/2) * x.
+//
+// Dct2dPlan is the plan-based engine (docs/FFT.md): it owns the 1-D FFT
+// plans, the reorder index maps, the twiddle tables, and every scratch
+// buffer, so executing any transform is trig-free and allocation-free.
+// The stateless functions below remain as thin wrappers over a
+// thread-local plan cache, so one-shot callers keep working unchanged.
 #pragma once
 
+#include <complex>
 #include <vector>
 
 #include "fft/dct.h"
+#include "fft/plan.h"
 
 namespace dreamplace::fft {
 
@@ -24,6 +32,74 @@ enum class Dct2dAlgorithm {
   kRowCol2N,
   kRowColN,
   kFft2dN,
+};
+
+/// Reusable 2-D transform plan for one (n1, n2, algorithm) triple.
+///
+/// Construction precomputes the Makhoul reorder index maps, the quarter-
+/// wave twiddle tables, the underlying 1-D FFT plans (shared through
+/// PlanCache), and sizes all workspace — including per-OpenMP-thread row
+/// and column scratch — so the transform methods perform no trigonometry
+/// and no heap allocation. The mixed inverse transforms fuse the paper's
+/// eq. (14)/(16) input flips and eq. (15)/(17) sign passes into the
+/// existing twiddle and reorder sweeps instead of materializing a flipped
+/// copy plus a sign sweep (kFft2dN only; row-column algorithms keep the
+/// literal flip for oracle comparability).
+///
+/// NOT thread-safe: a plan owns its workspace, so use one plan per thread
+/// (the transforms parallelize internally with OpenMP). In/out pointers
+/// may alias each other but must not alias plan workspace.
+template <typename T>
+class Dct2dPlan {
+ public:
+  Dct2dPlan(int n1, int n2, Dct2dAlgorithm algo = Dct2dAlgorithm::kFft2dN);
+
+  int n1() const { return n1_; }
+  int n2() const { return n2_; }
+  Dct2dAlgorithm algorithm() const { return algo_; }
+
+  void dct2d(const T* in, T* out);
+  void idct2d(const T* in, T* out);
+  /// IDCT along dim0, IDXST along dim1 (paper Alg. 4 IDCT_IDXST).
+  void idctIdxst(const T* in, T* out);
+  /// IDXST along dim0, IDCT along dim1 (paper Alg. 4 IDXST_IDCT).
+  void idxstIdct(const T* in, T* out);
+
+ private:
+  void forwardFft2d(const T* in, T* out);
+  /// Generalized inverse: optional flip along dim0/dim1 realizes the
+  /// IDXST reductions without extra full-map passes.
+  void inverseFft2d(const T* in, T* out, bool flip0, bool flip1);
+  void rowColApply(const T* in, T* out, bool forward);
+
+  std::complex<T>* rowScratch(int thread);
+  std::complex<T>* colScratch(int thread);
+
+  int n1_;
+  int n2_;
+  int h2_ = 0;      ///< n2/2 (kFft2dN)
+  int stride_ = 0;  ///< h2_+1, row stride of the one-sided spectrum
+  Dct2dAlgorithm algo_;
+
+  // kFft2dN state.
+  std::shared_ptr<const RfftPlan<T>> row_fwd_;  ///< size n2
+  std::shared_ptr<const RfftPlan<T>> row_inv_;
+  std::shared_ptr<const FftPlan<T>> col_fwd_;  ///< size n1
+  std::shared_ptr<const FftPlan<T>> col_inv_;
+  std::vector<std::complex<T>> tw1_;  ///< exp(-i*pi*k1/(2*n1)), k1 < n1
+  std::vector<std::complex<T>> tw2_;  ///< exp(-i*pi*k2/(2*n2)), k2 < n2
+  std::vector<int> reorder1_, reorder2_;        ///< forward gather maps
+  std::vector<int> inv_reorder1_, inv_reorder2_;
+
+  // Workspace (ctor-sized; transforms never allocate).
+  std::vector<T> buf_a_;                    ///< n1*n2 reorder/output buffer
+  std::vector<T> buf_b_;                    ///< n1*n2, row-col only
+  std::vector<T> flip_;                     ///< n1*n2, row-col mixed only
+  std::vector<std::complex<T>> spec_;       ///< n1*stride, kFft2dN only
+  std::size_t row_scratch_stride_ = 0;
+  std::size_t col_scratch_stride_ = 0;
+  std::vector<std::complex<T>> row_ws_;     ///< per-thread rfft scratch
+  std::vector<std::complex<T>> col_ws_;     ///< per-thread column + scratch
 };
 
 template <typename T>

@@ -2,99 +2,48 @@
 
 #include <cmath>
 
+#include "common/counters.h"
 #include "common/log.h"
+#include "fft/plan.h"
 
 namespace dreamplace::fft {
 
 namespace {
 
-bool isPowerOfTwo(int n) { return n > 0 && (n & (n - 1)) == 0; }
-
-int nextPowerOfTwo(int n) {
-  int p = 1;
-  while (p < n) {
-    p <<= 1;
+/// Thread-local scratch for the stateless wrappers: grows monotonically,
+/// so steady-state calls are allocation-free per thread. Growth events
+/// are counted under `fft/scratch_grow`.
+template <typename T>
+std::complex<T>* wrapperScratch(std::size_t need) {
+  thread_local std::vector<std::complex<T>> buf;
+  if (buf.size() < need) {
+    static Counter grows("fft/scratch_grow");
+    grows.add();
+    buf.resize(need);
   }
-  return p;
+  return buf.data();
 }
 
-/// Iterative Cooley-Tukey radix-2 with bit-reversal permutation.
-/// Twiddles are computed per stage with double-precision trigonometry and
-/// narrowed to T, which keeps float32 accuracy acceptable for the map sizes
-/// the density solver uses (<= 4096).
+/// Thread-local one-entry-per-direction memo over the global plan cache:
+/// repeated same-size calls (row/column loops) skip the cache mutex.
 template <typename T>
-void fftPow2(std::complex<T>* a, int n, bool inverse) {
-  // Bit reversal.
-  for (int i = 1, j = 0; i < n; ++i) {
-    int bit = n >> 1;
-    for (; j & bit; bit >>= 1) {
-      j ^= bit;
-    }
-    j ^= bit;
-    if (i < j) {
-      std::swap(a[i], a[j]);
-    }
+const FftPlan<T>* memoizedComplexPlan(int n, bool inverse) {
+  thread_local std::shared_ptr<const FftPlan<T>> memo[2];
+  auto& slot = memo[inverse ? 1 : 0];
+  if (!slot || slot->size() != n) {
+    slot = PlanCache::complexPlan<T>(n, inverse);
   }
-  for (int len = 2; len <= n; len <<= 1) {
-    const double angle = (inverse ? 2.0 : -2.0) * M_PI / len;
-    const std::complex<T> wlen(static_cast<T>(std::cos(angle)),
-                               static_cast<T>(std::sin(angle)));
-    for (int i = 0; i < n; i += len) {
-      std::complex<T> w(1);
-      for (int k = 0; k < len / 2; ++k) {
-        const std::complex<T> u = a[i + k];
-        const std::complex<T> v = a[i + k + len / 2] * w;
-        a[i + k] = u + v;
-        a[i + k + len / 2] = u - v;
-        w *= wlen;
-      }
-    }
-  }
-  if (inverse) {
-    const T scale = T(1) / static_cast<T>(n);
-    for (int i = 0; i < n; ++i) {
-      a[i] *= scale;
-    }
-  }
+  return slot.get();
 }
 
-/// Bluestein chirp-z transform for arbitrary n, built on the radix-2 path.
 template <typename T>
-void fftBluestein(std::complex<T>* a, int n, bool inverse) {
-  const int m = nextPowerOfTwo(2 * n + 1);
-  // chirp_k = exp(+/- i * pi * k^2 / n); k^2 mod 2n keeps the argument
-  // bounded for large n (exactness of the quadratic phase matters).
-  std::vector<std::complex<T>> chirp(n);
-  for (int k = 0; k < n; ++k) {
-    const long long k2 = (static_cast<long long>(k) * k) % (2LL * n);
-    const double angle = (inverse ? 1.0 : -1.0) * M_PI *
-                         static_cast<double>(k2) / static_cast<double>(n);
-    chirp[k] = std::complex<T>(static_cast<T>(std::cos(angle)),
-                               static_cast<T>(std::sin(angle)));
+const RfftPlan<T>* memoizedRealPlan(int n, bool inverse) {
+  thread_local std::shared_ptr<const RfftPlan<T>> memo[2];
+  auto& slot = memo[inverse ? 1 : 0];
+  if (!slot || slot->size() != n) {
+    slot = PlanCache::realPlan<T>(n, inverse);
   }
-  std::vector<std::complex<T>> p(m), q(m);
-  for (int k = 0; k < n; ++k) {
-    p[k] = a[k] * chirp[k];
-  }
-  q[0] = std::conj(chirp[0]);
-  for (int k = 1; k < n; ++k) {
-    q[k] = q[m - k] = std::conj(chirp[k]);
-  }
-  fftPow2(p.data(), m, false);
-  fftPow2(q.data(), m, false);
-  for (int k = 0; k < m; ++k) {
-    p[k] *= q[k];
-  }
-  fftPow2(p.data(), m, true);
-  for (int k = 0; k < n; ++k) {
-    a[k] = p[k] * chirp[k];
-  }
-  if (inverse) {
-    const T scale = T(1) / static_cast<T>(n);
-    for (int k = 0; k < n; ++k) {
-      a[k] *= scale;
-    }
-  }
+  return slot.get();
 }
 
 }  // namespace
@@ -105,11 +54,8 @@ void fft(std::complex<T>* data, int n, bool inverse) {
   if (n == 1) {
     return;
   }
-  if (isPowerOfTwo(n)) {
-    fftPow2(data, n, inverse);
-  } else {
-    fftBluestein(data, n, inverse);
-  }
+  const FftPlan<T>* plan = memoizedComplexPlan<T>(n, inverse);
+  plan->execute(data, wrapperScratch<T>(plan->scratchSize()));
 }
 
 template <typename T>
@@ -122,47 +68,15 @@ std::vector<std::complex<T>> fft(std::vector<std::complex<T>> data,
 template <typename T>
 void rfft(const T* in, std::complex<T>* out, int n) {
   DP_ASSERT_MSG(n >= 2 && n % 2 == 0, "rfft requires even n, got %d", n);
-  const int h = n / 2;
-  // Pack adjacent real pairs into complex samples and run a half-size FFT.
-  std::vector<std::complex<T>> z(h);
-  for (int m = 0; m < h; ++m) {
-    z[m] = std::complex<T>(in[2 * m], in[2 * m + 1]);
-  }
-  fft(z.data(), h, false);
-  // Unpack: E_k (even-sample DFT) and O_k (odd-sample DFT).
-  for (int k = 0; k <= h; ++k) {
-    const std::complex<T> zk = z[k % h];
-    const std::complex<T> zc = std::conj(z[(h - k) % h]);
-    const std::complex<T> even = (zk + zc) * T(0.5);
-    const std::complex<T> odd =
-        (zk - zc) * std::complex<T>(0, T(-0.5));  // divide by 2i
-    const double angle = -2.0 * M_PI * k / n;
-    const std::complex<T> tw(static_cast<T>(std::cos(angle)),
-                             static_cast<T>(std::sin(angle)));
-    out[k] = even + tw * odd;
-  }
+  const RfftPlan<T>* plan = memoizedRealPlan<T>(n, false);
+  plan->forward(in, out, wrapperScratch<T>(plan->scratchSize()));
 }
 
 template <typename T>
 void irfft(const std::complex<T>* in, T* out, int n) {
   DP_ASSERT_MSG(n >= 2 && n % 2 == 0, "irfft requires even n, got %d", n);
-  const int h = n / 2;
-  std::vector<std::complex<T>> z(h);
-  for (int k = 0; k < h; ++k) {
-    const std::complex<T> xk = in[k];
-    const std::complex<T> xc = std::conj(in[h - k]);
-    const std::complex<T> even = (xk + xc) * T(0.5);
-    const double angle = 2.0 * M_PI * k / n;
-    const std::complex<T> tw(static_cast<T>(std::cos(angle)),
-                             static_cast<T>(std::sin(angle)));
-    const std::complex<T> odd = (xk - xc) * T(0.5) * tw;
-    z[k] = even + std::complex<T>(0, 1) * odd;
-  }
-  fft(z.data(), h, true);
-  for (int m = 0; m < h; ++m) {
-    out[2 * m] = z[m].real();
-    out[2 * m + 1] = z[m].imag();
-  }
+  const RfftPlan<T>* plan = memoizedRealPlan<T>(n, true);
+  plan->inverse(in, out, wrapperScratch<T>(plan->scratchSize()));
 }
 
 template <typename T>

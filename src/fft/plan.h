@@ -1,0 +1,119 @@
+// Plan-based FFT engine (FFTW-style execution model).
+//
+// A plan captures everything about a transform that depends only on
+// (size, precision, direction): the bit-reversal permutation, per-stage
+// twiddle-factor tables (each entry evaluated directly with double-
+// precision trigonometry — no error-accumulating w *= wlen recurrence),
+// the rfft/irfft unpack twiddles, and for Bluestein (non-power-of-two)
+// sizes the chirp vector plus the pre-transformed q-spectrum. Executing a
+// plan therefore performs no trigonometry and no allocation; callers pass
+// scratch explicitly (scratchSize() complex slots, zero for power-of-two
+// complex transforms).
+//
+// Thread-safety contract (see docs/FFT.md):
+//  * FftPlan / RfftPlan are immutable after construction; execute() is
+//    const and may be called concurrently from any number of threads, each
+//    with its own scratch.
+//  * PlanCache is a process-wide, mutex-guarded registry; concurrent
+//    lookups of the same key construct the plan exactly once and share it.
+//  * The legacy stateless entry points (fft(), rfft(), dct2d(), ...) wrap
+//    the cache with thread-local memoization and thread-local scratch, so
+//    existing callers stay correct and become allocation-free in steady
+//    state.
+#pragma once
+
+#include <complex>
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+namespace dreamplace::fft {
+
+/// Immutable complex-FFT plan for one (size, direction).
+template <typename T>
+class FftPlan {
+ public:
+  FftPlan(int n, bool inverse);
+
+  int size() const { return n_; }
+  bool inverse() const { return inverse_; }
+
+  /// Complex scratch slots execute() needs: 0 for power-of-two sizes,
+  /// the padded Bluestein length otherwise.
+  std::size_t scratchSize() const { return scratch_size_; }
+
+  /// In-place transform of data[0..n). `scratch` must provide
+  /// scratchSize() slots (may be null when that is zero).
+  void execute(std::complex<T>* data, std::complex<T>* scratch) const;
+
+ private:
+  void executePow2(std::complex<T>* data) const;
+  void executeBluestein(std::complex<T>* data,
+                        std::complex<T>* scratch) const;
+
+  int n_;
+  bool inverse_;
+  std::size_t scratch_size_ = 0;
+
+  // Radix-2 state (power-of-two n, also the Bluestein sub-transforms).
+  std::vector<std::pair<std::int32_t, std::int32_t>> swaps_;
+  std::vector<std::complex<T>> twiddles_;  ///< stages flattened, n-1 total
+
+  // Bluestein chirp-z state (non-power-of-two n).
+  int m_ = 0;                            ///< padded size, >= 2n+1, pow2
+  std::vector<std::complex<T>> chirp_;   ///< exp(+/- i*pi*k^2/n), k < n
+  std::vector<std::complex<T>> qspec_;   ///< FFT_m of the chirp kernel
+  std::unique_ptr<const FftPlan<T>> sub_fwd_;  ///< size-m forward plan
+  std::unique_ptr<const FftPlan<T>> sub_inv_;  ///< size-m inverse plan
+};
+
+/// Immutable real-FFT plan for one (even size, direction): forward plans
+/// execute rfft (real n -> complex n/2+1), inverse plans irfft. Holds the
+/// half-size complex plan (shared through PlanCache) plus the precomputed
+/// unpack twiddles exp(-/+ 2*pi*i*k/n).
+template <typename T>
+class RfftPlan {
+ public:
+  RfftPlan(int n, bool inverse);
+
+  int size() const { return n_; }
+  bool inverse() const { return inverse_; }
+
+  /// Complex scratch slots: n/2 packing slots + the half plan's own need.
+  std::size_t scratchSize() const;
+
+  /// rfft: in[0..n) -> out[0..n/2]. Forward plans only.
+  void forward(const T* in, std::complex<T>* out,
+               std::complex<T>* scratch) const;
+
+  /// irfft: in[0..n/2] -> out[0..n). Inverse plans only.
+  void inverse(const std::complex<T>* in, T* out,
+               std::complex<T>* scratch) const;
+
+ private:
+  int n_;
+  bool inverse_;
+  std::shared_ptr<const FftPlan<T>> half_;  ///< size n/2, same direction
+  std::vector<std::complex<T>> unpack_;     ///< k = 0..n/2
+};
+
+/// Process-wide plan registry keyed by (size, direction) per precision.
+/// Lookups are mutex-guarded; each key is constructed exactly once.
+/// Counters: `fft/plan/create` and `fft/plan/hit`.
+class PlanCache {
+ public:
+  template <typename T>
+  static std::shared_ptr<const FftPlan<T>> complexPlan(int n, bool inverse);
+
+  template <typename T>
+  static std::shared_ptr<const RfftPlan<T>> realPlan(int n, bool inverse);
+
+  /// Number of cached plans across all shards (both precisions).
+  static std::size_t size();
+
+  /// Drops every cached plan (outstanding shared_ptrs stay valid).
+  static void clear();
+};
+
+}  // namespace dreamplace::fft

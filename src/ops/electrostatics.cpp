@@ -2,13 +2,14 @@
 
 #include <cmath>
 
+#include "common/counters.h"
 #include "common/log.h"
 
 namespace dreamplace {
 
 template <typename T>
 PoissonSolver<T>::PoissonSolver(int mx, int my, fft::Dct2dAlgorithm algo)
-    : mx_(mx), my_(my), algo_(algo) {
+    : mx_(mx), my_(my), plan_(mx, my, algo) {
   wu_.resize(mx_);
   wv_.resize(my_);
   for (int u = 0; u < mx_; ++u) {
@@ -17,49 +18,60 @@ PoissonSolver<T>::PoissonSolver(int mx, int my, fft::Dct2dAlgorithm algo)
   for (int v = 0; v < my_; ++v) {
     wv_[v] = static_cast<T>(M_PI * v / my_);
   }
-  inv_w2_.resize(static_cast<size_t>(mx_) * my_);
+  const size_t total = static_cast<size_t>(mx_) * my_;
+  inv_w2_.resize(total);
   for (int u = 0; u < mx_; ++u) {
     for (int v = 0; v < my_; ++v) {
       const T w2 = wu_[u] * wu_[u] + wv_[v] * wv_[v];
       inv_w2_[u * my_ + v] = (u == 0 && v == 0) ? T(0) : T(1) / w2;
     }
   }
+  coeff_.resize(total);
+  z_.resize(total);
+  zx_.resize(total);
+  zy_.resize(total);
 }
 
 template <typename T>
 void PoissonSolver<T>::solve(std::span<const T> density,
-                             PoissonSolution<T>& out) const {
+                             PoissonSolution<T>& out) {
+  static Counter solves("ops/electrostatics/solve");
+  static Counter ws_allocs("ops/electrostatics/ws_alloc");
+  static Counter ws_reuses("ops/electrostatics/ws_reuse");
+  solves.add();
   const size_t total = static_cast<size_t>(mx_) * my_;
   DP_ASSERT(density.size() == total);
+  const bool grows = out.potential.capacity() < total ||
+                     out.fieldX.capacity() < total ||
+                     out.fieldY.capacity() < total;
+  (grows ? ws_allocs : ws_reuses).add();
   out.potential.resize(total);
   out.fieldX.resize(total);
   out.fieldY.resize(total);
 
   // Forward DCT of the charge density.
-  std::vector<T> coeff(total);
-  fft::dct2d(density.data(), coeff.data(), mx_, my_, algo_);
+  plan_.dct2d(density.data(), coeff_.data());
 
   // Mode amplitudes of the series rho = sum a_uv cos cos are
   // a_uv = dct * eps_u * eps_v / (mx*my); evaluating the inverse series
   // through idct2d absorbs another 2^[u==0] 2^[v==0], so the combined
   // coefficient is uniformly 4/(mx*my) (derivation: docs/ALGORITHMS.md §3).
   const T norm = T(4) / (static_cast<T>(mx_) * static_cast<T>(my_));
-  std::vector<T> z(total);
-  std::vector<T> zx(total);
-  std::vector<T> zy(total);
+#pragma omp parallel for schedule(static)
   for (int u = 0; u < mx_; ++u) {
+    const T wu = wu_[u];
     for (int v = 0; v < my_; ++v) {
       const size_t i = static_cast<size_t>(u) * my_ + v;
-      const T base = norm * coeff[i] * inv_w2_[i];
-      z[i] = base;
-      zx[i] = base * wu_[u];
-      zy[i] = base * wv_[v];
+      const T base = norm * coeff_[i] * inv_w2_[i];
+      z_[i] = base;
+      zx_[i] = base * wu;
+      zy_[i] = base * wv_[v];
     }
   }
 
-  fft::idct2d(z.data(), out.potential.data(), mx_, my_, algo_);
-  fft::idxstIdct(zx.data(), out.fieldX.data(), mx_, my_, algo_);
-  fft::idctIdxst(zy.data(), out.fieldY.data(), mx_, my_, algo_);
+  plan_.idct2d(z_.data(), out.potential.data());
+  plan_.idxstIdct(zx_.data(), out.fieldX.data());
+  plan_.idctIdxst(zy_.data(), out.fieldY.data());
 
   double energy = 0.0;
 #pragma omp parallel for reduction(+ : energy) schedule(static)

@@ -36,7 +36,12 @@ class PoissonSolver {
   PoissonSolver(int mx, int my,
                 fft::Dct2dAlgorithm algo = fft::Dct2dAlgorithm::kFft2dN);
 
-  void solve(std::span<const T> density, PoissonSolution<T>& out) const;
+  /// Solves for the given density map. The transform plans and all
+  /// spectral workspace are constructed once with the solver and reused,
+  /// so steady-state calls (same `out` object) perform no heap
+  /// allocation; the counter pair `ops/electrostatics/ws_alloc` /
+  /// `ws_reuse` records whether a call had to grow the output buffers.
+  void solve(std::span<const T> density, PoissonSolution<T>& out);
 
   int mx() const { return mx_; }
   int my() const { return my_; }
@@ -44,10 +49,14 @@ class PoissonSolver {
  private:
   int mx_;
   int my_;
-  fft::Dct2dAlgorithm algo_;
+  fft::Dct2dPlan<T> plan_;   ///< owns FFT plans + transform workspace
   std::vector<T> wu_;        ///< omega_u = pi*u/mx
   std::vector<T> wv_;        ///< omega_v = pi*v/my
   std::vector<T> inv_w2_;    ///< 1/(wu^2+wv^2), 0 at DC
+  std::vector<T> coeff_;     ///< forward DCT of the density
+  std::vector<T> z_;         ///< scaled modes for the potential
+  std::vector<T> zx_;        ///< scaled modes for fieldX
+  std::vector<T> zy_;        ///< scaled modes for fieldY
 };
 
 }  // namespace dreamplace

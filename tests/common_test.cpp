@@ -129,7 +129,7 @@ TEST(TimerTest, MeasuresElapsed) {
   Timer timer;
   volatile double sink = 0;
   for (int i = 0; i < 100000; ++i) {
-    sink += std::sqrt(static_cast<double>(i));
+    sink = sink + std::sqrt(static_cast<double>(i));
   }
   EXPECT_GT(timer.elapsed(), 0.0);
 }
@@ -172,7 +172,7 @@ TEST(TimingRegistryTest, ScopedTimerAdds) {
     ScopedTimer scope("scoped_key");
     volatile int x = 0;
     for (int i = 0; i < 1000; ++i) {
-      x += i;
+      x = x + i;
     }
   }
   EXPECT_GT(registry.total("scoped_key"), 0.0);

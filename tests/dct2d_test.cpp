@@ -141,6 +141,43 @@ TEST(Dct2dTest, OddFirstDimensionUsesBluestein) {
   EXPECT_LT(maxDiff(a, b), 1e-8 * n1 * n2);
 }
 
+TEST(Dct2dTest, EvenNonPowerOfTwoUsesBluestein) {
+  // 12 and 20 are even but not powers of two, so the row real FFTs run a
+  // Bluestein half-size transform and the column FFTs are Bluestein
+  // outright — all four transform kinds must still match the oracle.
+  const int n1 = 12, n2 = 20;
+  auto x = randomMap(n1, n2, 555);
+  std::vector<double> a(x.size()), b(x.size());
+  dct2d(x.data(), a.data(), n1, n2, Dct2dAlgorithm::kRowColNaive);
+  dct2d(x.data(), b.data(), n1, n2, Dct2dAlgorithm::kFft2dN);
+  EXPECT_LT(maxDiff(a, b), 1e-8 * n1 * n2);
+  idct2d(x.data(), a.data(), n1, n2, Dct2dAlgorithm::kRowColNaive);
+  idct2d(x.data(), b.data(), n1, n2, Dct2dAlgorithm::kFft2dN);
+  EXPECT_LT(maxDiff(a, b), 1e-8 * n1 * n2);
+  idctIdxst(x.data(), a.data(), n1, n2, Dct2dAlgorithm::kRowColNaive);
+  idctIdxst(x.data(), b.data(), n1, n2, Dct2dAlgorithm::kFft2dN);
+  EXPECT_LT(maxDiff(a, b), 1e-8 * n1 * n2);
+  idxstIdct(x.data(), a.data(), n1, n2, Dct2dAlgorithm::kRowColNaive);
+  idxstIdct(x.data(), b.data(), n1, n2, Dct2dAlgorithm::kFft2dN);
+  EXPECT_LT(maxDiff(a, b), 1e-8 * n1 * n2);
+}
+
+TEST(Dct2dPlanTest, PlanMatchesStatelessEntryPoints) {
+  const int n1 = 16, n2 = 32;
+  auto x = randomMap(n1, n2, 321);
+  std::vector<double> via_plan(x.size()), via_free(x.size());
+  Dct2dPlan<double> plan(n1, n2, Dct2dAlgorithm::kFft2dN);
+  plan.dct2d(x.data(), via_plan.data());
+  dct2d(x.data(), via_free.data(), n1, n2, Dct2dAlgorithm::kFft2dN);
+  EXPECT_EQ(maxDiff(via_plan, via_free), 0.0);
+  plan.idctIdxst(x.data(), via_plan.data());
+  idctIdxst(x.data(), via_free.data(), n1, n2, Dct2dAlgorithm::kFft2dN);
+  EXPECT_EQ(maxDiff(via_plan, via_free), 0.0);
+  plan.idxstIdct(x.data(), via_plan.data());
+  idxstIdct(x.data(), via_free.data(), n1, n2, Dct2dAlgorithm::kFft2dN);
+  EXPECT_EQ(maxDiff(via_plan, via_free), 0.0);
+}
+
 TEST(Dct2dTest, NonSquareMaps) {
   const int n1 = 8, n2 = 32;
   auto x = randomMap(n1, n2, 99);

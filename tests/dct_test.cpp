@@ -127,5 +127,62 @@ TEST(DctFloatTest, SinglePrecisionAgreesWithDouble) {
   }
 }
 
+/// Even sizes that are not powers of two: the N-point route runs an
+/// N/2-point complex FFT with N/2 non-power-of-two, so every transform
+/// below goes through the cached Bluestein chirp-z plans.
+class BluesteinDctTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(BluesteinDctTest, DoubleRoundTripAndNaiveAgreement) {
+  const int n = GetParam();
+  auto x = randomVec(n, 500 + n);
+  for (auto algo : {DctAlgorithm::kFft2N, DctAlgorithm::kFftN}) {
+    EXPECT_LT(maxDiff(dct(x, DctAlgorithm::kNaive), dct(x, algo)), 1e-9 * n);
+    EXPECT_LT(maxDiff(idct(x, DctAlgorithm::kNaive), idct(x, algo)),
+              1e-9 * n);
+    EXPECT_LT(maxDiff(idxst(x, DctAlgorithm::kNaive), idxst(x, algo)),
+              1e-9 * n);
+    auto rt = idct(dct(x, algo), algo);
+    double err = 0;
+    for (int i = 0; i < n; ++i) {
+      err = std::max(err, std::abs(rt[i] - (n / 2.0) * x[i]));
+    }
+    EXPECT_LT(err, 1e-8 * n);
+  }
+}
+
+TEST_P(BluesteinDctTest, FloatRoundTripAndNaiveAgreement) {
+  const int n = GetParam();
+  Rng rng(900 + n);
+  std::vector<float> x(n);
+  for (float& v : x) {
+    v = static_cast<float>(rng.uniform(-1, 1));
+  }
+  const auto maxDiffF = [](const std::vector<float>& a,
+                           const std::vector<float>& b) {
+    double m = 0;
+    for (size_t i = 0; i < a.size(); ++i) {
+      m = std::max(m, std::abs(static_cast<double>(a[i]) - b[i]));
+    }
+    return m;
+  };
+  for (auto algo : {DctAlgorithm::kFft2N, DctAlgorithm::kFftN}) {
+    EXPECT_LT(maxDiffF(dct(x, DctAlgorithm::kNaive), dct(x, algo)), 2e-3);
+    EXPECT_LT(maxDiffF(idct(x, DctAlgorithm::kNaive), idct(x, algo)), 2e-3);
+    EXPECT_LT(maxDiffF(idxst(x, DctAlgorithm::kNaive), idxst(x, algo)),
+              2e-3);
+    auto rt = idct(dct(x, algo), algo);
+    double err = 0;
+    for (int i = 0; i < n; ++i) {
+      err = std::max(err, std::abs(rt[i] - (n / 2.0) * x[i]));
+    }
+    EXPECT_LT(err, 2e-2 * n);
+  }
+}
+
+// 12 -> h=6 (Bluestein), 20 -> h=10, 36 -> h=18, 100 -> h=50, 106 -> h=53
+// (odd half, the worst case for the chirp padding).
+INSTANTIATE_TEST_SUITE_P(EvenNonPow2, BluesteinDctTest,
+                         ::testing::Values(12, 20, 36, 100, 106));
+
 }  // namespace
 }  // namespace dreamplace::fft
