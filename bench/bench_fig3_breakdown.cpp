@@ -13,9 +13,11 @@
 
 #include <filesystem>
 
-int main() {
+int main(int argc, char** argv) {
   using namespace dreamplace;
   using namespace dreamplace::bench;
+
+  TelemetrySession session(argc, argv);
 
   const double scale = benchScale(0.01);
   const SuiteEntry entry = findSuiteEntry("bigblue4", scale);
@@ -28,6 +30,7 @@ int main() {
 
   PlacerOptions options;
   options.gp = replaceModeGp();
+  session.attach(options, entry.name);
   Timer total_timer;
   const FlowResult result = placeDesign(*db, options);
 

@@ -14,6 +14,8 @@ int main(int argc, char** argv) {
 
   // Optional observability exports (--trace=, --telemetry-jsonl=, ...).
   TelemetrySession telemetry(argc, argv);
+  const std::string json_path = benchJsonPath(argc, argv, "BENCH_fig7.json");
+  BenchJsonWriter writer("fig7_gp_runtime");
 
   // GP-only sweep over many configs: use a smaller default scale so the
   // 48-run matrix stays tractable on one core.
@@ -70,6 +72,10 @@ int main(int argc, char** argv) {
           placer.run();
           seconds[p] = timer.elapsed();
         }
+        writer.addResult(
+            entry.name + "/" + config.name +
+                (precision == Precision::kFloat32 ? "/f32" : "/f64"),
+            entry.config.numCells, seconds[p] * 1000.0);
         ++p;
       }
       std::printf(" %13.2f %13.2f |", seconds[0], seconds[1]);
@@ -88,6 +94,16 @@ int main(int argc, char** argv) {
     std::printf("\naverage float64/float32 speedup (fast config): %.2fx "
                 "(paper: ~1.3-1.4x)\n",
                 sum_ratio_f32 / n_ratio);
+  }
+  if (!json_path.empty()) {
+    writer.addCounterPrefix("ops/");
+    writer.addCounterPrefix("optimizer/");
+    if (writer.write(json_path)) {
+      std::printf("bench json written to %s\n", json_path.c_str());
+    } else {
+      std::fprintf(stderr, "bench json: cannot write %s\n",
+                   json_path.c_str());
+    }
   }
   return 0;
 }

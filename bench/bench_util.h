@@ -46,14 +46,18 @@ namespace dreamplace::bench {
 //   --trace=<file>            Chrome trace JSON (chrome://tracing)
 //   --telemetry-jsonl=<file>  per-iteration GP records, one JSON per line
 //   --telemetry-csv=<file>    per-run GP summary rows
+//   --report=<file>           end-of-flow run report JSON (place/report.h)
+//   --report-text=<file>      human-readable rendering of the run report
 // Environment fallbacks: DREAMPLACE_TRACE, DREAMPLACE_TELEMETRY_JSONL,
-// DREAMPLACE_TELEMETRY_CSV.
+// DREAMPLACE_TELEMETRY_CSV, DREAMPLACE_REPORT, DREAMPLACE_REPORT_TEXT.
 // ---------------------------------------------------------------------------
 
 struct TelemetryArgs {
   std::string traceFile;
   std::string jsonlFile;
   std::string csvFile;
+  std::string reportFile;
+  std::string reportTextFile;
 };
 
 inline TelemetryArgs parseTelemetryArgs(int argc, char** argv) {
@@ -65,6 +69,8 @@ inline TelemetryArgs parseTelemetryArgs(int argc, char** argv) {
   args.traceFile = fromEnv("DREAMPLACE_TRACE");
   args.jsonlFile = fromEnv("DREAMPLACE_TELEMETRY_JSONL");
   args.csvFile = fromEnv("DREAMPLACE_TELEMETRY_CSV");
+  args.reportFile = fromEnv("DREAMPLACE_REPORT");
+  args.reportTextFile = fromEnv("DREAMPLACE_REPORT_TEXT");
   for (int i = 1; i < argc; ++i) {
     const char* arg = argv[i];
     const auto match = [arg](const char* prefix) -> const char* {
@@ -77,6 +83,10 @@ inline TelemetryArgs parseTelemetryArgs(int argc, char** argv) {
       args.jsonlFile = v;
     } else if (const char* v = match("--telemetry-csv=")) {
       args.csvFile = v;
+    } else if (const char* v = match("--report-text=")) {
+      args.reportTextFile = v;
+    } else if (const char* v = match("--report=")) {
+      args.reportFile = v;
     }
   }
   return args;
@@ -89,7 +99,9 @@ inline TelemetryArgs parseTelemetryArgs(int argc, char** argv) {
 class TelemetrySession {
  public:
   explicit TelemetrySession(const TelemetryArgs& args)
-      : trace_file_(args.traceFile) {
+      : trace_file_(args.traceFile),
+        report_file_(args.reportFile),
+        report_text_file_(args.reportTextFile) {
     // Fail fast with a clean message on an unwritable export path: the
     // user asked for a file, and discovering it is missing only after a
     // long sweep would waste the whole run.
@@ -136,10 +148,13 @@ class TelemetrySession {
   }
 
   /// Installs the session's exports into flow options under `label`.
-  /// (File sinks are owned here, so only the extra sink is forwarded.)
+  /// (File sinks are owned here, so only the extra sink is forwarded; the
+  /// run report is assembled by placeDesign itself, so its paths are.)
   void attach(PlacerOptions& options, const std::string& label) {
     options.telemetry = sink();
     options.telemetryLabel = label;
+    options.reportJson = report_file_;
+    options.reportText = report_text_file_;
   }
 
  private:
@@ -148,6 +163,8 @@ class TelemetrySession {
   std::unique_ptr<CsvTelemetrySink> csv_;
   TraceTelemetrySink trace_sink_;
   std::string trace_file_;
+  std::string report_file_;
+  std::string report_text_file_;
 };
 
 /// Output path for the machine-readable result file of a bench binary.

@@ -1,13 +1,30 @@
-// Wall-clock timing with a hierarchical accumulation registry.
+// Wall-clock timing with a hierarchical, self-time-attributing registry.
 //
-// The paper reports per-stage runtime (GP / LG / DP / IO columns of
-// Tables II-V) and runtime breakdowns (Figs. 3 and 9). The registry
-// accumulates named scopes so a flow run can print those breakdowns
-// without threading timers through every API.
+// The paper's evaluation is a set of runtime *reports*: per-stage columns
+// (GP / LG / DP / IO of Tables II-V), stage breakdowns (Figs. 3 and 9),
+// and per-op kernel breakdowns (Figs. 10 and 12). The registry
+// accumulates named scopes so a flow run can assemble those reports
+// without threading timers through every API. Each key records call
+// count, inclusive seconds, and *self* seconds (inclusive minus time
+// spent in nested ScopedTimer scopes on the same thread), so nested
+// hierarchies like "gp" > "gp/op/density" > "gp/op/density/poisson" can
+// be broken down without double counting.
+//
+// Thread-safety: the registry is mutex-guarded (multithreaded kernels
+// destroy ScopedTimers concurrently); the nesting bookkeeping is a
+// thread-local scope stack, so scopes on different threads never see
+// each other as parents. Invariants (pinned by tests/profiler_test.cpp):
+//   * self <= inclusive for every key,
+//   * the self times of a root scope's subtree sum to the root's
+//     inclusive time,
+//   * the report() denominator is the total root-scope time, so
+//     percentages of nested scopes never double-count.
 #pragma once
 
 #include <chrono>
+#include <cstdint>
 #include <map>
+#include <mutex>
 #include <string>
 #include <vector>
 
@@ -30,35 +47,84 @@ class Timer {
   Clock::time_point start_;
 };
 
+/// Accumulated statistics of one timing key.
+struct TimingStat {
+  std::int64_t count = 0;   ///< Number of completed scopes / add() calls.
+  double seconds = 0.0;     ///< Inclusive wall seconds.
+  double selfSeconds = 0.0; ///< Inclusive minus nested-scope seconds.
+  /// Inclusive seconds accumulated by scopes that were roots of their
+  /// thread's scope stack (nothing above them). Summed across keys this
+  /// is the wall time the profiler observed exactly once — the natural
+  /// percentage denominator.
+  double rootSeconds = 0.0;
+
+  TimingStat& operator+=(const TimingStat& o) {
+    count += o.count;
+    seconds += o.seconds;
+    selfSeconds += o.selfSeconds;
+    rootSeconds += o.rootSeconds;
+    return *this;
+  }
+};
+
 /// Process-wide accumulator of named timing scopes.
 ///
 /// Scope keys are '/'-separated paths, e.g. "gp/density/fft". Accumulation
 /// is additive across calls; the registry can be cleared between runs.
+/// All entry points are thread-safe.
 class TimingRegistry {
  public:
   static TimingRegistry& instance();
 
+  /// Manual accumulation: treated as a leaf root scope (self == inclusive,
+  /// one call). Source-compatible with pre-profiler call sites.
   void add(const std::string& key, double seconds);
+  /// Scope accumulation with explicit self-time attribution (ScopedTimer's
+  /// entry point). `root` marks scopes with no enclosing scope on their
+  /// thread.
+  void addScope(const std::string& key, double seconds, double selfSeconds,
+                bool root);
+
+  /// Inclusive seconds of `key` (0 when absent).
   double total(const std::string& key) const;
-  /// Sum of all keys that start with `prefix`.
+  /// Self seconds of `key` (0 when absent).
+  double selfTotal(const std::string& key) const;
+  /// Completed-scope count of `key` (0 when absent).
+  std::int64_t count(const std::string& key) const;
+  /// Sum of inclusive seconds over all keys that start with `prefix`.
   double totalPrefix(const std::string& prefix) const;
+  /// Sum of self seconds over all keys that start with `prefix`. Unlike
+  /// totalPrefix this never double-counts nested scopes, so it is the
+  /// right aggregate for subtree shares.
+  double selfTotalPrefix(const std::string& prefix) const;
+
+  /// Inclusive seconds per key (legacy shape).
   std::map<std::string, double> snapshot() const;
+  /// Full statistics per key.
+  std::map<std::string, TimingStat> statsSnapshot() const;
   void clear();
 
-  /// Pretty-print all accumulated scopes as "key  seconds  percent".
+  /// Pretty-print all scopes as "key  count  inclusive  self  percent".
+  /// Percentages are inclusive seconds over the total root-scope time, so
+  /// nested scopes show their true share instead of inflating the total.
   std::string report() const;
 
  private:
   TimingRegistry() = default;
-  std::map<std::string, double> totals_;
+  mutable std::mutex mutex_;
+  std::map<std::string, TimingStat> totals_;
 };
 
 /// RAII scope that adds its lifetime to the registry under `key`.
-/// When trace recording is enabled (common/trace.h) the scope also emits
-/// a duration event, so every timed region shows up on the timeline.
+///
+/// Maintains a thread-local scope stack for self-time attribution: the
+/// only per-scope overhead beyond the pre-existing registry add is one
+/// push in the constructor and one pop in the destructor. When trace
+/// recording is enabled (common/trace.h) the scope also emits a duration
+/// event, so every timed region shows up on the timeline.
 class ScopedTimer {
  public:
-  explicit ScopedTimer(std::string key) : key_(std::move(key)) {}
+  explicit ScopedTimer(std::string key);
   ~ScopedTimer();
 
   ScopedTimer(const ScopedTimer&) = delete;

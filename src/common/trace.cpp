@@ -2,6 +2,8 @@
 
 #include <cstdio>
 
+#include "common/counters.h"
+
 namespace dreamplace {
 
 TraceRecorder& TraceRecorder::instance() {
@@ -23,11 +25,37 @@ void TraceRecorder::clear() {
   std::lock_guard<std::mutex> lock(mutex_);
   events_.clear();
   thread_ids_.clear();
+  dropped_ = 0;
 }
 
 std::size_t TraceRecorder::size() const {
   std::lock_guard<std::mutex> lock(mutex_);
   return events_.size();
+}
+
+void TraceRecorder::setCapacity(std::size_t maxEvents) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  capacity_ = maxEvents;
+}
+
+std::size_t TraceRecorder::capacity() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return capacity_;
+}
+
+std::size_t TraceRecorder::dropped() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return dropped_;
+}
+
+bool TraceRecorder::reserveSlot() {
+  if (capacity_ != 0 && events_.size() >= capacity_) {
+    static Counter drops("trace/dropped");
+    drops.add();
+    ++dropped_;
+    return false;
+  }
+  return true;
 }
 
 int TraceRecorder::threadId() {
@@ -47,6 +75,9 @@ void TraceRecorder::completeEvent(std::string_view name, double seconds) {
   }
   const auto now = std::chrono::steady_clock::now();
   std::lock_guard<std::mutex> lock(mutex_);
+  if (!reserveSlot()) {
+    return;
+  }
   TraceEvent ev;
   ev.name = std::string(name);
   ev.phase = 'X';
@@ -67,6 +98,9 @@ void TraceRecorder::instantEvent(std::string_view name,
   }
   const auto now = std::chrono::steady_clock::now();
   std::lock_guard<std::mutex> lock(mutex_);
+  if (!reserveSlot()) {
+    return;
+  }
   TraceEvent ev;
   ev.name = std::string(name);
   ev.phase = 'i';
@@ -82,6 +116,9 @@ void TraceRecorder::counterEvent(std::string_view name, double value) {
   }
   const auto now = std::chrono::steady_clock::now();
   std::lock_guard<std::mutex> lock(mutex_);
+  if (!reserveSlot()) {
+    return;
+  }
   TraceEvent ev;
   ev.name = std::string(name);
   ev.phase = 'C';

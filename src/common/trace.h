@@ -39,8 +39,17 @@ struct TraceEvent {
 /// Thread-safe: events from concurrent scopes are appended under a mutex
 /// (recording is rare enough that contention is irrelevant; the disabled
 /// path never takes the lock).
+///
+/// The event buffer is bounded (setCapacity, default 1M events): long
+/// flows emit scope events every GP iteration and an unbounded vector
+/// would eventually take the process down. Events beyond the cap are
+/// dropped and counted in the `trace/dropped` counter so a truncated
+/// trace is detectable instead of silently partial.
 class TraceRecorder {
  public:
+  /// Default event-buffer capacity (~150 MB worst case of event strings).
+  static constexpr std::size_t kDefaultCapacity = 1u << 20;
+
   static TraceRecorder& instance();
 
   bool enabled() const { return enabled_.load(std::memory_order_relaxed); }
@@ -48,6 +57,14 @@ class TraceRecorder {
   void setEnabled(bool enabled);
   void clear();
   std::size_t size() const;
+
+  /// Caps the event buffer; 0 means unbounded. Applies to future events
+  /// only (an already-larger buffer is kept).
+  void setCapacity(std::size_t maxEvents);
+  std::size_t capacity() const;
+  /// Events dropped since the last clear() because the buffer was full
+  /// (mirrors the `trace/dropped` counter, which is cumulative).
+  std::size_t dropped() const;
 
   /// Records a duration event that ends now and lasted `seconds`.
   void completeEvent(std::string_view name, double seconds);
@@ -64,12 +81,17 @@ class TraceRecorder {
  private:
   TraceRecorder();
   int threadId();
+  /// Caller holds mutex_. True if an event slot is available; otherwise
+  /// records the drop.
+  bool reserveSlot();
 
   std::atomic<bool> enabled_{false};
   std::chrono::steady_clock::time_point epoch_;
   mutable std::mutex mutex_;
   std::vector<TraceEvent> events_;
   std::map<std::thread::id, int> thread_ids_;
+  std::size_t capacity_ = kDefaultCapacity;
+  std::size_t dropped_ = 0;
 };
 
 /// RAII trace-only scope: a complete event spanning the scope lifetime.

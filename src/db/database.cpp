@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <numeric>
+#include <type_traits>
 
 #include "common/log.h"
 
@@ -118,6 +119,18 @@ void Database::finalize() {
 
   finalized_ = true;
   validate();
+
+  const auto vec_bytes = [](const auto& v) {
+    return static_cast<std::int64_t>(
+        v.capacity() * sizeof(typename std::decay_t<decltype(v)>::value_type));
+  };
+  mem_.set(vec_bytes(cell_width_) + vec_bytes(cell_height_) +
+           vec_bytes(cell_x_) + vec_bytes(cell_y_) +
+           vec_bytes(cell_movable_) + vec_bytes(net_weight_) +
+           vec_bytes(net_pin_start_) + vec_bytes(pin_cell_) +
+           vec_bytes(pin_net_) + vec_bytes(pin_offset_x_) +
+           vec_bytes(pin_offset_y_) + vec_bytes(cell_pin_start_) +
+           vec_bytes(cell_pins_) + vec_bytes(rows_));
 }
 
 void Database::buildCellPinCsr() {

@@ -15,6 +15,7 @@
 #include <vector>
 
 #include "common/geometry.h"
+#include "common/memory.h"
 #include "common/types.h"
 
 namespace dreamplace {
@@ -174,6 +175,7 @@ class Database {
   std::vector<Index> cell_pins_;
 
   std::vector<std::pair<std::string, Index>> name_index_;  // sorted lookup
+  TrackedBytes mem_{"db"};  ///< flat-array footprint, set in finalize()
   bool finalized_ = false;
 };
 

@@ -97,6 +97,7 @@ Dct2dPlan<T>::Dct2dPlan(int n1, int n2, Dct2dAlgorithm algo)
   if (algo_ != Dct2dAlgorithm::kFft2dN) {
     buf_b_.resize(total);
     flip_.resize(total);
+    trackWorkspace();
     return;
   }
 
@@ -137,6 +138,19 @@ Dct2dPlan<T>::Dct2dPlan(int n1, int n2, Dct2dAlgorithm algo)
       std::max(col_fwd_->scratchSize(), col_inv_->scratchSize());
   row_ws_.resize(row_scratch_stride_ * threads);
   col_ws_.resize(col_scratch_stride_ * threads);
+  trackWorkspace();
+}
+
+template <typename T>
+void Dct2dPlan<T>::trackWorkspace() {
+  const auto bytes = [](const auto& v) {
+    return static_cast<std::int64_t>(
+        v.capacity() * sizeof(typename std::decay_t<decltype(v)>::value_type));
+  };
+  mem_.set(bytes(buf_a_) + bytes(buf_b_) + bytes(flip_) + bytes(spec_) +
+           bytes(row_ws_) + bytes(col_ws_) + bytes(tw1_) + bytes(tw2_) +
+           bytes(reorder1_) + bytes(reorder2_) + bytes(inv_reorder1_) +
+           bytes(inv_reorder2_));
 }
 
 template <typename T>

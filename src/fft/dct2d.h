@@ -22,6 +22,7 @@
 #include <complex>
 #include <vector>
 
+#include "common/memory.h"
 #include "fft/dct.h"
 #include "fft/plan.h"
 
@@ -71,6 +72,8 @@ class Dct2dPlan {
   /// IDXST reductions without extra full-map passes.
   void inverseFft2d(const T* in, T* out, bool flip0, bool flip1);
   void rowColApply(const T* in, T* out, bool forward);
+  /// Attributes all owned workspace/table bytes to "fft/scratch".
+  void trackWorkspace();
 
   std::complex<T>* rowScratch(int thread);
   std::complex<T>* colScratch(int thread);
@@ -100,6 +103,7 @@ class Dct2dPlan {
   std::size_t col_scratch_stride_ = 0;
   std::vector<std::complex<T>> row_ws_;     ///< per-thread rfft scratch
   std::vector<std::complex<T>> col_ws_;     ///< per-thread column + scratch
+  TrackedBytes mem_{"fft/scratch"};         ///< memory attribution
 };
 
 template <typename T>

@@ -9,6 +9,7 @@
 #include <vector>
 
 #include "common/log.h"
+#include "common/timer.h"
 
 namespace dreamplace {
 
@@ -311,6 +312,7 @@ void readPlacement(Database& db, const std::string& plPath) {
 }
 
 std::unique_ptr<Database> readBookshelf(const std::string& auxPath) {
+  ScopedTimer timer("io/read");
   const AuxFiles files = parseAux(auxPath);
   auto db = std::make_unique<Database>();
   std::unordered_map<std::string, Index> byName;

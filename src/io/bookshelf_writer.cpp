@@ -6,6 +6,7 @@
 #include <stdexcept>
 
 #include "common/log.h"
+#include "common/timer.h"
 
 namespace dreamplace {
 
@@ -41,6 +42,7 @@ void writePlacement(const Database& db, const std::string& path) {
 
 void writeBookshelf(const Database& db, const std::string& directory,
                     const std::string& design) {
+  ScopedTimer timer("io/write");
   const fs::path dir(directory);
   fs::create_directories(dir);
 

@@ -41,6 +41,8 @@ DensityOp<T>::DensityOp(const Database& db, const DensityGrid<T>& grid,
       total_movable_area_(db.totalMovableArea()) {
   DP_ASSERT(num_nodes_ >= db.numMovable());
   map_.resize(static_cast<size_t>(grid.mx) * grid.my);
+  mem_.set(static_cast<std::int64_t>(
+      (map_.capacity() + fixed_map_.capacity()) * sizeof(T)));
 }
 
 template <typename T>
@@ -59,6 +61,13 @@ double DensityOp<T>::evaluate(std::span<const T> params, std::span<T> grad) {
   {
     ScopedTimer t("gp/op/density/poisson");
     solver_.solve(std::span<const T>(map_), solution_);
+    // Attribute the solution buffers once they reach steady-state size
+    // (set() is a no-op when nothing changed).
+    mem_.set(static_cast<std::int64_t>(
+        (map_.capacity() + fixed_map_.capacity() +
+         solution_.potential.capacity() + solution_.fieldX.capacity() +
+         solution_.fieldY.capacity()) *
+        sizeof(T)));
   }
   {
     ScopedTimer t("gp/op/density/gather");

@@ -11,6 +11,7 @@
 #include <vector>
 
 #include "autograd/objective.h"
+#include "common/memory.h"
 #include "db/database.h"
 #include "ops/density_map.h"
 #include "ops/electrostatics.h"
@@ -96,6 +97,7 @@ class DensityOp final : public DensityFunction<T> {
   // Workspaces.
   std::vector<T> map_;
   PoissonSolution<T> solution_;
+  TrackedBytes mem_{"ops/density/grids"};  ///< density/fixed/solution maps
 };
 
 /// Computes the filler cell sizes for a database: total filler area =

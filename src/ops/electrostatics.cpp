@@ -30,6 +30,10 @@ PoissonSolver<T>::PoissonSolver(int mx, int my, fft::Dct2dAlgorithm algo)
   z_.resize(total);
   zx_.resize(total);
   zy_.resize(total);
+  mem_.set(static_cast<std::int64_t>(
+      (wu_.capacity() + wv_.capacity() + inv_w2_.capacity() +
+       coeff_.capacity() + z_.capacity() + zx_.capacity() + zy_.capacity()) *
+      sizeof(T)));
 }
 
 template <typename T>

@@ -18,6 +18,7 @@
 #include <span>
 #include <vector>
 
+#include "common/memory.h"
 #include "fft/dct2d.h"
 
 namespace dreamplace {
@@ -57,6 +58,7 @@ class PoissonSolver {
   std::vector<T> z_;         ///< scaled modes for the potential
   std::vector<T> zx_;        ///< scaled modes for fieldX
   std::vector<T> zy_;        ///< scaled modes for fieldY
+  TrackedBytes mem_{"ops/density/grids"};  ///< spectral workspace bytes
 };
 
 }  // namespace dreamplace

@@ -298,6 +298,8 @@ void WaWirelengthOp<T>::ensureAtomicWorkspace(Index numNets) {
   ws_bminus_ = std::vector<std::atomic<T>>(numNets);
   ws_cplus_ = std::vector<std::atomic<T>>(numNets);
   ws_cminus_ = std::vector<std::atomic<T>>(numNets);
+  mem_atomic_.set(static_cast<std::int64_t>(
+      6u * static_cast<std::size_t>(numNets) * sizeof(std::atomic<T>)));
   allocs.add();
 }
 

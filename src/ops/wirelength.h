@@ -26,6 +26,7 @@
 #include <vector>
 
 #include "autograd/objective.h"
+#include "common/memory.h"
 #include "db/database.h"
 #include "ops/net_topology.h"
 
@@ -105,6 +106,7 @@ class WaWirelengthOp final : public WirelengthOp<T> {
   std::vector<std::atomic<T>> ws_xmax_, ws_xmin_;
   std::vector<std::atomic<T>> ws_bplus_, ws_bminus_;
   std::vector<std::atomic<T>> ws_cplus_, ws_cminus_;
+  TrackedBytes mem_atomic_{"ops/wirelength/atomic_ws"};
 };
 
 /// Log-sum-exp wirelength (Naylor et al.): WL_e = gamma*(log sum

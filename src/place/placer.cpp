@@ -8,10 +8,28 @@
 #include "common/trace.h"
 #include "db/metrics.h"
 #include "lg/macro_legalizer.h"
+#include "place/report.h"
 
 namespace dreamplace {
 
 namespace {
+
+/// Collects per-run GP summaries for the end-of-flow report without the
+/// per-iteration storage of RecordingTelemetrySink.
+class GpSummarySink final : public TelemetrySink {
+ public:
+  void onIteration(const IterationStats& /*stats*/) override {}
+  void onRunEnd(const TelemetryRunSummary& summary) override {
+    summaries_.push_back(summary);
+  }
+
+  const std::vector<TelemetryRunSummary>& summaries() const {
+    return summaries_;
+  }
+
+ private:
+  std::vector<TelemetryRunSummary> summaries_;
+};
 
 /// Builds the telemetry sink stack requested by the options and wires it
 /// into the GP options. Owns the file sinks; must outlive the flow run.
@@ -31,6 +49,9 @@ class FlowTelemetry {
       TraceRecorder::instance().setEnabled(true);
       mux_.addSink(&trace_sink_);
     }
+    if (!options.reportJson.empty() || !options.reportText.empty()) {
+      mux_.addSink(&summary_sink_);
+    }
     mux_.addSink(options.telemetry);
   }
 
@@ -47,11 +68,17 @@ class FlowTelemetry {
   /// Null when no sink is configured, so the GP loop skips all telemetry.
   TelemetrySink* sink() { return mux_.empty() ? nullptr : &mux_; }
 
+  /// GP run summaries observed so far (empty unless a report was asked).
+  const std::vector<TelemetryRunSummary>& gpSummaries() const {
+    return summary_sink_.summaries();
+  }
+
  private:
   TelemetryMux mux_;
   std::unique_ptr<JsonlTelemetrySink> jsonl_;
   std::unique_ptr<CsvTelemetrySink> csv_;
   TraceTelemetrySink trace_sink_;
+  GpSummarySink summary_sink_;
   std::string trace_file_;
 };
 
@@ -233,10 +260,22 @@ void PlacerOptions::validate() const {
 FlowResult placeDesign(Database& db, const PlacerOptions& options) {
   options.validate();
   FlowTelemetry telemetry(options);
-  if (options.precision == Precision::kFloat32) {
-    return runFlow<float>(db, options, telemetry);
+  const bool want_report =
+      !options.reportJson.empty() || !options.reportText.empty();
+  ObservabilitySnapshot before;
+  if (want_report) {
+    before = ObservabilitySnapshot::capture();
   }
-  return runFlow<double>(db, options, telemetry);
+  const FlowResult result =
+      options.precision == Precision::kFloat32
+          ? runFlow<float>(db, options, telemetry)
+          : runFlow<double>(db, options, telemetry);
+  if (want_report) {
+    const RunReport report = buildRunReport(db, options, result,
+                                            telemetry.gpSummaries(), before);
+    writeRunReport(report, options.reportJson, options.reportText);
+  }
+  return result;
 }
 
 }  // namespace dreamplace

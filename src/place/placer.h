@@ -35,6 +35,13 @@ struct PlacerOptions {
   /// Chrome trace-event JSON (chrome://tracing / Perfetto) covering the
   /// whole flow: every ScopedTimer scope plus GP counter tracks.
   std::string traceFile;
+  /// End-of-flow run report (place/report.h): one JSON document with
+  /// stage and per-op self-time breakdowns, GP convergence summaries,
+  /// counter deltas, and memory attribution. CI's regression gate
+  /// (tools/check_report) consumes this file.
+  std::string reportJson;
+  /// Human-readable text rendering of the same report.
+  std::string reportText;
   /// Additional caller-provided sink (non-owning); composed with the
   /// file exports above.
   TelemetrySink* telemetry = nullptr;

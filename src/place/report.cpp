@@ -1,0 +1,442 @@
+#include "place/report.h"
+
+#include <algorithm>
+#include <cinttypes>
+#include <cmath>
+#include <cstdio>
+#include <cstring>
+
+#include "common/log.h"
+
+namespace dreamplace {
+
+namespace {
+
+const char* precisionName(Precision p) {
+  return p == Precision::kFloat32 ? "float32" : "float64";
+}
+
+const char* wlModelName(WirelengthModel m) {
+  return m == WirelengthModel::kWeightedAverage ? "weighted_average"
+                                                : "log_sum_exp";
+}
+
+const char* wlKernelName(WirelengthKernel k) {
+  switch (k) {
+    case WirelengthKernel::kNetByNet: return "net_by_net";
+    case WirelengthKernel::kAtomic: return "atomic";
+    case WirelengthKernel::kMerged: return "merged";
+  }
+  return "?";
+}
+
+const char* densityKernelName(DensityKernel k) {
+  return k == DensityKernel::kNaive ? "naive" : "sorted";
+}
+
+const char* dctName(fft::Dct2dAlgorithm a) {
+  switch (a) {
+    case fft::Dct2dAlgorithm::kRowColNaive: return "rowcol_naive";
+    case fft::Dct2dAlgorithm::kRowCol2N: return "rowcol_2n";
+    case fft::Dct2dAlgorithm::kRowColN: return "rowcol_n";
+    case fft::Dct2dAlgorithm::kFft2dN: return "fft2d_n";
+  }
+  return "?";
+}
+
+const char* initName(InitialPlacement i) {
+  return i == InitialPlacement::kRandomCenter ? "random_center" : "spread";
+}
+
+// --- Minimal JSON writer ---------------------------------------------------
+
+void appendEscaped(std::string& out, const std::string& s) {
+  out += '"';
+  for (const char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\r': out += "\\r"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  out += '"';
+}
+
+void appendNumber(std::string& out, double v) {
+  if (!std::isfinite(v)) {
+    out += "null";  // JSON has no NaN/Inf; null keeps the document valid.
+    return;
+  }
+  char buf[40];
+  std::snprintf(buf, sizeof(buf), "%.12g", v);
+  out += buf;
+}
+
+void appendInt(std::string& out, std::int64_t v) {
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%" PRId64, v);
+  out += buf;
+}
+
+/// Tiny comma-managing JSON emitter; enough for one flat-ish document.
+class Json {
+ public:
+  std::string out;
+
+  void openObject() { punct('{'); fresh_ = true; }
+  void closeObject() { out += '}'; fresh_ = false; }
+  void openArray() { punct('['); fresh_ = true; }
+  void closeArray() { out += ']'; fresh_ = false; }
+
+  void key(const std::string& k) {
+    comma();
+    appendEscaped(out, k);
+    out += ':';
+    fresh_ = true;  // value follows, no comma before it
+  }
+  void value(const std::string& v) { comma(); appendEscaped(out, v); }
+  void value(double v) { comma(); appendNumber(out, v); }
+  void value(std::int64_t v) { comma(); appendInt(out, v); }
+  void value(int v) { comma(); appendInt(out, v); }
+  void value(bool v) { comma(); out += v ? "true" : "false"; }
+
+ private:
+  void punct(char c) {
+    comma();
+    out += c;
+  }
+  void comma() {
+    if (!fresh_) {
+      out += ',';
+    }
+    fresh_ = false;
+  }
+  bool fresh_ = true;
+};
+
+std::string formatBytes(std::int64_t bytes) {
+  char buf[32];
+  if (bytes >= 1 << 20) {
+    std::snprintf(buf, sizeof(buf), "%.1f MiB",
+                  static_cast<double>(bytes) / (1 << 20));
+  } else if (bytes >= 1 << 10) {
+    std::snprintf(buf, sizeof(buf), "%.1f KiB",
+                  static_cast<double>(bytes) / (1 << 10));
+  } else {
+    std::snprintf(buf, sizeof(buf), "%" PRId64 " B", bytes);
+  }
+  return buf;
+}
+
+bool writeFile(const std::string& path, const std::string& contents) {
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  if (f == nullptr) {
+    return false;
+  }
+  const bool ok =
+      std::fwrite(contents.data(), 1, contents.size(), f) == contents.size();
+  return (std::fclose(f) == 0) && ok;
+}
+
+}  // namespace
+
+ObservabilitySnapshot ObservabilitySnapshot::capture() {
+  ObservabilitySnapshot snap;
+  snap.timing = TimingRegistry::instance().statsSnapshot();
+  snap.counters = CounterRegistry::instance().snapshot();
+  return snap;
+}
+
+RunReport buildRunReport(const Database& db, const PlacerOptions& options,
+                         const FlowResult& result,
+                         const std::vector<TelemetryRunSummary>& gpRuns,
+                         const ObservabilitySnapshot& before) {
+  RunReport report;
+  report.label = options.telemetryLabel;
+
+  report.numCells = db.numCells();
+  report.numMovable = db.numMovable();
+  report.numNets = db.numNets();
+  report.numPins = db.numPins();
+  report.utilization = static_cast<double>(db.utilization());
+
+  report.precision = precisionName(options.precision);
+  report.solver = solverName(options.gp.solver);
+  report.wirelengthModel = wlModelName(options.gp.wlModel);
+  report.wirelengthKernel = wlKernelName(options.gp.wlKernel);
+  report.densityKernel = densityKernelName(options.gp.densityKernel);
+  report.dctAlgorithm = dctName(options.gp.dct);
+  report.initialPlacement = initName(options.gp.init);
+  report.targetDensity = options.gp.targetDensity;
+  report.stopOverflow = options.gp.stopOverflow;
+  report.maxIterations = options.gp.maxIterations;
+  report.binsMax = options.gp.binsMax;
+  report.routability = options.routability;
+  report.detailedPlacement = options.runDetailedPlacement;
+
+  report.result = result;
+  report.ioSeconds = TimingRegistry::instance().totalPrefix("io");
+  report.gpRuns = gpRuns;
+
+  // Run deltas: subtract the flow-start snapshot, drop empty entries.
+  for (auto& [key, stat] : TimingRegistry::instance().statsSnapshot()) {
+    TimingStat delta = stat;
+    if (const auto it = before.timing.find(key); it != before.timing.end()) {
+      delta.count -= it->second.count;
+      delta.seconds -= it->second.seconds;
+      delta.selfSeconds -= it->second.selfSeconds;
+      delta.rootSeconds -= it->second.rootSeconds;
+    }
+    if (delta.count != 0 || delta.seconds != 0.0) {
+      report.timing.emplace(key, delta);
+    }
+  }
+  for (auto& [key, value] : CounterRegistry::instance().snapshot()) {
+    CounterRegistry::Value delta = value;
+    if (const auto it = before.counters.find(key);
+        it != before.counters.end()) {
+      delta -= it->second;
+    }
+    if (delta != 0) {
+      report.counters.emplace(key, delta);
+    }
+  }
+
+  report.trackedMemory = MemoryTracker::instance().snapshot();
+  report.processMemory = sampleProcessMemory();
+  return report;
+}
+
+std::string RunReport::toJson() const {
+  Json j;
+  j.openObject();
+  j.key("schema");
+  j.value(std::string(kSchema));
+  j.key("label");
+  j.value(label);
+
+  j.key("design");
+  j.openObject();
+  j.key("cells"); j.value(static_cast<std::int64_t>(numCells));
+  j.key("movable"); j.value(static_cast<std::int64_t>(numMovable));
+  j.key("nets"); j.value(static_cast<std::int64_t>(numNets));
+  j.key("pins"); j.value(static_cast<std::int64_t>(numPins));
+  j.key("utilization"); j.value(utilization);
+  j.closeObject();
+
+  j.key("config");
+  j.openObject();
+  j.key("precision"); j.value(precision);
+  j.key("solver"); j.value(solver);
+  j.key("wl_model"); j.value(wirelengthModel);
+  j.key("wl_kernel"); j.value(wirelengthKernel);
+  j.key("density_kernel"); j.value(densityKernel);
+  j.key("dct"); j.value(dctAlgorithm);
+  j.key("init"); j.value(initialPlacement);
+  j.key("target_density"); j.value(targetDensity);
+  j.key("stop_overflow"); j.value(stopOverflow);
+  j.key("max_iterations"); j.value(maxIterations);
+  j.key("bins_max"); j.value(binsMax);
+  j.key("routability"); j.value(routability);
+  j.key("detailed_placement"); j.value(detailedPlacement);
+  j.closeObject();
+
+  j.key("result");
+  j.openObject();
+  j.key("hpwl_gp"); j.value(result.hpwlGp);
+  j.key("hpwl_legal"); j.value(result.hpwlLegal);
+  j.key("hpwl"); j.value(result.hpwl);
+  j.key("overflow"); j.value(result.overflow);
+  j.key("gp_iterations"); j.value(result.gpIterations);
+  j.key("legal"); j.value(result.legal);
+  j.closeObject();
+
+  j.key("stages");
+  j.openObject();
+  j.key("gp_s"); j.value(result.gpSeconds);
+  j.key("lg_s"); j.value(result.lgSeconds);
+  j.key("dp_s"); j.value(result.dpSeconds);
+  j.key("io_s"); j.value(ioSeconds);
+  j.key("total_s"); j.value(result.totalSeconds);
+  j.closeObject();
+
+  j.key("gp_runs");
+  j.openArray();
+  for (const TelemetryRunSummary& run : gpRuns) {
+    j.openObject();
+    j.key("iterations"); j.value(run.iterations);
+    j.key("hpwl"); j.value(run.hpwl);
+    j.key("overflow"); j.value(run.overflow);
+    j.key("lambda"); j.value(run.lambda);
+    j.key("seconds"); j.value(run.seconds);
+    j.closeObject();
+  }
+  j.closeArray();
+
+  j.key("timing");
+  j.openObject();
+  for (const auto& [key, stat] : timing) {
+    j.key(key);
+    j.openObject();
+    j.key("count"); j.value(stat.count);
+    j.key("incl_s"); j.value(stat.seconds);
+    j.key("self_s"); j.value(stat.selfSeconds);
+    j.closeObject();
+  }
+  j.closeObject();
+
+  j.key("counters");
+  j.openObject();
+  for (const auto& [key, value] : counters) {
+    j.key(key);
+    j.value(value);
+  }
+  j.closeObject();
+
+  j.key("memory");
+  j.openObject();
+  j.key("tracked");
+  j.openObject();
+  for (const auto& [key, usage] : trackedMemory) {
+    j.key(key);
+    j.openObject();
+    j.key("current_bytes"); j.value(usage.currentBytes);
+    j.key("peak_bytes"); j.value(usage.peakBytes);
+    j.closeObject();
+  }
+  j.closeObject();
+  j.key("process");
+  j.openObject();
+  j.key("vm_rss_bytes"); j.value(processMemory.vmRssBytes);
+  j.key("vm_hwm_bytes"); j.value(processMemory.vmHwmBytes);
+  j.key("valid"); j.value(processMemory.valid);
+  j.closeObject();
+  j.closeObject();
+
+  j.closeObject();
+  j.out += '\n';
+  return j.out;
+}
+
+std::string RunReport::toText() const {
+  std::string out;
+  char line[256];
+  const auto add = [&out, &line] { out += line; };
+
+  std::snprintf(line, sizeof(line), "=== flow run report%s%s ===\n",
+                label.empty() ? "" : ": ", label.c_str());
+  add();
+  std::snprintf(line, sizeof(line),
+                "design: %d cells (%d movable), %d nets, %d pins\n",
+                static_cast<int>(numCells), static_cast<int>(numMovable),
+                static_cast<int>(numNets), static_cast<int>(numPins));
+  add();
+  std::snprintf(line, sizeof(line),
+                "config: %s, %s solver, wl %s/%s, density %s, dct %s\n",
+                precision.c_str(), solver.c_str(), wirelengthModel.c_str(),
+                wirelengthKernel.c_str(), densityKernel.c_str(),
+                dctAlgorithm.c_str());
+  add();
+  std::snprintf(line, sizeof(line),
+                "result: hpwl %.4e (gp %.4e, legal %.4e), overflow %.4f, "
+                "%d GP iterations, %s\n",
+                result.hpwl, result.hpwlGp, result.hpwlLegal, result.overflow,
+                result.gpIterations, result.legal ? "legal" : "NOT LEGAL");
+  add();
+
+  out += "\nstages:\n";
+  const double total = std::max(result.totalSeconds, 1e-12);
+  const auto stage = [&](const char* name, double s) {
+    std::snprintf(line, sizeof(line), "  %-6s %9.3fs %6.1f%%\n", name, s,
+                  100.0 * s / total);
+    add();
+  };
+  stage("gp", result.gpSeconds);
+  stage("lg", result.lgSeconds);
+  stage("dp", result.dpSeconds);
+  stage("io", ioSeconds);
+  std::snprintf(line, sizeof(line), "  %-6s %9.3fs\n", "total",
+                result.totalSeconds);
+  add();
+
+  if (!gpRuns.empty()) {
+    out += "\ngp runs:\n";
+    for (std::size_t i = 0; i < gpRuns.size(); ++i) {
+      const TelemetryRunSummary& run = gpRuns[i];
+      std::snprintf(line, sizeof(line),
+                    "  #%zu: %d iters, hpwl %.4e, overflow %.4f, %.2fs\n", i,
+                    run.iterations, run.hpwl, run.overflow, run.seconds);
+      add();
+    }
+  }
+
+  if (!timing.empty()) {
+    out += "\ntop self-time scopes:\n";
+    std::vector<std::pair<std::string, TimingStat>> rows(timing.begin(),
+                                                         timing.end());
+    std::sort(rows.begin(), rows.end(), [](const auto& a, const auto& b) {
+      return a.second.selfSeconds > b.second.selfSeconds;
+    });
+    const std::size_t top = std::min<std::size_t>(rows.size(), 12);
+    for (std::size_t i = 0; i < top; ++i) {
+      std::snprintf(line, sizeof(line),
+                    "  %-32s %8" PRId64 "x %9.3fs self %9.3fs incl\n",
+                    rows[i].first.c_str(), rows[i].second.count,
+                    rows[i].second.selfSeconds, rows[i].second.seconds);
+      add();
+    }
+  }
+
+  if (!trackedMemory.empty()) {
+    out += "\ntracked memory:\n";
+    for (const auto& [key, usage] : trackedMemory) {
+      std::snprintf(line, sizeof(line), "  %-32s %12s current %12s peak\n",
+                    key.c_str(), formatBytes(usage.currentBytes).c_str(),
+                    formatBytes(usage.peakBytes).c_str());
+      add();
+    }
+  }
+  if (processMemory.valid) {
+    std::snprintf(line, sizeof(line),
+                  "process rss: %s current, %s peak\n",
+                  formatBytes(processMemory.vmRssBytes).c_str(),
+                  formatBytes(processMemory.vmHwmBytes).c_str());
+    add();
+  }
+
+  if (!counters.empty()) {
+    out += "\ncounters:\n";
+    for (const auto& [key, value] : counters) {
+      std::snprintf(line, sizeof(line), "  %-40s %12" PRId64 "\n", key.c_str(),
+                    value);
+      add();
+    }
+  }
+  return out;
+}
+
+bool writeRunReport(const RunReport& report, const std::string& jsonPath,
+                    const std::string& textPath) {
+  bool ok = true;
+  if (!jsonPath.empty() && !writeFile(jsonPath, report.toJson())) {
+    logWarn("report: cannot write %s", jsonPath.c_str());
+    ok = false;
+  }
+  if (!textPath.empty() && !writeFile(textPath, report.toText())) {
+    logWarn("report: cannot write %s", textPath.c_str());
+    ok = false;
+  }
+  return ok;
+}
+
+}  // namespace dreamplace

@@ -1,0 +1,100 @@
+// Flow run report: one machine-readable document per placeDesign() call.
+//
+// The paper's evaluation tables are runtime/quality *reports* (per-stage
+// GP/LG/DP/IO columns, per-kernel breakdowns, convergence summaries).
+// RunReport assembles the same facts from the live registries — timing
+// (with self-time and call counts), counters, memory attribution, GP
+// telemetry summaries — plus design/config metadata, and renders them as
+// one JSON document and/or a human-readable text summary.
+//
+// Timing and counter sections are *deltas* from a snapshot taken at flow
+// start, so a process that runs several flows (benches, sweeps) reports
+// per-run numbers; memory and the IO stage are absolute (IO typically
+// happens before placeDesign, and memory attribution is a live gauge).
+//
+// The JSON schema is pinned by tests/report_test.cpp and consumed by
+// tools/check_report.cpp, the count-based CI regression gate (see
+// tools/report_baseline.json and docs/OBSERVABILITY.md).
+#pragma once
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "common/counters.h"
+#include "common/memory.h"
+#include "common/timer.h"
+#include "db/database.h"
+#include "gp/telemetry.h"
+#include "place/placer.h"
+
+namespace dreamplace {
+
+/// Snapshot of the delta-reported registries, taken at flow start.
+struct ObservabilitySnapshot {
+  std::map<std::string, TimingStat> timing;
+  std::map<std::string, CounterRegistry::Value> counters;
+
+  static ObservabilitySnapshot capture();
+};
+
+/// Everything one flow run exposes, ready to render.
+struct RunReport {
+  static constexpr const char* kSchema = "dreamplace.run_report.v1";
+
+  std::string label;
+
+  // Design facts.
+  Index numCells = 0;
+  Index numMovable = 0;
+  Index numNets = 0;
+  Index numPins = 0;
+  double utilization = 0.0;
+
+  // Configuration (names, not enum ordinals, so reports stay diffable
+  // across enum reorderings).
+  std::string precision;
+  std::string solver;
+  std::string wirelengthModel;
+  std::string wirelengthKernel;
+  std::string densityKernel;
+  std::string dctAlgorithm;
+  std::string initialPlacement;
+  double targetDensity = 0.0;
+  double stopOverflow = 0.0;
+  int maxIterations = 0;
+  int binsMax = 0;
+  bool routability = false;
+  bool detailedPlacement = true;
+
+  // Outcome + stage breakdown.
+  FlowResult result;
+  double ioSeconds = 0.0;  ///< Absolute "io/" prefix (read/write scopes).
+
+  // GP convergence, one entry per GP run (restarts included).
+  std::vector<TelemetryRunSummary> gpRuns;
+
+  // Registry sections: timing/counters are run deltas, memory is live.
+  std::map<std::string, TimingStat> timing;
+  std::map<std::string, CounterRegistry::Value> counters;
+  std::map<std::string, MemoryTracker::Usage> trackedMemory;
+  ProcessMemory processMemory;
+
+  std::string toJson() const;
+  std::string toText() const;
+};
+
+/// Assembles the report for a finished flow run. `before` is the registry
+/// snapshot captured at flow start; `gpRuns` the telemetry summaries
+/// observed during the run.
+RunReport buildRunReport(const Database& db, const PlacerOptions& options,
+                         const FlowResult& result,
+                         const std::vector<TelemetryRunSummary>& gpRuns,
+                         const ObservabilitySnapshot& before);
+
+/// Writes the JSON and/or text rendering to the given paths (empty path =
+/// skip). Logs a warning and returns false if any write fails.
+bool writeRunReport(const RunReport& report, const std::string& jsonPath,
+                    const std::string& textPath);
+
+}  // namespace dreamplace

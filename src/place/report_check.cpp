@@ -1,0 +1,329 @@
+#include "place/report_check.h"
+
+#include <cctype>
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+
+namespace dreamplace {
+
+namespace {
+
+/// Recursive-descent JSON parser that records leaves under dotted paths.
+class FlatParser {
+ public:
+  FlatParser(const std::string& text, FlatJson& out)
+      : text_(text), out_(out) {}
+
+  bool run(std::string* error) {
+    skipWs();
+    if (!parseValue("")) {
+      if (error != nullptr) {
+        char buf[96];
+        std::snprintf(buf, sizeof(buf), "%s at offset %zu", error_.c_str(),
+                      pos_);
+        *error = buf;
+      }
+      return false;
+    }
+    skipWs();
+    if (pos_ != text_.size()) {
+      if (error != nullptr) {
+        *error = "trailing characters after document";
+      }
+      return false;
+    }
+    return true;
+  }
+
+ private:
+  bool fail(const char* message) {
+    if (error_.empty()) {
+      error_ = message;
+    }
+    return false;
+  }
+
+  void skipWs() {
+    while (pos_ < text_.size() &&
+           std::isspace(static_cast<unsigned char>(text_[pos_])) != 0) {
+      ++pos_;
+    }
+  }
+
+  bool consume(char c) {
+    if (pos_ < text_.size() && text_[pos_] == c) {
+      ++pos_;
+      return true;
+    }
+    return false;
+  }
+
+  static std::string join(const std::string& path, const std::string& key) {
+    return path.empty() ? key : path + "." + key;
+  }
+
+  bool parseString(std::string& out) {
+    if (!consume('"')) {
+      return fail("expected '\"'");
+    }
+    out.clear();
+    while (pos_ < text_.size()) {
+      const char c = text_[pos_++];
+      if (c == '"') {
+        return true;
+      }
+      if (c != '\\') {
+        out += c;
+        continue;
+      }
+      if (pos_ >= text_.size()) {
+        break;
+      }
+      const char esc = text_[pos_++];
+      switch (esc) {
+        case '"': out += '"'; break;
+        case '\\': out += '\\'; break;
+        case '/': out += '/'; break;
+        case 'b': out += '\b'; break;
+        case 'f': out += '\f'; break;
+        case 'n': out += '\n'; break;
+        case 'r': out += '\r'; break;
+        case 't': out += '\t'; break;
+        case 'u':
+          // Keep the checker dependency-free: non-ASCII escapes become '?'.
+          if (pos_ + 4 > text_.size()) {
+            return fail("truncated \\u escape");
+          }
+          pos_ += 4;
+          out += '?';
+          break;
+        default:
+          return fail("bad escape");
+      }
+    }
+    return fail("unterminated string");
+  }
+
+  bool parseValue(const std::string& path) {
+    skipWs();
+    if (pos_ >= text_.size()) {
+      return fail("unexpected end of input");
+    }
+    const char c = text_[pos_];
+    if (c == '{') {
+      return parseObject(path);
+    }
+    if (c == '[') {
+      return parseArray(path);
+    }
+    if (c == '"') {
+      std::string s;
+      if (!parseString(s)) {
+        return false;
+      }
+      out_.strings[path] = s;
+      return true;
+    }
+    if (std::strncmp(text_.c_str() + pos_, "true", 4) == 0) {
+      pos_ += 4;
+      out_.numbers[path] = 1.0;
+      return true;
+    }
+    if (std::strncmp(text_.c_str() + pos_, "false", 5) == 0) {
+      pos_ += 5;
+      out_.numbers[path] = 0.0;
+      return true;
+    }
+    if (std::strncmp(text_.c_str() + pos_, "null", 4) == 0) {
+      pos_ += 4;  // null leaves are skipped (NaN/Inf placeholders)
+      return true;
+    }
+    char* end = nullptr;
+    const double v = std::strtod(text_.c_str() + pos_, &end);
+    if (end == text_.c_str() + pos_) {
+      return fail("expected value");
+    }
+    pos_ = static_cast<std::size_t>(end - text_.c_str());
+    out_.numbers[path] = v;
+    return true;
+  }
+
+  bool parseObject(const std::string& path) {
+    consume('{');
+    skipWs();
+    if (consume('}')) {
+      return true;
+    }
+    while (true) {
+      skipWs();
+      std::string key;
+      if (!parseString(key)) {
+        return false;
+      }
+      skipWs();
+      if (!consume(':')) {
+        return fail("expected ':'");
+      }
+      if (!parseValue(join(path, key))) {
+        return false;
+      }
+      skipWs();
+      if (consume(',')) {
+        continue;
+      }
+      if (consume('}')) {
+        return true;
+      }
+      return fail("expected ',' or '}'");
+    }
+  }
+
+  bool parseArray(const std::string& path) {
+    consume('[');
+    skipWs();
+    if (consume(']')) {
+      return true;
+    }
+    int index = 0;
+    while (true) {
+      if (!parseValue(join(path, std::to_string(index++)))) {
+        return false;
+      }
+      skipWs();
+      if (consume(',')) {
+        continue;
+      }
+      if (consume(']')) {
+        return true;
+      }
+      return fail("expected ',' or ']'");
+    }
+  }
+
+  const std::string& text_;
+  FlatJson& out_;
+  std::size_t pos_ = 0;
+  std::string error_;
+};
+
+std::string formatNumber(double v) {
+  char buf[40];
+  std::snprintf(buf, sizeof(buf), "%.12g", v);
+  return buf;
+}
+
+}  // namespace
+
+bool parseJsonFlat(const std::string& text, FlatJson& out,
+                   std::string* error) {
+  out = FlatJson{};
+  FlatParser parser(text, out);
+  return parser.run(error);
+}
+
+bool checkReport(const FlatJson& report, const FlatJson& baseline,
+                 std::vector<CheckResult>& results, std::string* error) {
+  results.clear();
+  const auto baselineString = [&baseline](const std::string& path) {
+    const auto it = baseline.strings.find(path);
+    return it == baseline.strings.end() ? std::string() : it->second;
+  };
+
+  int count = 0;
+  for (int i = 0;; ++i) {
+    const std::string prefix = "checks." + std::to_string(i) + ".";
+    const std::string path = baselineString(prefix + "path");
+    if (path.empty()) {
+      break;
+    }
+    ++count;
+    const std::string op = baselineString(prefix + "op");
+    const std::string other = baselineString(prefix + "other");
+
+    CheckResult result;
+    const bool pathOp = op.size() > 5 && op.compare(op.size() - 5, 5,
+                                                    "_path") == 0;
+    // Expected side: literal "value" or the report value at "other".
+    double expected = 0.0;
+    bool expectedOk = true;
+    if (pathOp) {
+      if (other.empty()) {
+        if (error != nullptr) {
+          *error = "check " + std::to_string(i) + ": op '" + op +
+                   "' needs \"other\"";
+        }
+        return false;
+      }
+      result.description = path + " " + op.substr(0, op.size() - 5) + " " +
+                           other;
+      const auto it = report.numbers.find(other);
+      if (it == report.numbers.end()) {
+        result.detail = "report has no numeric value at '" + other + "'";
+        expectedOk = false;
+      } else {
+        expected = it->second;
+      }
+    } else {
+      const auto it = baseline.numbers.find(prefix + "value");
+      if (it == baseline.numbers.end()) {
+        if (error != nullptr) {
+          *error = "check " + std::to_string(i) + ": op '" + op +
+                   "' needs \"value\"";
+        }
+        return false;
+      }
+      expected = it->second;
+      result.description = path + " " + op + " " + formatNumber(expected);
+    }
+
+    const std::string baseOp = pathOp ? op.substr(0, op.size() - 5) : op;
+    if (baseOp != "eq" && baseOp != "le" && baseOp != "ge") {
+      if (error != nullptr) {
+        *error = "check " + std::to_string(i) + ": unknown op '" + op + "'";
+      }
+      return false;
+    }
+
+    // "missing_ok": true reads an absent report path as 0 — counters are
+    // registered lazily, so "this never happened" shows up as no entry.
+    const auto missingIt = baseline.numbers.find(prefix + "missing_ok");
+    const bool missingOk =
+        missingIt != baseline.numbers.end() && missingIt->second != 0.0;
+
+    const auto it = report.numbers.find(path);
+    const bool present = it != report.numbers.end();
+    if (!present && !missingOk) {
+      result.passed = false;
+      if (result.detail.empty()) {
+        result.detail = "report has no numeric value at '" + path + "'";
+      }
+    } else if (!expectedOk) {
+      result.passed = false;
+    } else {
+      const double actual = present ? it->second : 0.0;
+      if (baseOp == "eq") {
+        result.passed = actual == expected;
+      } else if (baseOp == "le") {
+        result.passed = actual <= expected;
+      } else {
+        result.passed = actual >= expected;
+      }
+      result.detail = "actual " + formatNumber(actual) + ", expected " +
+                      baseOp + " " + formatNumber(expected) +
+                      (present ? "" : " (path absent, read as 0)");
+    }
+    results.push_back(std::move(result));
+  }
+
+  if (count == 0) {
+    if (error != nullptr) {
+      *error = "baseline contains no checks";
+    }
+    return false;
+  }
+  return true;
+}
+
+}  // namespace dreamplace

@@ -1,0 +1,61 @@
+// Count-based regression gate over flow run reports.
+//
+// CI compares a fresh RunReport (place/report.h) against a checked-in
+// baseline of *deterministic count invariants* — never wall-times, which
+// vary with the machine. Example invariants: one forward DCT per Poisson
+// solve, one density-solver workspace allocation per flow, zero atomic
+// wirelength allocations under the merged kernel, zero dropped trace
+// events. tools/check_report.cpp is the CLI wrapper; the logic lives here
+// so tests can drive it in-process.
+//
+// Both documents are parsed with a dependency-free flattening JSON
+// parser: nested keys join with '.', array elements use their index
+// ("gp_runs.0.iterations"), booleans map to 0/1, null is skipped.
+//
+// Baseline schema (tools/report_baseline.json):
+//   {"schema": "dreamplace.report_baseline.v1",
+//    "checks": [
+//      {"path": "counters.trace/dropped", "op": "eq", "value": 0},
+//      {"path": "counters.fft/dct2d", "op": "eq_path",
+//       "other": "counters.ops/electrostatics/solve"},
+//      ...]}
+// Ops: eq / le / ge compare against "value"; eq_path / le_path / ge_path
+// compare against the report value at "other".
+#pragma once
+
+#include <map>
+#include <string>
+#include <vector>
+
+namespace dreamplace {
+
+/// A JSON document flattened to dotted-path leaves.
+struct FlatJson {
+  std::map<std::string, double> numbers;  ///< Numbers and booleans (0/1).
+  std::map<std::string, std::string> strings;
+
+  bool hasNumber(const std::string& path) const {
+    return numbers.find(path) != numbers.end();
+  }
+};
+
+/// Parses `text` into `out`. Returns false and sets `error` (if non-null)
+/// on malformed input.
+bool parseJsonFlat(const std::string& text, FlatJson& out,
+                   std::string* error = nullptr);
+
+/// Outcome of one baseline check.
+struct CheckResult {
+  std::string description;
+  bool passed = false;
+  std::string detail;  ///< Observed vs expected, or the failure reason.
+};
+
+/// Runs every baseline check against the report. Returns false (with
+/// `error`) when the baseline itself is malformed; individual check
+/// failures are reported through the results, not the return value.
+bool checkReport(const FlatJson& report, const FlatJson& baseline,
+                 std::vector<CheckResult>& results,
+                 std::string* error = nullptr);
+
+}  // namespace dreamplace

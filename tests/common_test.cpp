@@ -328,6 +328,28 @@ TEST(TraceRecorderTest, WriteJsonRoundTrips) {
   trace.clear();
 }
 
+TEST(TraceRecorderTest, BufferIsBoundedAndDropsAreCounted) {
+  auto& trace = TraceRecorder::instance();
+  trace.clear();
+  const std::size_t saved_capacity = trace.capacity();
+  trace.setCapacity(4);
+  trace.setEnabled(true);
+  const auto dropped_before = CounterRegistry::instance().value("trace/dropped");
+  for (int i = 0; i < 10; ++i) {
+    trace.completeEvent("bounded", 0.001);
+  }
+  trace.setEnabled(false);
+  EXPECT_EQ(trace.size(), 4u);
+  EXPECT_EQ(trace.dropped(), 6u);
+  // The counter is cumulative across clear()s; this test added exactly 6.
+  EXPECT_EQ(CounterRegistry::instance().value("trace/dropped"),
+            dropped_before + 6);
+  // clear() resets the per-recording drop count and frees the buffer.
+  trace.clear();
+  EXPECT_EQ(trace.dropped(), 0u);
+  trace.setCapacity(saved_capacity);
+}
+
 TEST(TraceRecorderTest, JsonEscape) {
   EXPECT_EQ(jsonEscape("plain"), "plain");
   EXPECT_EQ(jsonEscape("a\"b"), "a\\\"b");

@@ -1,0 +1,80 @@
+// CI regression gate: checks a flow run report (place/report.h JSON)
+// against a baseline of deterministic count invariants.
+//
+//   check_report <report.json> <baseline.json>
+//
+// Prints one PASS/FAIL line per baseline check and exits non-zero when
+// any check fails or either document is malformed. Baselines compare
+// *counts* (transform-per-solve ratios, workspace allocations, dropped
+// trace events), never wall-times — see tools/report_baseline.json and
+// docs/OBSERVABILITY.md.
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+#include <string>
+
+#include "place/report_check.h"
+
+namespace {
+
+bool readFile(const char* path, std::string& out) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) {
+    return false;
+  }
+  std::ostringstream ss;
+  ss << in.rdbuf();
+  out = ss.str();
+  return true;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace dreamplace;
+
+  if (argc != 3) {
+    std::fprintf(stderr, "usage: %s <report.json> <baseline.json>\n", argv[0]);
+    return 2;
+  }
+
+  std::string report_text;
+  std::string baseline_text;
+  if (!readFile(argv[1], report_text)) {
+    std::fprintf(stderr, "error: cannot read report %s\n", argv[1]);
+    return 2;
+  }
+  if (!readFile(argv[2], baseline_text)) {
+    std::fprintf(stderr, "error: cannot read baseline %s\n", argv[2]);
+    return 2;
+  }
+
+  FlatJson report;
+  FlatJson baseline;
+  std::string error;
+  if (!parseJsonFlat(report_text, report, &error)) {
+    std::fprintf(stderr, "error: report %s: %s\n", argv[1], error.c_str());
+    return 2;
+  }
+  if (!parseJsonFlat(baseline_text, baseline, &error)) {
+    std::fprintf(stderr, "error: baseline %s: %s\n", argv[2], error.c_str());
+    return 2;
+  }
+
+  std::vector<CheckResult> results;
+  if (!checkReport(report, baseline, results, &error)) {
+    std::fprintf(stderr, "error: %s\n", error.c_str());
+    return 2;
+  }
+
+  int failed = 0;
+  for (const CheckResult& result : results) {
+    if (!result.passed) {
+      ++failed;
+    }
+    std::printf("%s  %s  (%s)\n", result.passed ? "PASS" : "FAIL",
+                result.description.c_str(), result.detail.c_str());
+  }
+  std::printf("%zu checks, %d failed\n", results.size(), failed);
+  return failed == 0 ? 0 : 1;
+}
