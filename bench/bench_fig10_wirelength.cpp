@@ -11,9 +11,9 @@
 
 #include <map>
 #include <memory>
-#include <omp.h>
 
 #include "bench_util.h"
+#include "common/parallel.h"
 #include "gen/netlist_generator.h"
 #include "ops/wirelength.h"
 
@@ -57,20 +57,20 @@ void waKernel(benchmark::State& state, const std::string& design,
   options.kernel = kernel;
   WaWirelengthOp<float> op(*setup.db, setup.db->numMovable(), options);
   op.setGamma(4.0);
-  const int prev = omp_get_max_threads();
+  const int prev = ThreadPool::instance().threads();
   if (threads > 0) {
-    omp_set_num_threads(threads);
+    ThreadPool::instance().setThreads(threads);
   }
   for (auto _ : state) {
     benchmark::DoNotOptimize(op.evaluate(
         std::span<const float>(setup.params), std::span<float>(setup.grad)));
   }
-  omp_set_num_threads(prev);
+  ThreadPool::instance().setThreads(prev);
 }
 
 void registerAll() {
   for (const char* design : {"adaptec1", "bigblue4"}) {
-    const int hw = omp_get_max_threads();
+    const int hw = ThreadPool::instance().threads();
     benchmark::RegisterBenchmark(
         (std::string("WA/") + design + "/net_by_net").c_str(),
         [design](benchmark::State& s) {
@@ -159,7 +159,7 @@ void writeJsonReport(const std::string& path) {
 int main(int argc, char** argv) {
   const std::string json_path =
       benchJsonPath(argc, argv, "BENCH_fig10.json");
-  // threads=0 means "leave OpenMP default".
+  applyBenchThreads(argc, argv);
   registerAll();
   benchmark::Initialize(&argc, argv);
   benchmark::RunSpecifiedBenchmarks();

@@ -129,6 +129,7 @@ void writeJsonReport(const std::string& path) {
 int main(int argc, char** argv) {
   const std::string json_path =
       bench::benchJsonPath(argc, argv, "BENCH_fig11_dct.json");
+  bench::applyBenchThreads(argc, argv);
   registerAll();
   benchmark::Initialize(&argc, argv);
   benchmark::RunSpecifiedBenchmarks();

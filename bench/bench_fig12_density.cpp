@@ -10,9 +10,9 @@
 
 #include <map>
 #include <memory>
-#include <omp.h>
 
 #include "bench_util.h"
+#include "common/parallel.h"
 #include "common/rng.h"
 #include "gen/netlist_generator.h"
 #include "ops/density_op.h"
@@ -72,19 +72,19 @@ void densityBench(benchmark::State& state, const std::string& design,
   }
   DensityOp<float> op(*setup.db, setup.grid, setup.nodeW, setup.nodeH,
                       options);
-  const int prev = omp_get_max_threads();
+  const int prev = ThreadPool::instance().threads();
   if (threads > 0) {
-    omp_set_num_threads(threads);
+    ThreadPool::instance().setThreads(threads);
   }
   for (auto _ : state) {
     benchmark::DoNotOptimize(op.evaluate(
         std::span<const float>(setup.params), std::span<float>(setup.grad)));
   }
-  omp_set_num_threads(prev);
+  ThreadPool::instance().setThreads(prev);
 }
 
 void registerAll() {
-  const int hw = omp_get_max_threads();
+  const int hw = ThreadPool::instance().threads();
   for (const char* design : {"adaptec1", "bigblue4"}) {
     benchmark::RegisterBenchmark(
         (std::string("density/") + design + "/dac_baseline").c_str(),
@@ -164,6 +164,7 @@ void writeJsonReport(const std::string& path) {
 int main(int argc, char** argv) {
   const std::string json_path =
       benchJsonPath(argc, argv, "BENCH_fig12.json");
+  applyBenchThreads(argc, argv);
   registerAll();
   benchmark::Initialize(&argc, argv);
   benchmark::RunSpecifiedBenchmarks();

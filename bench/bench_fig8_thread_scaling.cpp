@@ -2,13 +2,12 @@
 // normalized to the fast-kernel float64 configuration.
 //
 // Caveat (documented in EXPERIMENTS.md): this machine exposes a single
-// hardware core, so thread counts > 1 measure OpenMP overhead, not
+// hardware core, so thread counts > 1 measure scheduling overhead, not
 // speedup — the paper's saturation-at-~20-threads shape cannot appear.
 // The bench still sweeps thread counts so that on a multicore host the
 // figure regenerates as intended.
-#include <omp.h>
-
 #include "bench_util.h"
+#include "common/parallel.h"
 #include "gen/netlist_generator.h"
 
 int main() {
@@ -19,7 +18,7 @@ int main() {
   const auto suite = ispd2005Suite(scale);
   std::printf("Fig. 8: GP runtime ratio vs thread count "
               "(scale %.3f, %d hardware threads)\n\n",
-              scale, omp_get_num_procs());
+              scale, static_cast<int>(std::thread::hardware_concurrency()));
 
   // Reference: fast kernels, float64, default threads.
   double reference = 0;
@@ -48,9 +47,10 @@ int main() {
   }
   std::printf("   (ratio vs reference)\n");
 
-  const int max_threads = std::max(4, omp_get_num_procs());
+  const int max_threads = std::max(
+      4, static_cast<int>(std::thread::hardware_concurrency()));
   for (int threads = 1; threads <= max_threads; threads *= 2) {
-    omp_set_num_threads(threads);
+    ThreadPool::instance().setThreads(threads);
     std::printf("%-14d", threads);
     for (const auto& config : configs) {
       double total = 0;
@@ -65,6 +65,6 @@ int main() {
     }
     std::printf("\n");
   }
-  omp_set_num_threads(omp_get_num_procs());
+  ThreadPool::instance().setThreads(0);
   return 0;
 }

@@ -33,6 +33,7 @@
 #include <vector>
 
 #include "common/counters.h"
+#include "common/parallel.h"
 #include "common/trace.h"
 #include "gen/suites.h"
 #include "gp/global_placer.h"
@@ -48,8 +49,10 @@ namespace dreamplace::bench {
 //   --telemetry-csv=<file>    per-run GP summary rows
 //   --report=<file>           end-of-flow run report JSON (place/report.h)
 //   --report-text=<file>      human-readable rendering of the run report
+//   --threads=N               parallel-runtime worker threads (0 = auto)
 // Environment fallbacks: DREAMPLACE_TRACE, DREAMPLACE_TELEMETRY_JSONL,
-// DREAMPLACE_TELEMETRY_CSV, DREAMPLACE_REPORT, DREAMPLACE_REPORT_TEXT.
+// DREAMPLACE_TELEMETRY_CSV, DREAMPLACE_REPORT, DREAMPLACE_REPORT_TEXT,
+// DREAMPLACE_THREADS.
 // ---------------------------------------------------------------------------
 
 struct TelemetryArgs {
@@ -58,6 +61,7 @@ struct TelemetryArgs {
   std::string csvFile;
   std::string reportFile;
   std::string reportTextFile;
+  int threads = 0;  ///< 0 = auto (DREAMPLACE_THREADS / hw concurrency).
 };
 
 inline TelemetryArgs parseTelemetryArgs(int argc, char** argv) {
@@ -87,6 +91,8 @@ inline TelemetryArgs parseTelemetryArgs(int argc, char** argv) {
       args.reportTextFile = v;
     } else if (const char* v = match("--report=")) {
       args.reportFile = v;
+    } else if (const char* v = match("--threads=")) {
+      args.threads = std::atoi(v);
     }
   }
   return args;
@@ -121,6 +127,11 @@ class TelemetrySession {
     if (!trace_file_.empty()) {
       TraceRecorder::instance().setEnabled(true);
       mux_.addSink(&trace_sink_);
+    }
+    // --threads=N beats DREAMPLACE_THREADS (the pool itself reads the env
+    // var when the request is 0/auto, so 0 needs no action here).
+    if (args.threads > 0) {
+      ThreadPool::instance().setThreads(args.threads);
     }
   }
 
@@ -167,6 +178,21 @@ class TelemetrySession {
   std::string report_text_file_;
 };
 
+/// Applies a --threads=N flag for bench binaries that do not build a
+/// TelemetrySession (the google-benchmark ones). Call before
+/// benchmark::Initialize. Without the flag the pool keeps its auto
+/// resolution (DREAMPLACE_THREADS / hardware concurrency).
+inline void applyBenchThreads(int argc, char** argv) {
+  for (int i = 1; i < argc; ++i) {
+    if (std::strncmp(argv[i], "--threads=", 10) == 0) {
+      const int threads = std::atoi(argv[i] + 10);
+      if (threads > 0) {
+        ThreadPool::instance().setThreads(threads);
+      }
+    }
+  }
+}
+
 /// Output path for the machine-readable result file of a bench binary.
 /// Precedence: --json=<file> > DREAMPLACE_BENCH_JSON > `fallback`; an
 /// empty value disables the export. Parse before benchmark::Initialize so
@@ -189,9 +215,12 @@ inline std::string benchJsonPath(int argc, char** argv,
 /// counter-registry snapshot and writes them as one JSON document, so CI
 /// and regression tooling can diff runs without scraping console tables.
 ///
-///   {"bench":"fig11_dct","schema":1,
+///   {"bench":"fig11_dct","schema":1,"threads":4,
 ///    "results":[{"name":"DCT-2D-N","n":512,"ms":5.02}, ...],
 ///    "counters":{"fft/plan/create":14, ...}}
+///
+/// `threads` is the parallel-runtime thread count in effect at write
+/// time, so result files from thread sweeps stay self-describing.
 class BenchJsonWriter {
  public:
   explicit BenchJsonWriter(std::string bench) : bench_(std::move(bench)) {}
@@ -215,8 +244,9 @@ class BenchJsonWriter {
     if (f == nullptr) {
       return false;
     }
-    std::fprintf(f, "{\"bench\":\"%s\",\"schema\":1,\"results\":[",
-                 bench_.c_str());
+    std::fprintf(f, "{\"bench\":\"%s\",\"schema\":1,\"threads\":%d,"
+                 "\"results\":[",
+                 bench_.c_str(), ThreadPool::instance().threads());
     for (size_t i = 0; i < results_.size(); ++i) {
       const auto& r = results_[i];
       std::fprintf(f, "%s{\"name\":\"%s\",\"n\":%lld,\"ms\":%.6g}",

@@ -5,42 +5,25 @@
 #include <memory>
 #include <tuple>
 
-#ifdef _OPENMP
-#include <omp.h>
-#endif
-
 #include "common/counters.h"
 #include "common/log.h"
+#include "common/parallel.h"
 #include "fft/fft.h"
 
 namespace dreamplace::fft {
 
 namespace {
 
-int maxThreads() {
-#ifdef _OPENMP
-  return omp_get_max_threads();
-#else
-  return 1;
-#endif
-}
-
-int threadId() {
-#ifdef _OPENMP
-  return omp_get_thread_num();
-#else
-  return 0;
-#endif
-}
-
 /// Cache-blocked transpose: walks 64x64 tiles so the strided writes stay
 /// within one L1-resident tile instead of thrashing a whole column of
-/// cache lines per row on large maps.
+/// cache lines per row on large maps. Row-tile stripes parallelize over
+/// the pool (disjoint output rows per stripe).
 template <typename T>
 void transposeBlocked(const T* in, T* out, int n1, int n2) {
   constexpr int kBlock = 64;
-#pragma omp parallel for schedule(static)
-  for (int ib = 0; ib < n1; ib += kBlock) {
+  const Index row_tiles = (n1 + kBlock - 1) / kBlock;
+  parallelFor("fft/transpose", row_tiles, 1, [&](Index tile) {
+    const int ib = static_cast<int>(tile) * kBlock;
     const int iend = std::min(ib + kBlock, n1);
     for (int jb = 0; jb < n2; jb += kBlock) {
       const int jend = std::min(jb + kBlock, n2);
@@ -51,7 +34,7 @@ void transposeBlocked(const T* in, T* out, int n1, int n2) {
         }
       }
     }
-  }
+  });
 }
 
 DctAlgorithm to1d(Dct2dAlgorithm algo) {
@@ -131,13 +114,23 @@ Dct2dPlan<T>::Dct2dPlan(int n1, int n2, Dct2dAlgorithm algo)
   }
 
   spec_.resize(static_cast<size_t>(n1_) * stride_);
-  const int threads = maxThreads();
+  scratch_workers_ = ThreadPool::instance().threads();
   row_scratch_stride_ =
       std::max(row_fwd_->scratchSize(), row_inv_->scratchSize());
   col_scratch_stride_ = static_cast<size_t>(n1_) +
       std::max(col_fwd_->scratchSize(), col_inv_->scratchSize());
-  row_ws_.resize(row_scratch_stride_ * threads);
-  col_ws_.resize(col_scratch_stride_ * threads);
+  row_ws_.resize(row_scratch_stride_ * scratch_workers_);
+  col_ws_.resize(col_scratch_stride_ * scratch_workers_);
+  trackWorkspace();
+}
+
+template <typename T>
+void Dct2dPlan<T>::ensureScratch() {
+  const int workers = ThreadPool::instance().threads();
+  if (workers <= scratch_workers_) return;
+  scratch_workers_ = workers;
+  row_ws_.resize(row_scratch_stride_ * workers);
+  col_ws_.resize(col_scratch_stride_ * workers);
   trackWorkspace();
 }
 
@@ -154,13 +147,13 @@ void Dct2dPlan<T>::trackWorkspace() {
 }
 
 template <typename T>
-std::complex<T>* Dct2dPlan<T>::rowScratch(int thread) {
-  return row_ws_.data() + row_scratch_stride_ * thread;
+std::complex<T>* Dct2dPlan<T>::rowScratch(int worker) {
+  return row_ws_.data() + row_scratch_stride_ * worker;
 }
 
 template <typename T>
-std::complex<T>* Dct2dPlan<T>::colScratch(int thread) {
-  return col_ws_.data() + col_scratch_stride_ * thread;
+std::complex<T>* Dct2dPlan<T>::colScratch(int worker) {
+  return col_ws_.data() + col_scratch_stride_ * worker;
 }
 
 /// Row-column driver: transform dim1 (rows), transpose, transform dim0,
@@ -169,8 +162,9 @@ std::complex<T>* Dct2dPlan<T>::colScratch(int thread) {
 template <typename T>
 void Dct2dPlan<T>::rowColApply(const T* in, T* out, bool forward) {
   const DctAlgorithm algo1d = to1d(algo_);
-#pragma omp parallel for schedule(static)
-  for (int i = 0; i < n1_; ++i) {
+  // The 1-D stateless transforms memoize one plan per thread, so rows
+  // can run on any worker without sharing workspace.
+  parallelFor("fft/rowcol_rows", n1_, 4, [&](Index i) {
     if (forward) {
       dct(in + static_cast<size_t>(i) * n2_,
           buf_a_.data() + static_cast<size_t>(i) * n2_, n2_, algo1d);
@@ -178,10 +172,9 @@ void Dct2dPlan<T>::rowColApply(const T* in, T* out, bool forward) {
       idct(in + static_cast<size_t>(i) * n2_,
            buf_a_.data() + static_cast<size_t>(i) * n2_, n2_, algo1d);
     }
-  }
+  });
   transposeBlocked(buf_a_.data(), buf_b_.data(), n1_, n2_);
-#pragma omp parallel for schedule(static)
-  for (int j = 0; j < n2_; ++j) {
+  parallelFor("fft/rowcol_cols", n2_, 4, [&](Index j) {
     if (forward) {
       dct(buf_b_.data() + static_cast<size_t>(j) * n1_,
           buf_a_.data() + static_cast<size_t>(j) * n1_, n1_, algo1d);
@@ -189,7 +182,7 @@ void Dct2dPlan<T>::rowColApply(const T* in, T* out, bool forward) {
       idct(buf_b_.data() + static_cast<size_t>(j) * n1_,
            buf_a_.data() + static_cast<size_t>(j) * n1_, n1_, algo1d);
     }
-  }
+  });
   transposeBlocked(buf_a_.data(), out, n2_, n1_);
 }
 
@@ -201,44 +194,49 @@ void Dct2dPlan<T>::rowColApply(const T* in, T* out, bool forward) {
 /// twiddle comes from the plan tables.
 template <typename T>
 void Dct2dPlan<T>::forwardFft2d(const T* in, T* out) {
+  ensureScratch();
   // Reorder both dimensions (eq. (10)).
-#pragma omp parallel for schedule(static)
-  for (int t1 = 0; t1 < n1_; ++t1) {
+  parallelFor("fft/reorder", n1_, 4, [&](Index t1) {
     const T* src = in + static_cast<size_t>(reorder1_[t1]) * n2_;
     T* dst = buf_a_.data() + static_cast<size_t>(t1) * n2_;
     for (int t2 = 0; t2 < n2_; ++t2) {
       dst[t2] = src[reorder2_[t2]];
     }
-  }
+  });
 
-  // One-sided real FFT along dim1.
-#pragma omp parallel for schedule(static)
-  for (int t1 = 0; t1 < n1_; ++t1) {
-    row_fwd_->forward(buf_a_.data() + static_cast<size_t>(t1) * n2_,
-                      spec_.data() + static_cast<size_t>(t1) * stride_,
-                      rowScratch(threadId()));
-  }
+  // One-sided real FFT along dim1; each block borrows its worker's
+  // scratch lane.
+  parallelForBlocked("fft/rows", n1_, 4,
+                     [&](Index begin, Index end, int worker) {
+                       for (Index t1 = begin; t1 < end; ++t1) {
+                         row_fwd_->forward(
+                             buf_a_.data() + static_cast<size_t>(t1) * n2_,
+                             spec_.data() + static_cast<size_t>(t1) * stride_,
+                             rowScratch(worker));
+                       }
+                     });
 
   // Complex FFT along dim0, column by column.
-#pragma omp parallel for schedule(static)
-  for (int k2 = 0; k2 <= h2_; ++k2) {
-    std::complex<T>* col = colScratch(threadId());
-    for (int t1 = 0; t1 < n1_; ++t1) {
-      col[t1] = spec_[static_cast<size_t>(t1) * stride_ + k2];
-    }
-    col_fwd_->execute(col, col + n1_);
-    for (int t1 = 0; t1 < n1_; ++t1) {
-      spec_[static_cast<size_t>(t1) * stride_ + k2] = col[t1];
-    }
-  }
+  parallelForBlocked(
+      "fft/cols", h2_ + 1, 4, [&](Index begin, Index end, int worker) {
+        std::complex<T>* col = colScratch(worker);
+        for (Index k2 = begin; k2 < end; ++k2) {
+          for (int t1 = 0; t1 < n1_; ++t1) {
+            col[t1] = spec_[static_cast<size_t>(t1) * stride_ + k2];
+          }
+          col_fwd_->execute(col, col + n1_);
+          for (int t1 = 0; t1 < n1_; ++t1) {
+            spec_[static_cast<size_t>(t1) * stride_ + k2] = col[t1];
+          }
+        }
+      });
 
   // Twiddle pass:
   //   X(k1,k2) = 1/2 Re(e^{-j a1 k1} (e^{-j a2 k2} A + e^{+j a2 k2} B))
   // with A = V(k1,k2), B = V(k1,(n2-k2) mod n2); the one-sided storage is
   // expanded through the Hermitian symmetry V(k1,k2) = conj(V((n1-k1)%n1,
   // n2-k2)).
-#pragma omp parallel for schedule(static)
-  for (int k1 = 0; k1 < n1_; ++k1) {
+  parallelFor("fft/twiddle", n1_, 4, [&](Index k1) {
     const int r1 = (n1_ - k1) % n1_;
     const std::complex<T> tw1 = tw1_[k1];
     for (int k2 = 0; k2 < n2_; ++k2) {
@@ -257,7 +255,7 @@ void Dct2dPlan<T>::forwardFft2d(const T* in, T* out) {
       out[static_cast<size_t>(k1) * n2_ + k2] =
           T(0.5) * (tw1 * combined).real();
     }
-  }
+  });
 }
 
 /// Single-pass 2-D IDCT via one 2-D inverse real FFT.
@@ -297,8 +295,8 @@ void Dct2dPlan<T>::inverseFft2d(const T* in, T* out, bool flip0,
     return in[static_cast<size_t>(i1) * n2_ + i2];
   };
 
-#pragma omp parallel for schedule(static)
-  for (int t1 = 0; t1 < n1_; ++t1) {
+  ensureScratch();
+  parallelFor("fft/igather", n1_, 4, [&](Index t1) {
     const std::complex<T> tw1 = std::conj(tw1_[t1]);
     for (int t2 = 0; t2 <= h2_; ++t2) {
       const std::complex<T> tw2 = std::conj(tw2_[t2]);
@@ -307,33 +305,37 @@ void Dct2dPlan<T>::inverseFft2d(const T* in, T* out, bool flip0,
       spec_[static_cast<size_t>(t1) * stride_ + t2] =
           tw1 * tw2 * std::complex<T>(re, im);
     }
-  }
+  });
 
   // Inverse complex FFT along dim0.
-#pragma omp parallel for schedule(static)
-  for (int t2 = 0; t2 <= h2_; ++t2) {
-    std::complex<T>* col = colScratch(threadId());
-    for (int t1 = 0; t1 < n1_; ++t1) {
-      col[t1] = spec_[static_cast<size_t>(t1) * stride_ + t2];
-    }
-    col_inv_->execute(col, col + n1_);
-    for (int t1 = 0; t1 < n1_; ++t1) {
-      spec_[static_cast<size_t>(t1) * stride_ + t2] = col[t1];
-    }
-  }
+  parallelForBlocked(
+      "fft/icols", h2_ + 1, 4, [&](Index begin, Index end, int worker) {
+        std::complex<T>* col = colScratch(worker);
+        for (Index t2 = begin; t2 < end; ++t2) {
+          for (int t1 = 0; t1 < n1_; ++t1) {
+            col[t1] = spec_[static_cast<size_t>(t1) * stride_ + t2];
+          }
+          col_inv_->execute(col, col + n1_);
+          for (int t1 = 0; t1 < n1_; ++t1) {
+            spec_[static_cast<size_t>(t1) * stride_ + t2] = col[t1];
+          }
+        }
+      });
 
   // Inverse real FFT along dim1.
-#pragma omp parallel for schedule(static)
-  for (int t1 = 0; t1 < n1_; ++t1) {
-    row_inv_->inverse(spec_.data() + static_cast<size_t>(t1) * stride_,
-                      buf_a_.data() + static_cast<size_t>(t1) * n2_,
-                      rowScratch(threadId()));
-  }
+  parallelForBlocked("fft/irows", n1_, 4,
+                     [&](Index begin, Index end, int worker) {
+                       for (Index t1 = begin; t1 < end; ++t1) {
+                         row_inv_->inverse(
+                             spec_.data() + static_cast<size_t>(t1) * stride_,
+                             buf_a_.data() + static_cast<size_t>(t1) * n2_,
+                             rowScratch(worker));
+                       }
+                     });
 
   // Inverse reorder (eq. (13)), scale, and the fused (-1)^k signs.
   const T scale = static_cast<T>(n1_) * static_cast<T>(n2_) / T(4);
-#pragma omp parallel for schedule(static)
-  for (int k1 = 0; k1 < n1_; ++k1) {
+  parallelFor("fft/ireorder", n1_, 4, [&](Index k1) {
     const T* src = buf_a_.data() + static_cast<size_t>(inv_reorder1_[k1]) * n2_;
     const T row_scale = (flip0 && (k1 & 1)) ? -scale : scale;
     T* dst = out + static_cast<size_t>(k1) * n2_;
@@ -344,7 +346,7 @@ void Dct2dPlan<T>::inverseFft2d(const T* in, T* out, bool flip0,
       }
       dst[k2] = v;
     }
-  }
+  });
 }
 
 template <typename T>

@@ -39,17 +39,20 @@ enum class Dct2dAlgorithm {
 ///
 /// Construction precomputes the Makhoul reorder index maps, the quarter-
 /// wave twiddle tables, the underlying 1-D FFT plans (shared through
-/// PlanCache), and sizes all workspace — including per-OpenMP-thread row
+/// PlanCache), and sizes all workspace — including per-pool-worker row
 /// and column scratch — so the transform methods perform no trigonometry
-/// and no heap allocation. The mixed inverse transforms fuse the paper's
+/// and no heap allocation (scratch regrows only if the thread pool is
+/// enlarged after plan construction). The mixed inverse transforms fuse
+/// the paper's
 /// eq. (14)/(16) input flips and eq. (15)/(17) sign passes into the
 /// existing twiddle and reorder sweeps instead of materializing a flipped
 /// copy plus a sign sweep (kFft2dN only; row-column algorithms keep the
 /// literal flip for oracle comparability).
 ///
 /// NOT thread-safe: a plan owns its workspace, so use one plan per thread
-/// (the transforms parallelize internally with OpenMP). In/out pointers
-/// may alias each other but must not alias plan workspace.
+/// (the transforms parallelize internally on the deterministic
+/// ThreadPool). In/out pointers may alias each other but must not alias
+/// plan workspace.
 template <typename T>
 class Dct2dPlan {
  public:
@@ -74,9 +77,12 @@ class Dct2dPlan {
   void rowColApply(const T* in, T* out, bool forward);
   /// Attributes all owned workspace/table bytes to "fft/scratch".
   void trackWorkspace();
+  /// Grows the per-worker scratch if the pool gained threads since plan
+  /// construction (kFft2dN only).
+  void ensureScratch();
 
-  std::complex<T>* rowScratch(int thread);
-  std::complex<T>* colScratch(int thread);
+  std::complex<T>* rowScratch(int worker);
+  std::complex<T>* colScratch(int worker);
 
   int n1_;
   int n2_;
@@ -101,8 +107,9 @@ class Dct2dPlan {
   std::vector<std::complex<T>> spec_;       ///< n1*stride, kFft2dN only
   std::size_t row_scratch_stride_ = 0;
   std::size_t col_scratch_stride_ = 0;
-  std::vector<std::complex<T>> row_ws_;     ///< per-thread rfft scratch
-  std::vector<std::complex<T>> col_ws_;     ///< per-thread column + scratch
+  int scratch_workers_ = 0;                 ///< pool size scratch is sized for
+  std::vector<std::complex<T>> row_ws_;     ///< per-worker rfft scratch
+  std::vector<std::complex<T>> col_ws_;     ///< per-worker column + scratch
   TrackedBytes mem_{"fft/scratch"};         ///< memory attribution
 };
 

@@ -4,6 +4,7 @@
 #include <cmath>
 
 #include "common/log.h"
+#include "common/parallel.h"
 #include "common/timer.h"
 
 namespace dreamplace {
@@ -178,8 +179,7 @@ GlobalPlacerResult GlobalPlacer<T>::run(const Callback& callback) {
   }
   auto projection = [this, n, &node_box](std::vector<T>& p) {
     const Index movable = db_.numMovable();
-#pragma omp parallel for schedule(static)
-    for (Index i = 0; i < n; ++i) {
+    parallelFor("gp/project", n, 2048, [&](Index i) {
       // Keep node footprints inside their box; fillers use smoothed sizes.
       const T hw = (i < movable ? static_cast<T>(db_.cellWidth(i))
                                 : density_->nodeWidth(i)) /
@@ -192,7 +192,7 @@ GlobalPlacerResult GlobalPlacer<T>::run(const Callback& callback) {
                           static_cast<T>(box.xh) - hw);
       p[i + n] = clampSafe<T>(p[i + n], static_cast<T>(box.yl) + hh,
                               static_cast<T>(box.yh) - hh);
-    }
+    });
   };
 
   switch (options_.solver) {

@@ -12,6 +12,7 @@
 #include <vector>
 
 #include "autograd/objective.h"
+#include "common/parallel.h"
 #include "common/timer.h"
 #include "db/database.h"
 #include "ops/density_op.h"
@@ -74,8 +75,7 @@ class PlacementObjective final : public ObjectiveFunction<T> {
     const Index n = density_.numNodes();
     const T* wl_g = wl_scratch_.data();
     const T* d_g = density_scratch_.data();
-#pragma omp parallel for schedule(static)
-    for (Index i = 0; i < n; ++i) {
+    parallelFor("gp/combine", n, 2048, [&](Index i) {
       T gx = wl_g[i] + lambda * d_g[i];
       T gy = wl_g[i + n] + lambda * d_g[i + n];
       if (precondition_) {
@@ -86,7 +86,7 @@ class PlacementObjective final : public ObjectiveFunction<T> {
       }
       grad[i] = gx;
       grad[i + n] = gy;
-    }
+    });
     return last_wl_ + lambda_ * last_density_;
   }
 

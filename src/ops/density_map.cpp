@@ -5,6 +5,7 @@
 #include <numeric>
 
 #include "common/log.h"
+#include "common/parallel.h"
 
 namespace dreamplace {
 
@@ -114,27 +115,74 @@ void DensityMapBuilder<T>::forEachOverlap(const T* x, const T* y, Index node,
 }
 
 template <typename T>
+int DensityMapBuilder<T>::scatterSlices() const {
+  if (numNodes() < 2048) return 1;
+  // Cap the slice scratch at ~64 MB so huge grids degrade to fewer
+  // slices instead of an allocation spike. The count must never depend
+  // on the thread count (determinism contract).
+  const std::size_t per_slice =
+      static_cast<std::size_t>(grid_.mx) * grid_.my * sizeof(T);
+  const std::size_t budget = std::size_t(64) << 20;
+  const std::size_t cap = budget / std::max<std::size_t>(per_slice, 1);
+  return static_cast<int>(std::clamp<std::size_t>(cap, 1, 8));
+}
+
+template <typename T>
 void DensityMapBuilder<T>::scatter(const T* x, const T* y, Index begin,
                                    Index end, std::vector<T>& map) const {
   DP_ASSERT(static_cast<int>(map.size()) == grid_.mx * grid_.my);
   const T inv_bin_area = T(1) / grid_.binArea();
   const Index n = numNodes();
-  // Dynamic scheduling with coarse chunks: heterogeneous cell sizes are
-  // the load-balance hazard the paper's sorting addresses. order_ is a
-  // permutation of all nodes; entries outside [begin, end) are skipped.
-#pragma omp parallel for schedule(dynamic, 256)
-  for (Index k = 0; k < n; ++k) {
-    const Index node = order_[k];
-    if (node < begin || node >= end) {
-      continue;
+  // order_ is a permutation of all nodes; entries outside [begin, end)
+  // are skipped.
+  const int slices = scatterSlices();
+  if (slices == 1) {
+    // Small designs: accumulate in the serial processing order.
+    for (Index k = 0; k < n; ++k) {
+      const Index node = order_[k];
+      if (node < begin || node >= end) {
+        continue;
+      }
+      const T q = scale_[node] * inv_bin_area;
+      forEachOverlap(x, y, node, [&](int bx, int by, T area) {
+        map[bx * grid_.my + by] += q * area;
+      });
     }
-    const T q = scale_[node] * inv_bin_area;
-    forEachOverlap(x, y, node, [&](int bx, int by, T area) {
-      const T value = q * area;
-#pragma omp atomic
-      map[bx * grid_.my + by] += value;
-    });
+    return;
   }
+  // Each slice takes a strided subset of the (area-sorted) processing
+  // order — stride assignment spreads the big cells across slices, the
+  // same load-balancing idea as the paper's sorted work distribution —
+  // and accumulates into its private partial map. Combining the partials
+  // per bin in slice order makes the sum independent of which thread ran
+  // which slice.
+  const std::size_t bins = map.size();
+  slice_scratch_.resize(bins * static_cast<std::size_t>(slices));
+  mem_slices_.set(static_cast<std::int64_t>(slice_scratch_.size() *
+                                            sizeof(T)));
+  ThreadPool::instance().run(
+      "ops/density/scatter", slices, [&](Index s, int) {
+        T* partial = slice_scratch_.data() + bins * static_cast<std::size_t>(s);
+        std::fill(partial, partial + bins, T(0));
+        for (Index k = s; k < n; k += slices) {
+          const Index node = order_[k];
+          if (node < begin || node >= end) {
+            continue;
+          }
+          const T q = scale_[node] * inv_bin_area;
+          forEachOverlap(x, y, node, [&](int bx, int by, T area) {
+            partial[bx * grid_.my + by] += q * area;
+          });
+        }
+      });
+  parallelFor("ops/density/combine", static_cast<Index>(bins), 4096,
+              [&](Index b) {
+                T acc = map[b];
+                for (int s = 0; s < slices; ++s) {
+                  acc += slice_scratch_[bins * static_cast<std::size_t>(s) + b];
+                }
+                map[b] = acc;
+              });
 }
 
 template <typename T>
@@ -146,8 +194,10 @@ void DensityMapBuilder<T>::gatherForce(const T* x, const T* y,
   const T inv_bin_area = T(1) / grid_.binArea();
   const T inv_bin_w = T(1) / grid_.binW;
   const T inv_bin_h = T(1) / grid_.binH;
-#pragma omp parallel for schedule(dynamic, 256)
-  for (Index k = 0; k < n; ++k) {
+  // Nodes write disjoint gradient entries, so the backward gather needs
+  // no synchronization; blocks over the area-sorted order keep the
+  // per-block cost roughly even.
+  parallelFor("ops/density/gather", n, 256, [&](Index k) {
     const Index node = order_[k];
     T fx = 0;
     T fy = 0;
@@ -161,7 +211,7 @@ void DensityMapBuilder<T>::gatherForce(const T* x, const T* y,
     // converts the field from bin-index to layout coordinates.
     gx[node] = -q * fx * inv_bin_w;
     gy[node] = -q * fy * inv_bin_h;
-  }
+  });
 }
 
 template <typename T>

@@ -15,6 +15,7 @@
 #include <span>
 #include <vector>
 
+#include "common/memory.h"
 #include "common/types.h"
 #include "db/database.h"
 
@@ -58,6 +59,14 @@ class DensityMapBuilder {
   /// Scatters nodes [begin, end) into `map` (size mx*my, row-major with
   /// dim0 = x). Adds on top of existing content in density units
   /// (area / bin area).
+  ///
+  /// Parallelized with a fixed number of slices (scatterSlices, a
+  /// function of the node count and grid only — never the thread count):
+  /// each slice accumulates a private partial map over a strided subset
+  /// of the processing order, then the partials are combined per bin in
+  /// slice order. Results are therefore bit-identical for any thread
+  /// count. Uses mutable slice scratch: not safe to call concurrently on
+  /// the same builder.
   void scatter(const T* x, const T* y, Index begin, Index end,
                std::vector<T>& map) const;
 
@@ -75,6 +84,10 @@ class DensityMapBuilder {
  private:
   template <typename Visit>
   void forEachOverlap(const T* x, const T* y, Index node, Visit visit) const;
+  /// Slice count for the parallel scatter: 1 for small designs, else up
+  /// to 8, reduced when the per-slice partial map would blow the scratch
+  /// budget on huge grids. Depends only on (node count, grid, T).
+  int scatterSlices() const;
 
   DensityGrid<T> grid_;
   std::vector<T> widths_;
@@ -84,6 +97,10 @@ class DensityMapBuilder {
   std::vector<T> scale_;   ///< area / (eff_w * eff_h), preserves charge.
   std::vector<Index> order_;  ///< Processing order (sorted by area if kSorted).
   Options options_;
+  // Per-slice partial density maps for the deterministic parallel
+  // scatter; lazily sized on first use (scatter() stays const).
+  mutable std::vector<T> slice_scratch_;
+  mutable TrackedBytes mem_slices_{"ops/density/scatter_slices"};
 };
 
 /// Builds the static density contribution of fixed cells (clipped to the

@@ -4,6 +4,7 @@
 
 #include "common/counters.h"
 #include "common/log.h"
+#include "common/parallel.h"
 
 namespace dreamplace {
 
@@ -61,8 +62,7 @@ void PoissonSolver<T>::solve(std::span<const T> density,
   // through idct2d absorbs another 2^[u==0] 2^[v==0], so the combined
   // coefficient is uniformly 4/(mx*my) (derivation: docs/ALGORITHMS.md §3).
   const T norm = T(4) / (static_cast<T>(mx_) * static_cast<T>(my_));
-#pragma omp parallel for schedule(static)
-  for (int u = 0; u < mx_; ++u) {
+  parallelFor("ops/es/coeff", mx_, 8, [&](Index u) {
     const T wu = wu_[u];
     for (int v = 0; v < my_; ++v) {
       const size_t i = static_cast<size_t>(u) * my_ + v;
@@ -71,19 +71,23 @@ void PoissonSolver<T>::solve(std::span<const T> density,
       zx_[i] = base * wu;
       zy_[i] = base * wv_[v];
     }
-  }
+  });
 
   plan_.idct2d(z_.data(), out.potential.data());
   plan_.idxstIdct(zx_.data(), out.fieldX.data());
   plan_.idctIdxst(zy_.data(), out.fieldY.data());
 
-  double energy = 0.0;
-#pragma omp parallel for reduction(+ : energy) schedule(static)
-  for (long i = 0; i < static_cast<long>(total); ++i) {
-    energy += 0.5 * static_cast<double>(density[i]) *
-              static_cast<double>(out.potential[i]);
-  }
-  out.energy = energy;
+  out.energy = parallelReduce(
+      "ops/es/energy", static_cast<Index>(total), 8192, 0.0,
+      [&](Index block_begin, Index block_end) {
+        double partial = 0.0;
+        for (Index i = block_begin; i < block_end; ++i) {
+          partial += 0.5 * static_cast<double>(density[i]) *
+                     static_cast<double>(out.potential[i]);
+        }
+        return partial;
+      },
+      [](double acc, double partial) { return acc + partial; });
 }
 
 template class PoissonSolver<float>;

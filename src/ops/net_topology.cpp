@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <limits>
 
+#include "common/parallel.h"
+
 namespace dreamplace {
 
 template <typename T>
@@ -33,6 +35,22 @@ NetTopology<T>::NetTopology(const Database& db) {
       pin_fixed_y_[p] = static_cast<T>(db.pinY(p));
     }
   }
+  // Node -> pin CSR over all cells (fixed cells keep empty ranges). Two
+  // counting passes keep the build deterministic and allocation-exact.
+  const Index num_cells = db.numCells();
+  node_pin_start_.assign(static_cast<std::size_t>(num_cells) + 1, 0);
+  for (Index p = 0; p < num_pins; ++p) {
+    if (pin_node_[p] >= 0) ++node_pin_start_[pin_node_[p] + 1];
+  }
+  for (Index c = 0; c < num_cells; ++c) {
+    node_pin_start_[c + 1] += node_pin_start_[c];
+  }
+  node_pins_.resize(node_pin_start_[num_cells]);
+  std::vector<Index> cursor(node_pin_start_.begin(),
+                            node_pin_start_.end() - 1);
+  for (Index p = 0; p < num_pins; ++p) {
+    if (pin_node_[p] >= 0) node_pins_[cursor[pin_node_[p]]++] = p;
+  }
 }
 
 template <typename T>
@@ -41,37 +59,61 @@ double topologyHpwl(const NetTopologyView<T>& topo, std::span<const T> params,
   const Index num_nets = topo.numNets();
   const T* x = params.data();
   const T* y = params.data() + numNodes;
-  double total = 0.0;
-#pragma omp parallel for schedule(static) reduction(+ : total)
-  for (Index e = 0; e < num_nets; ++e) {
-    const Index begin = topo.netBegin(e);
-    const Index end = topo.netEnd(e);
-    if (end - begin < 2) {
-      continue;
+  return parallelReduce(
+      "ops/wl/hpwl", num_nets, 64, 0.0,
+      [&](Index block_begin, Index block_end) {
+        double partial = 0.0;
+        for (Index e = block_begin; e < block_end; ++e) {
+          const Index begin = topo.netBegin(e);
+          const Index end = topo.netEnd(e);
+          if (end - begin < 2) {
+            continue;
+          }
+          T xl = std::numeric_limits<T>::infinity();
+          T xh = -xl, yl = xl, yh = -xl;
+          for (Index p = begin; p < end; ++p) {
+            const Index node = topo.pinNode[p];
+            const T px =
+                node >= 0 ? x[node] + topo.pinOffsetX[p] : topo.pinFixedX[p];
+            const T py =
+                node >= 0 ? y[node] + topo.pinOffsetY[p] : topo.pinFixedY[p];
+            xl = std::min(xl, px);
+            xh = std::max(xh, px);
+            yl = std::min(yl, py);
+            yh = std::max(yh, py);
+          }
+          partial += static_cast<double>(topo.netWeight[e] *
+                                         ((xh - xl) + (yh - yl)));
+        }
+        return partial;
+      },
+      [](double acc, double partial) { return acc + partial; });
+}
+
+template <typename T>
+void gatherPinGradient(const NetTopologyView<T>& topo, const T* pinGradX,
+                       const T* pinGradY, T* gradX, T* gradY) {
+  parallelFor("ops/wl/gather", topo.numCells(), 512, [&](Index c) {
+    const Index begin = topo.nodePinStart[c];
+    const Index end = topo.nodePinStart[c + 1];
+    if (begin == end) return;
+    T gx = T(0), gy = T(0);
+    for (Index k = begin; k < end; ++k) {
+      const Index p = topo.nodePins[k];
+      gx += pinGradX[p];
+      gy += pinGradY[p];
     }
-    T xl = std::numeric_limits<T>::infinity();
-    T xh = -xl, yl = xl, yh = -xl;
-    for (Index p = begin; p < end; ++p) {
-      const Index node = topo.pinNode[p];
-      const T px =
-          node >= 0 ? x[node] + topo.pinOffsetX[p] : topo.pinFixedX[p];
-      const T py =
-          node >= 0 ? y[node] + topo.pinOffsetY[p] : topo.pinFixedY[p];
-      xl = std::min(xl, px);
-      xh = std::max(xh, px);
-      yl = std::min(yl, py);
-      yh = std::max(yh, py);
-    }
-    total +=
-        static_cast<double>(topo.netWeight[e] * ((xh - xl) + (yh - yl)));
-  }
-  return total;
+    gradX[c] += gx;
+    gradY[c] += gy;
+  });
 }
 
 #define DP_INSTANTIATE_TOPO(T)                                          \
   template class NetTopology<T>;                                        \
   template double topologyHpwl<T>(const NetTopologyView<T>&,            \
-                                  std::span<const T>, Index);
+                                  std::span<const T>, Index);           \
+  template void gatherPinGradient<T>(const NetTopologyView<T>&,         \
+                                     const T*, const T*, T*, T*);
 
 DP_INSTANTIATE_TOPO(float)
 DP_INSTANTIATE_TOPO(double)

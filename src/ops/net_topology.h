@@ -28,9 +28,14 @@ struct NetTopologyView {
   std::span<const T> pinOffsetX;     ///< Offset from node center if movable.
   std::span<const T> pinOffsetY;
   std::span<const T> netWeight;
+  std::span<const Index> nodePinStart;  ///< CSR offsets, numCells+1 entries.
+  std::span<const Index> nodePins;      ///< Movable pins grouped by node.
 
   Index numNets() const { return static_cast<Index>(netWeight.size()); }
   Index numPins() const { return static_cast<Index>(pinNode.size()); }
+  Index numCells() const {
+    return static_cast<Index>(nodePinStart.size()) - 1;
+  }
   Index netBegin(Index e) const { return netStart[e]; }
   Index netEnd(Index e) const { return netStart[e + 1]; }
   Index netDegree(Index e) const { return netEnd(e) - netBegin(e); }
@@ -45,7 +50,8 @@ class NetTopology {
 
   NetTopologyView<T> view() const {
     return {net_start_,    pin_net_,      pin_node_,     pin_fixed_x_,
-            pin_fixed_y_,  pin_offset_x_, pin_offset_y_, net_weight_};
+            pin_fixed_y_,  pin_offset_x_, pin_offset_y_, net_weight_,
+            node_pin_start_, node_pins_};
   }
 
  private:
@@ -55,6 +61,11 @@ class NetTopology {
   std::vector<T> pin_fixed_x_, pin_fixed_y_;
   std::vector<T> pin_offset_x_, pin_offset_y_;
   std::vector<T> net_weight_;
+  // Node -> pin CSR (movable pins only). The wirelength kernels write
+  // per-pin gradients and gather them per node in this fixed pin order,
+  // which is what makes the parallel backward pass deterministic.
+  std::vector<Index> node_pin_start_;
+  std::vector<Index> node_pins_;
 };
 
 /// Exact weighted HPWL over a topology at the given node centers
@@ -63,5 +74,14 @@ class NetTopology {
 template <typename T>
 double topologyHpwl(const NetTopologyView<T>& topo, std::span<const T> params,
                     Index numNodes);
+
+/// Accumulates per-pin gradients into per-node gradients through the
+/// node->pin CSR: gradX[c] += sum of pinGradX over c's pins, in ascending
+/// pin order. Nodes write disjoint entries, so the loop parallelizes
+/// without atomics and the fixed gather order keeps the result identical
+/// for any thread count. Shared backward tail of the WA and LSE ops.
+template <typename T>
+void gatherPinGradient(const NetTopologyView<T>& topo, const T* pinGradX,
+                       const T* pinGradY, T* gradX, T* gradY);
 
 }  // namespace dreamplace

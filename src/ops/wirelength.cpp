@@ -5,25 +5,9 @@
 
 #include "common/counters.h"
 #include "common/log.h"
+#include "common/parallel.h"
 
 namespace dreamplace {
-
-namespace {
-
-/// Atomic max/min/add on floating point via compare-exchange, used by the
-/// kAtomic strategy (the CPU analogue of CUDA atomicMax on floats).
-template <typename T, typename Combine>
-void atomicCombine(std::atomic<T>& target, T value, Combine combine) {
-  T current = target.load(std::memory_order_relaxed);
-  T desired = combine(current, value);
-  while (desired != current &&
-         !target.compare_exchange_weak(current, desired,
-                                       std::memory_order_relaxed)) {
-    desired = combine(current, value);
-  }
-}
-
-}  // namespace
 
 // ---------------------------------------------------------------------------
 // WaWirelengthOp
@@ -53,8 +37,7 @@ void WaWirelengthOp<T>::computePinPositions(const NetTopologyView<T>& topo,
   const Index num_pins = topo.numPins();
   const T* x = params.data();
   const T* y = params.data() + num_nodes_;
-#pragma omp parallel for schedule(static)
-  for (Index p = 0; p < num_pins; ++p) {
+  parallelFor("ops/wl/pins", num_pins, 2048, [&](Index p) {
     const Index node = topo.pinNode[p];
     if (node >= 0) {
       pin_x_[p] = x[node] + topo.pinOffsetX[p];
@@ -63,7 +46,23 @@ void WaWirelengthOp<T>::computePinPositions(const NetTopologyView<T>& topo,
       pin_x_[p] = topo.pinFixedX[p];
       pin_y_[p] = topo.pinFixedY[p];
     }
+  });
+}
+
+template <typename T>
+void WaWirelengthOp<T>::ensureScratch(Index numPins) {
+  static Counter allocs("ops/wirelength/scratch_alloc");
+  static Counter reuses("ops/wirelength/scratch_reuse");
+  if (static_cast<Index>(pin_grad_x_.size()) == numPins) {
+    reuses.add();
+    return;
   }
+  // The pin count is fixed for the op's lifetime, so this runs once.
+  pin_grad_x_.resize(numPins);
+  pin_grad_y_.resize(numPins);
+  mem_scratch_.set(static_cast<std::int64_t>(
+      2u * static_cast<std::size_t>(numPins) * sizeof(T)));
+  allocs.add();
 }
 
 template <typename T>
@@ -74,97 +73,115 @@ double WaWirelengthOp<T>::evaluate(std::span<const T> params,
   calls.add();
   std::fill(grad.begin(), grad.end(), T(0));
   const NetTopologyView<T> topo = topo_.view();
+  ensureScratch(topo.numPins());
+  std::fill(pin_grad_x_.begin(), pin_grad_x_.end(), T(0));
+  std::fill(pin_grad_y_.begin(), pin_grad_y_.end(), T(0));
   computePinPositions(topo, params);
+  double total = 0.0;
   switch (options_.kernel) {
     case WirelengthKernel::kMerged:
-      return evaluateMerged(topo, grad);
+      total = evaluateMerged(topo, grad);
+      break;
     case WirelengthKernel::kNetByNet:
-      return evaluateNetByNet(topo, grad);
+      total = evaluateNetByNet(topo, grad);
+      break;
     case WirelengthKernel::kAtomic:
-      return evaluateAtomic(topo, grad);
+      total = evaluateAtomic(topo, grad);
+      break;
+    default:
+      logFatal("unknown wirelength kernel");
   }
-  logFatal("unknown wirelength kernel");
+  // Shared backward tail: fold the per-pin gradients every kernel wrote
+  // into per-node gradients in fixed pin order (deterministic, no
+  // atomics).
+  gatherPinGradient(topo, pin_grad_x_.data(), pin_grad_y_.data(),
+                    grad.data(), grad.data() + num_nodes_);
+  return total;
 }
 
 // Fused forward+backward, all per-net intermediates in locals (Alg. 2).
 template <typename T>
 double WaWirelengthOp<T>::evaluateMerged(const NetTopologyView<T>& topo,
                                          std::span<T> grad) {
+  (void)grad;  // written by the gather tail in evaluate()
   const Index num_nets = topo.numNets();
   const T inv_gamma = static_cast<T>(1.0 / gamma_);
-  T* gx = grad.data();
-  T* gy = grad.data() + num_nodes_;
-  double total = 0.0;
 
-  // Dynamic scheduling with the paper's chunk heuristic
-  // (|E| / threads / 16) balances heterogeneous net degrees.
-#pragma omp parallel for schedule(dynamic, 64) reduction(+ : total)
-  for (Index e = 0; e < num_nets; ++e) {
-    if (net_ignored_[e]) {
-      continue;
-    }
-    const Index begin = topo.netBegin(e);
-    const Index end = topo.netEnd(e);
-    if (end - begin < 2) {
-      continue;
-    }
-    const T weight = topo.netWeight[e];
-    // Process x and y identically.
-    for (int dim = 0; dim < 2; ++dim) {
-      const T* pos = dim == 0 ? pin_x_.data() : pin_y_.data();
-      T* g = dim == 0 ? gx : gy;
+  // Net blocks are claimed dynamically (the paper's chunk heuristic for
+  // heterogeneous net degrees); per-block WL partials are combined in
+  // block order, so the total matches the serial net order exactly.
+  return parallelReduce(
+      "ops/wl/merged", num_nets, 64, 0.0,
+      [&](Index block_begin, Index block_end) {
+        double partial = 0.0;
+        for (Index e = block_begin; e < block_end; ++e) {
+          if (net_ignored_[e]) {
+            continue;
+          }
+          const Index begin = topo.netBegin(e);
+          const Index end = topo.netEnd(e);
+          if (end - begin < 2) {
+            continue;
+          }
+          const T weight = topo.netWeight[e];
+          // Process x and y identically.
+          for (int dim = 0; dim < 2; ++dim) {
+            const T* pos = dim == 0 ? pin_x_.data() : pin_y_.data();
+            T* pin_grad =
+                dim == 0 ? pin_grad_x_.data() : pin_grad_y_.data();
 
-      T pmax = -std::numeric_limits<T>::infinity();
-      T pmin = std::numeric_limits<T>::infinity();
-      for (Index p = begin; p < end; ++p) {
-        pmax = std::max(pmax, pos[p]);
-        pmin = std::min(pmin, pos[p]);
-      }
-      // Kernel-local a+/a- (the CPU analog of keeping them in registers,
-      // per Alg. 2: no global-memory intermediates). On a GPU the paper
-      // recomputes a instead; with scalar exp() the recompute costs more
-      // than this thread-local scratch.
-      static thread_local std::vector<T> a_local;
-      a_local.resize(2 * static_cast<size_t>(end - begin));
-      T* a_plus_buf = a_local.data();
-      T* a_minus_buf = a_local.data() + (end - begin);
-      T b_plus = 0, b_minus = 0, c_plus = 0, c_minus = 0;
-      for (Index p = begin; p < end; ++p) {
-        const T s_plus = (pos[p] - pmax) * inv_gamma;
-        const T s_minus = (pmin - pos[p]) * inv_gamma;
-        const T a_plus = std::exp(s_plus);
-        const T a_minus = std::exp(s_minus);
-        a_plus_buf[p - begin] = a_plus;
-        a_minus_buf[p - begin] = a_minus;
-        b_plus += a_plus;
-        b_minus += a_minus;
-        c_plus += (pos[p] - pmax) * a_plus;
-        c_minus += (pos[p] - pmin) * a_minus;
-      }
-      const T wa_plus = c_plus / b_plus;    // relative to pmax
-      const T wa_minus = c_minus / b_minus; // relative to pmin
-      const T wl = (wa_plus + pmax) - (wa_minus + pmin);
-      total += static_cast<double>(weight * wl);
+            T pmax = -std::numeric_limits<T>::infinity();
+            T pmin = std::numeric_limits<T>::infinity();
+            for (Index p = begin; p < end; ++p) {
+              pmax = std::max(pmax, pos[p]);
+              pmin = std::min(pmin, pos[p]);
+            }
+            // Kernel-local a+/a- (the CPU analog of keeping them in
+            // registers, per Alg. 2: no global-memory intermediates). On
+            // a GPU the paper recomputes a instead; with scalar exp()
+            // the recompute costs more than this thread-local scratch.
+            static thread_local std::vector<T> a_local;
+            a_local.resize(2 * static_cast<size_t>(end - begin));
+            T* a_plus_buf = a_local.data();
+            T* a_minus_buf = a_local.data() + (end - begin);
+            T b_plus = 0, b_minus = 0, c_plus = 0, c_minus = 0;
+            for (Index p = begin; p < end; ++p) {
+              const T s_plus = (pos[p] - pmax) * inv_gamma;
+              const T s_minus = (pmin - pos[p]) * inv_gamma;
+              const T a_plus = std::exp(s_plus);
+              const T a_minus = std::exp(s_minus);
+              a_plus_buf[p - begin] = a_plus;
+              a_minus_buf[p - begin] = a_minus;
+              b_plus += a_plus;
+              b_minus += a_minus;
+              c_plus += (pos[p] - pmax) * a_plus;
+              c_minus += (pos[p] - pmin) * a_minus;
+            }
+            const T wa_plus = c_plus / b_plus;    // relative to pmax
+            const T wa_minus = c_minus / b_minus; // relative to pmin
+            const T wl = (wa_plus + pmax) - (wa_minus + pmin);
+            partial += static_cast<double>(weight * wl);
 
-      // Backward fused into the same kernel; only the per-pin gradient is
-      // written to shared memory.
-      for (Index p = begin; p < end; ++p) {
-        const T a_plus = a_plus_buf[p - begin];
-        const T a_minus = a_minus_buf[p - begin];
-        const T g_plus = a_plus / b_plus *
-                         (T(1) + ((pos[p] - pmax) - wa_plus) * inv_gamma);
-        const T g_minus = a_minus / b_minus *
-                          (T(1) - ((pos[p] - pmin) - wa_minus) * inv_gamma);
-        const Index node = topo.pinNode[p];
-        if (node >= 0) {
-          const T contrib = weight * (g_plus - g_minus);
-#pragma omp atomic
-          g[node] += contrib;
+            // Backward fused into the same kernel; each pin entry is
+            // written by exactly one net, so no synchronization.
+            for (Index p = begin; p < end; ++p) {
+              const T a_plus = a_plus_buf[p - begin];
+              const T a_minus = a_minus_buf[p - begin];
+              const T g_plus =
+                  a_plus / b_plus *
+                  (T(1) + ((pos[p] - pmax) - wa_plus) * inv_gamma);
+              const T g_minus =
+                  a_minus / b_minus *
+                  (T(1) - ((pos[p] - pmin) - wa_minus) * inv_gamma);
+              if (topo.pinNode[p] >= 0) {
+                pin_grad[p] = weight * (g_plus - g_minus);
+              }
+            }
+          }
         }
-      }
-    }
-  }
-  return total;
+        return partial;
+      },
+      [](double acc, double partial) { return acc + partial; });
 }
 
 // Net-level forward and backward as separate passes with all intermediates
@@ -172,6 +189,7 @@ double WaWirelengthOp<T>::evaluateMerged(const NetTopologyView<T>& topo,
 template <typename T>
 double WaWirelengthOp<T>::evaluateNetByNet(const NetTopologyView<T>& topo,
                                            std::span<T> grad) {
+  (void)grad;  // written by the gather tail in evaluate()
   const Index num_nets = topo.numNets();
   const Index num_pins = topo.numPins();
   const T inv_gamma = static_cast<T>(1.0 / gamma_);
@@ -197,47 +215,52 @@ double WaWirelengthOp<T>::evaluateNetByNet(const NetTopologyView<T>& topo,
     T* pmax = x_max_.data() + dim * num_nets;
     T* pmin = x_min_.data() + dim * num_nets;
 
-#pragma omp parallel for schedule(dynamic, 64) reduction(+ : total)
-    for (Index e = 0; e < num_nets; ++e) {
-      if (net_ignored_[e]) {
-        continue;
-      }
-      const Index begin = topo.netBegin(e);
-      const Index end = topo.netEnd(e);
-      if (end - begin < 2) {
-        continue;
-      }
-      T mx = -std::numeric_limits<T>::infinity();
-      T mn = std::numeric_limits<T>::infinity();
-      for (Index p = begin; p < end; ++p) {
-        mx = std::max(mx, pos[p]);
-        mn = std::min(mn, pos[p]);
-      }
-      pmax[e] = mx;
-      pmin[e] = mn;
-      T bp = 0, bm = 0, cp = 0, cm = 0;
-      for (Index p = begin; p < end; ++p) {
-        const T ap = std::exp((pos[p] - mx) * inv_gamma);
-        const T am = std::exp((mn - pos[p]) * inv_gamma);
-        a_plus[p] = ap;
-        a_minus[p] = am;
-        bp += ap;
-        bm += am;
-        cp += (pos[p] - mx) * ap;
-        cm += (pos[p] - mn) * am;
-      }
-      b_plus[e] = bp;
-      b_minus[e] = bm;
-      c_plus[e] = cp;
-      c_minus[e] = cm;
-      total += static_cast<double>(topo.netWeight[e] *
-                                   ((cp / bp + mx) - (cm / bm + mn)));
-    }
+    total += parallelReduce(
+        "ops/wl/nbn_fwd", num_nets, 64, 0.0,
+        [&](Index block_begin, Index block_end) {
+          double partial = 0.0;
+          for (Index e = block_begin; e < block_end; ++e) {
+            if (net_ignored_[e]) {
+              continue;
+            }
+            const Index begin = topo.netBegin(e);
+            const Index end = topo.netEnd(e);
+            if (end - begin < 2) {
+              continue;
+            }
+            T mx = -std::numeric_limits<T>::infinity();
+            T mn = std::numeric_limits<T>::infinity();
+            for (Index p = begin; p < end; ++p) {
+              mx = std::max(mx, pos[p]);
+              mn = std::min(mn, pos[p]);
+            }
+            pmax[e] = mx;
+            pmin[e] = mn;
+            T bp = 0, bm = 0, cp = 0, cm = 0;
+            for (Index p = begin; p < end; ++p) {
+              const T ap = std::exp((pos[p] - mx) * inv_gamma);
+              const T am = std::exp((mn - pos[p]) * inv_gamma);
+              a_plus[p] = ap;
+              a_minus[p] = am;
+              bp += ap;
+              bm += am;
+              cp += (pos[p] - mx) * ap;
+              cm += (pos[p] - mn) * am;
+            }
+            b_plus[e] = bp;
+            b_minus[e] = bm;
+            c_plus[e] = cp;
+            c_minus[e] = cm;
+            partial += static_cast<double>(
+                topo.netWeight[e] * ((cp / bp + mx) - (cm / bm + mn)));
+          }
+          return partial;
+        },
+        [](double acc, double partial) { return acc + partial; });
   }
 
-  // Backward pass: re-read the stored intermediates.
-  T* gx = grad.data();
-  T* gy = grad.data() + num_nodes_;
+  // Backward pass: re-read the stored intermediates; every pin-gradient
+  // entry belongs to exactly one net, so the net loop needs no atomics.
   for (int dim = 0; dim < 2; ++dim) {
     const T* pos = dim == 0 ? pin_x_.data() : pin_y_.data();
     const T* a_plus = a_plus_.data() + dim * num_pins;
@@ -248,23 +271,21 @@ double WaWirelengthOp<T>::evaluateNetByNet(const NetTopologyView<T>& topo,
     const T* c_minus = c_minus_.data() + dim * num_nets;
     const T* pmax = x_max_.data() + dim * num_nets;
     const T* pmin = x_min_.data() + dim * num_nets;
-    T* g = dim == 0 ? gx : gy;
+    T* pin_grad = dim == 0 ? pin_grad_x_.data() : pin_grad_y_.data();
 
-#pragma omp parallel for schedule(dynamic, 64)
-    for (Index e = 0; e < num_nets; ++e) {
+    parallelFor("ops/wl/nbn_bwd", num_nets, 64, [&](Index e) {
       if (net_ignored_[e]) {
-        continue;
+        return;
       }
       const Index begin = topo.netBegin(e);
       const Index end = topo.netEnd(e);
       if (end - begin < 2) {
-        continue;
+        return;
       }
       const T wa_plus = c_plus[e] / b_plus[e];
       const T wa_minus = c_minus[e] / b_minus[e];
       for (Index p = begin; p < end; ++p) {
-        const Index node = topo.pinNode[p];
-        if (node < 0) {
+        if (topo.pinNode[p] < 0) {
           continue;
         }
         const T g_plus =
@@ -273,154 +294,121 @@ double WaWirelengthOp<T>::evaluateNetByNet(const NetTopologyView<T>& topo,
         const T g_minus =
             a_minus[p] / b_minus[e] *
             (T(1) - ((pos[p] - pmin[e]) - wa_minus) * inv_gamma);
-        const T contrib = topo.netWeight[e] * (g_plus - g_minus);
-#pragma omp atomic
-        g[node] += contrib;
+        pin_grad[p] = topo.netWeight[e] * (g_plus - g_minus);
       }
-    }
+    });
   }
   return total;
 }
 
-template <typename T>
-void WaWirelengthOp<T>::ensureAtomicWorkspace(Index numNets) {
-  static Counter allocs("ops/wirelength/atomic_ws_alloc");
-  static Counter reuses("ops/wirelength/atomic_ws_reuse");
-  if (static_cast<Index>(ws_xmax_.size()) == numNets) {
-    reuses.add();
-    return;
-  }
-  // vector<atomic> is not resizable; move-assign freshly sized buffers.
-  // The net count is fixed for the op's lifetime, so this runs once.
-  ws_xmax_ = std::vector<std::atomic<T>>(numNets);
-  ws_xmin_ = std::vector<std::atomic<T>>(numNets);
-  ws_bplus_ = std::vector<std::atomic<T>>(numNets);
-  ws_bminus_ = std::vector<std::atomic<T>>(numNets);
-  ws_cplus_ = std::vector<std::atomic<T>>(numNets);
-  ws_cminus_ = std::vector<std::atomic<T>>(numNets);
-  mem_atomic_.set(static_cast<std::int64_t>(
-      6u * static_cast<std::size_t>(numNets) * sizeof(std::atomic<T>)));
-  allocs.add();
-}
-
-// Pin-level parallelism with atomic reductions (Algorithm 1). Six kernel
-// passes per dimension, each a parallel loop over pins/nets with atomics:
-// this maximizes parallelism but pays for the global-memory traffic, which
-// is exactly the drawback the paper measures.
+// The fine-grained many-pass strategy (Algorithm 1): max/min, a, b, c, WL,
+// and gradient are each a separate kernel pass with every intermediate
+// materialized in global memory — the memory-traffic profile Fig. 10
+// measures. The GPU original reduces those passes with atomics; here each
+// per-net reduction scans the net's contiguous pin range in fixed order
+// instead, which preserves the pass structure while making the result
+// independent of scheduling (the old vector<atomic<T>> workspace is gone).
 template <typename T>
 double WaWirelengthOp<T>::evaluateAtomic(const NetTopologyView<T>& topo,
                                          std::span<T> grad) {
+  (void)grad;  // written by the gather tail in evaluate()
   const Index num_nets = topo.numNets();
   const Index num_pins = topo.numPins();
   const T inv_gamma = static_cast<T>(1.0 / gamma_);
 
   a_plus_.resize(num_pins);
   a_minus_.resize(num_pins);
-  ensureAtomicWorkspace(num_nets);
-  std::vector<std::atomic<T>>& xmax = ws_xmax_;
-  std::vector<std::atomic<T>>& xmin = ws_xmin_;
-  std::vector<std::atomic<T>>& bplus = ws_bplus_;
-  std::vector<std::atomic<T>>& bminus = ws_bminus_;
-  std::vector<std::atomic<T>>& cplus = ws_cplus_;
-  std::vector<std::atomic<T>>& cminus = ws_cminus_;
+  b_plus_.resize(num_nets);
+  b_minus_.resize(num_nets);
+  c_plus_.resize(num_nets);
+  c_minus_.resize(num_nets);
+  x_max_.resize(num_nets);
+  x_min_.resize(num_nets);
 
   double total = 0.0;
-  T* gx = grad.data();
-  T* gy = grad.data() + num_nodes_;
   for (int dim = 0; dim < 2; ++dim) {
     const T* pos = dim == 0 ? pin_x_.data() : pin_y_.data();
-    T* g = dim == 0 ? gx : gy;
+    T* pin_grad = dim == 0 ? pin_grad_x_.data() : pin_grad_y_.data();
 
-    // x+/x- kernel (atomic max/min over pins).
-#pragma omp parallel for schedule(static)
-    for (Index e = 0; e < num_nets; ++e) {
-      xmax[e].store(-std::numeric_limits<T>::infinity());
-      xmin[e].store(std::numeric_limits<T>::infinity());
-      bplus[e].store(0);
-      bminus[e].store(0);
-      cplus[e].store(0);
-      cminus[e].store(0);
-    }
-#pragma omp parallel for schedule(static)
-    for (Index p = 0; p < num_pins; ++p) {
-      const Index e = topo.pinNet[p];
-      if (net_ignored_[e]) {
-        continue;
+    // x+/x- kernel.
+    parallelFor("ops/wl/atomic_minmax", num_nets, 128, [&](Index e) {
+      T mx = -std::numeric_limits<T>::infinity();
+      T mn = std::numeric_limits<T>::infinity();
+      if (!net_ignored_[e]) {
+        for (Index p = topo.netBegin(e); p < topo.netEnd(e); ++p) {
+          mx = std::max(mx, pos[p]);
+          mn = std::min(mn, pos[p]);
+        }
       }
-      atomicCombine(xmax[e], pos[p],
-                    [](T a, T b) { return std::max(a, b); });
-      atomicCombine(xmin[e], pos[p],
-                    [](T a, T b) { return std::min(a, b); });
-    }
-    // a+/a- kernel.
-#pragma omp parallel for schedule(static)
-    for (Index p = 0; p < num_pins; ++p) {
+      x_max_[e] = mx;
+      x_min_[e] = mn;
+    });
+    // a+/a- kernel (pin-level parallelism, reads the stored max/min).
+    parallelFor("ops/wl/atomic_a", num_pins, 2048, [&](Index p) {
       const Index e = topo.pinNet[p];
       if (net_ignored_[e]) {
         a_plus_[p] = 0;
         a_minus_[p] = 0;
-        continue;
+        return;
       }
-      a_plus_[p] = std::exp((pos[p] - xmax[e].load()) * inv_gamma);
-      a_minus_[p] = std::exp((xmin[e].load() - pos[p]) * inv_gamma);
-    }
-    // b kernel (atomic add).
-#pragma omp parallel for schedule(static)
-    for (Index p = 0; p < num_pins; ++p) {
+      a_plus_[p] = std::exp((pos[p] - x_max_[e]) * inv_gamma);
+      a_minus_[p] = std::exp((x_min_[e] - pos[p]) * inv_gamma);
+    });
+    // b kernel (per-net sum of the stored a terms).
+    parallelFor("ops/wl/atomic_b", num_nets, 128, [&](Index e) {
+      T bp = 0, bm = 0;
+      if (!net_ignored_[e]) {
+        for (Index p = topo.netBegin(e); p < topo.netEnd(e); ++p) {
+          bp += a_plus_[p];
+          bm += a_minus_[p];
+        }
+      }
+      b_plus_[e] = bp;
+      b_minus_[e] = bm;
+    });
+    // c kernel (per-net sum, re-reads positions and the a terms).
+    parallelFor("ops/wl/atomic_c", num_nets, 128, [&](Index e) {
+      T cp = 0, cm = 0;
+      if (!net_ignored_[e]) {
+        for (Index p = topo.netBegin(e); p < topo.netEnd(e); ++p) {
+          cp += (pos[p] - x_max_[e]) * a_plus_[p];
+          cm += (pos[p] - x_min_[e]) * a_minus_[p];
+        }
+      }
+      c_plus_[e] = cp;
+      c_minus_[e] = cm;
+    });
+    // WL kernel + ordered reduction.
+    total += parallelReduce(
+        "ops/wl/atomic_wl", num_nets, 256, 0.0,
+        [&](Index block_begin, Index block_end) {
+          double partial = 0.0;
+          for (Index e = block_begin; e < block_end; ++e) {
+            if (net_ignored_[e] || topo.netDegree(e) < 2) {
+              continue;
+            }
+            const T wl = (c_plus_[e] / b_plus_[e] + x_max_[e]) -
+                         (c_minus_[e] / b_minus_[e] + x_min_[e]);
+            partial += static_cast<double>(topo.netWeight[e] * wl);
+          }
+          return partial;
+        },
+        [](double acc, double partial) { return acc + partial; });
+    // Gradient kernel over pins (disjoint per-pin writes).
+    parallelFor("ops/wl/atomic_grad", num_pins, 2048, [&](Index p) {
       const Index e = topo.pinNet[p];
-      if (net_ignored_[e]) {
-        continue;
+      if (net_ignored_[e] || topo.netDegree(e) < 2 || topo.pinNode[p] < 0) {
+        return;
       }
-      atomicCombine(bplus[e], a_plus_[p], [](T a, T b) { return a + b; });
-      atomicCombine(bminus[e], a_minus_[p], [](T a, T b) { return a + b; });
-    }
-    // c kernel (atomic add).
-#pragma omp parallel for schedule(static)
-    for (Index p = 0; p < num_pins; ++p) {
-      const Index e = topo.pinNet[p];
-      if (net_ignored_[e]) {
-        continue;
-      }
-      atomicCombine(cplus[e],
-                    static_cast<T>((pos[p] - xmax[e].load()) * a_plus_[p]),
-                    [](T a, T b) { return a + b; });
-      atomicCombine(cminus[e],
-                    static_cast<T>((pos[p] - xmin[e].load()) * a_minus_[p]),
-                    [](T a, T b) { return a + b; });
-    }
-    // WL kernel + reduction.
-#pragma omp parallel for schedule(static) reduction(+ : total)
-    for (Index e = 0; e < num_nets; ++e) {
-      if (net_ignored_[e] || topo.netDegree(e) < 2) {
-        continue;
-      }
-      const T wl = (cplus[e].load() / bplus[e].load() + xmax[e].load()) -
-                   (cminus[e].load() / bminus[e].load() + xmin[e].load());
-      total += static_cast<double>(topo.netWeight[e] * wl);
-    }
-    // Gradient kernel over pins.
-#pragma omp parallel for schedule(static)
-    for (Index p = 0; p < num_pins; ++p) {
-      const Index e = topo.pinNet[p];
-      if (net_ignored_[e] || topo.netDegree(e) < 2) {
-        continue;
-      }
-      const Index node = topo.pinNode[p];
-      if (node < 0) {
-        continue;
-      }
-      const T wa_plus = cplus[e].load() / bplus[e].load();
-      const T wa_minus = cminus[e].load() / bminus[e].load();
-      const T g_plus =
-          a_plus_[p] / bplus[e].load() *
-          (T(1) + ((pos[p] - xmax[e].load()) - wa_plus) * inv_gamma);
+      const T wa_plus = c_plus_[e] / b_plus_[e];
+      const T wa_minus = c_minus_[e] / b_minus_[e];
+      const T g_plus = a_plus_[p] / b_plus_[e] *
+                       (T(1) + ((pos[p] - x_max_[e]) - wa_plus) * inv_gamma);
       const T g_minus =
-          a_minus_[p] / bminus[e].load() *
-          (T(1) - ((pos[p] - xmin[e].load()) - wa_minus) * inv_gamma);
-      const T contrib = topo.netWeight[e] * (g_plus - g_minus);
-#pragma omp atomic
-      g[node] += contrib;
-    }
+          a_minus_[p] / b_minus_[e] *
+          (T(1) - ((pos[p] - x_min_[e]) - wa_minus) * inv_gamma);
+      pin_grad[p] = topo.netWeight[e] * (g_plus - g_minus);
+    });
   }
   return total;
 }
@@ -442,6 +430,8 @@ LseWirelengthOp<T>::LseWirelengthOp(const Database& db, Index numNodes,
     : num_nodes_(numNodes), ignore_net_degree_(ignoreNetDegree), topo_(db) {
   pin_x_.resize(db.numPins());
   pin_y_.resize(db.numPins());
+  pin_grad_x_.resize(db.numPins());
+  pin_grad_y_.resize(db.numPins());
 }
 
 template <typename T>
@@ -451,63 +441,68 @@ double LseWirelengthOp<T>::evaluate(std::span<const T> params,
   static Counter calls("ops/wirelength/evaluate");
   calls.add();
   std::fill(grad.begin(), grad.end(), T(0));
+  std::fill(pin_grad_x_.begin(), pin_grad_x_.end(), T(0));
+  std::fill(pin_grad_y_.begin(), pin_grad_y_.end(), T(0));
   const NetTopologyView<T> topo = topo_.view();
   const Index num_pins = topo.numPins();
   const T* x = params.data();
   const T* y = params.data() + num_nodes_;
-#pragma omp parallel for schedule(static)
-  for (Index p = 0; p < num_pins; ++p) {
+  parallelFor("ops/wl/pins", num_pins, 2048, [&](Index p) {
     const Index node = topo.pinNode[p];
     pin_x_[p] = node >= 0 ? x[node] + topo.pinOffsetX[p] : topo.pinFixedX[p];
     pin_y_[p] = node >= 0 ? y[node] + topo.pinOffsetY[p] : topo.pinFixedY[p];
-  }
+  });
 
   const Index num_nets = topo.numNets();
   const T inv_gamma = static_cast<T>(1.0 / gamma_);
   const T gamma = static_cast<T>(gamma_);
-  T* gx = grad.data();
-  T* gy = grad.data() + num_nodes_;
-  double total = 0.0;
-#pragma omp parallel for schedule(dynamic, 64) reduction(+ : total)
-  for (Index e = 0; e < num_nets; ++e) {
-    const Index begin = topo.netBegin(e);
-    const Index end = topo.netEnd(e);
-    const Index degree = end - begin;
-    if (degree < 2 ||
-        (ignore_net_degree_ > 0 && degree > ignore_net_degree_)) {
-      continue;
-    }
-    const T weight = topo.netWeight[e];
-    for (int dim = 0; dim < 2; ++dim) {
-      const T* pos = dim == 0 ? pin_x_.data() : pin_y_.data();
-      T* g = dim == 0 ? gx : gy;
-      T pmax = -std::numeric_limits<T>::infinity();
-      T pmin = std::numeric_limits<T>::infinity();
-      for (Index p = begin; p < end; ++p) {
-        pmax = std::max(pmax, pos[p]);
-        pmin = std::min(pmin, pos[p]);
-      }
-      T b_plus = 0, b_minus = 0;
-      for (Index p = begin; p < end; ++p) {
-        b_plus += std::exp((pos[p] - pmax) * inv_gamma);
-        b_minus += std::exp((pmin - pos[p]) * inv_gamma);
-      }
-      const T wl = gamma * (std::log(b_plus) + std::log(b_minus)) +
-                   (pmax - pmin);
-      total += static_cast<double>(weight * wl);
-      for (Index p = begin; p < end; ++p) {
-        const Index node = topo.pinNode[p];
-        if (node < 0) {
-          continue;
+  const double total = parallelReduce(
+      "ops/wl/lse", num_nets, 64, 0.0,
+      [&](Index block_begin, Index block_end) {
+        double partial = 0.0;
+        for (Index e = block_begin; e < block_end; ++e) {
+          const Index begin = topo.netBegin(e);
+          const Index end = topo.netEnd(e);
+          const Index degree = end - begin;
+          if (degree < 2 ||
+              (ignore_net_degree_ > 0 && degree > ignore_net_degree_)) {
+            continue;
+          }
+          const T weight = topo.netWeight[e];
+          for (int dim = 0; dim < 2; ++dim) {
+            const T* pos = dim == 0 ? pin_x_.data() : pin_y_.data();
+            T* pin_grad =
+                dim == 0 ? pin_grad_x_.data() : pin_grad_y_.data();
+            T pmax = -std::numeric_limits<T>::infinity();
+            T pmin = std::numeric_limits<T>::infinity();
+            for (Index p = begin; p < end; ++p) {
+              pmax = std::max(pmax, pos[p]);
+              pmin = std::min(pmin, pos[p]);
+            }
+            T b_plus = 0, b_minus = 0;
+            for (Index p = begin; p < end; ++p) {
+              b_plus += std::exp((pos[p] - pmax) * inv_gamma);
+              b_minus += std::exp((pmin - pos[p]) * inv_gamma);
+            }
+            const T wl = gamma * (std::log(b_plus) + std::log(b_minus)) +
+                         (pmax - pmin);
+            partial += static_cast<double>(weight * wl);
+            for (Index p = begin; p < end; ++p) {
+              if (topo.pinNode[p] < 0) {
+                continue;
+              }
+              const T a_plus = std::exp((pos[p] - pmax) * inv_gamma);
+              const T a_minus = std::exp((pmin - pos[p]) * inv_gamma);
+              pin_grad[p] =
+                  weight * (a_plus / b_plus - a_minus / b_minus);
+            }
+          }
         }
-        const T a_plus = std::exp((pos[p] - pmax) * inv_gamma);
-        const T a_minus = std::exp((pmin - pos[p]) * inv_gamma);
-        const T contrib = weight * (a_plus / b_plus - a_minus / b_minus);
-#pragma omp atomic
-        g[node] += contrib;
-      }
-    }
-  }
+        return partial;
+      },
+      [](double acc, double partial) { return acc + partial; });
+  gatherPinGradient(topo, pin_grad_x_.data(), pin_grad_y_.data(),
+                    grad.data(), grad.data() + num_nodes_);
   return total;
 }
 

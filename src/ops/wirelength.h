@@ -4,8 +4,12 @@
 // strategies the paper compares in Fig. 10:
 //  * kNetByNet — net-level parallelism with separate forward/backward
 //    passes that materialize the a/b/c intermediates in memory,
-//  * kAtomic   — pin-level parallelism with atomic max/min/add
-//    (Algorithm 1),
+//  * kAtomic   — the fine-grained many-pass strategy (Algorithm 1): every
+//    intermediate (max/min, a, b, c, gradient) is produced by its own
+//    kernel pass through global memory. On the GPU those passes reduce
+//    with atomics; this CPU realization keeps the pass structure and
+//    memory traffic but reduces per net in fixed pin order, so results
+//    are deterministic for any thread count,
 //  * kMerged   — fused forward+backward with all intermediates kept in
 //    kernel-local registers (Algorithm 2); the default.
 // The log-sum-exp (LSE) wirelength is also implemented, as in the paper.
@@ -21,7 +25,6 @@
 // positions.
 #pragma once
 
-#include <atomic>
 #include <span>
 #include <vector>
 
@@ -82,10 +85,10 @@ class WaWirelengthOp final : public WirelengthOp<T> {
   /// Computes per-pin absolute positions into pin_x_/pin_y_.
   void computePinPositions(const NetTopologyView<T>& topo,
                            std::span<const T> params);
-  /// Allocates the kAtomic per-net atomic workspace on first use
-  /// (vector<atomic> cannot be resized); reports allocation vs. reuse
-  /// through the counter registry.
-  void ensureAtomicWorkspace(Index numNets);
+  /// Sizes the per-pin gradient scratch on first use; reports allocation
+  /// vs. reuse through the counter registry so the regression gate can
+  /// pin "allocated once, then reused".
+  void ensureScratch(Index numPins);
 
   Index num_nodes_ = 0;
   Options options_;
@@ -97,16 +100,19 @@ class WaWirelengthOp final : public WirelengthOp<T> {
   // Workspaces.
   std::vector<T> pin_x_;
   std::vector<T> pin_y_;
+  // Per-pin gradient scratch shared by every kernel strategy: the
+  // backward passes write disjoint pin entries (no atomics), and
+  // gatherPinGradient folds them into per-node gradients in a fixed
+  // order, so the parallel backward is deterministic for any thread
+  // count. Replaces the old vector<atomic<T>> reduction workspace, which
+  // could never shrink or be copied and made results schedule-dependent.
+  std::vector<T> pin_grad_x_, pin_grad_y_;
   // Intermediates for the net-by-net and atomic strategies.
   std::vector<T> a_plus_, a_minus_;        // per pin (x dim reused for y)
   std::vector<T> b_plus_, b_minus_;        // per net
   std::vector<T> c_plus_, c_minus_;        // per net
   std::vector<T> x_max_, x_min_;           // per net
-  // kAtomic per-net reduction cells, reused across iterations.
-  std::vector<std::atomic<T>> ws_xmax_, ws_xmin_;
-  std::vector<std::atomic<T>> ws_bplus_, ws_bminus_;
-  std::vector<std::atomic<T>> ws_cplus_, ws_cminus_;
-  TrackedBytes mem_atomic_{"ops/wirelength/atomic_ws"};
+  TrackedBytes mem_scratch_{"ops/wirelength/scratch"};
 };
 
 /// Log-sum-exp wirelength (Naylor et al.): WL_e = gamma*(log sum
@@ -135,6 +141,7 @@ class LseWirelengthOp final : public WirelengthOp<T> {
   double gamma_ = 1.0;
   NetTopology<T> topo_;
   std::vector<T> pin_x_, pin_y_;
+  std::vector<T> pin_grad_x_, pin_grad_y_;
 };
 
 }  // namespace dreamplace

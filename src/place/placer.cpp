@@ -4,6 +4,7 @@
 #include <stdexcept>
 
 #include "common/log.h"
+#include "common/parallel.h"
 #include "common/timer.h"
 #include "common/trace.h"
 #include "db/metrics.h"
@@ -170,6 +171,10 @@ void PlacerOptions::validate() const {
     errors += (errors.empty() ? "" : "; ") + message;
   };
 
+  if (threads < 0) {
+    fail("threads must be >= 0 (got " + std::to_string(threads) +
+         "); 0 means auto (DREAMPLACE_THREADS or hardware concurrency)");
+  }
   if (gp.binsMax <= 0) {
     fail("gp.binsMax must be positive (got " + std::to_string(gp.binsMax) +
          "); the density grid needs at least one bin per axis");
@@ -259,6 +264,11 @@ void PlacerOptions::validate() const {
 
 FlowResult placeDesign(Database& db, const PlacerOptions& options) {
   options.validate();
+  // 0 keeps the pool as configured (auto-resolution or a caller's
+  // earlier setThreads); only an explicit request reconfigures it.
+  if (options.threads > 0) {
+    ThreadPool::instance().setThreads(options.threads);
+  }
   FlowTelemetry telemetry(options);
   const bool want_report =
       !options.reportJson.empty() || !options.reportText.empty();

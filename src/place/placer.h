@@ -18,6 +18,12 @@ enum class Precision { kFloat32, kFloat64 };
 
 struct PlacerOptions {
   Precision precision = Precision::kFloat64;
+  /// Worker threads for the deterministic parallel runtime
+  /// (common/parallel.h). 0 leaves the pool as configured (auto:
+  /// DREAMPLACE_THREADS env var if set, else hardware concurrency).
+  /// 1 runs strictly serial. Results are bit-identical for any value
+  /// (docs/PARALLEL.md).
+  int threads = 0;
   GlobalPlacerOptions gp;
   GreedyLegalizer::Options greedy;
   AbacusLegalizer::Options abacus;

@@ -7,6 +7,7 @@
 #include <cstring>
 
 #include "common/log.h"
+#include "common/parallel.h"
 
 namespace dreamplace {
 
@@ -154,6 +155,8 @@ ObservabilitySnapshot ObservabilitySnapshot::capture() {
   ObservabilitySnapshot snap;
   snap.timing = TimingRegistry::instance().statsSnapshot();
   snap.counters = CounterRegistry::instance().snapshot();
+  snap.poolBusyMicros = ThreadPool::instance().busyMicros();
+  snap.poolCapacityMicros = ThreadPool::instance().capacityMicros();
   return snap;
 }
 
@@ -187,6 +190,16 @@ RunReport buildRunReport(const Database& db, const PlacerOptions& options,
   report.result = result;
   report.ioSeconds = TimingRegistry::instance().totalPrefix("io");
   report.gpRuns = gpRuns;
+
+  ThreadPool& pool = ThreadPool::instance();
+  report.threads = pool.threads();
+  const std::int64_t busy_us = pool.busyMicros() - before.poolBusyMicros;
+  const std::int64_t cap_us = pool.capacityMicros() - before.poolCapacityMicros;
+  report.poolBusySeconds = static_cast<double>(busy_us) * 1e-6;
+  report.poolCapacitySeconds = static_cast<double>(cap_us) * 1e-6;
+  report.poolUtilization =
+      cap_us > 0 ? std::clamp(static_cast<double>(busy_us) / cap_us, 0.0, 1.0)
+                 : 0.0;
 
   // Run deltas: subtract the flow-start snapshot, drop empty entries.
   for (auto& [key, stat] : TimingRegistry::instance().statsSnapshot()) {
@@ -268,6 +281,14 @@ std::string RunReport::toJson() const {
   j.key("dp_s"); j.value(result.dpSeconds);
   j.key("io_s"); j.value(ioSeconds);
   j.key("total_s"); j.value(result.totalSeconds);
+  j.closeObject();
+
+  j.key("parallel");
+  j.openObject();
+  j.key("threads"); j.value(threads);
+  j.key("busy_s"); j.value(poolBusySeconds);
+  j.key("capacity_s"); j.value(poolCapacitySeconds);
+  j.key("utilization"); j.value(poolUtilization);
   j.closeObject();
 
   j.key("gp_runs");
@@ -367,6 +388,13 @@ std::string RunReport::toText() const {
   stage("io", ioSeconds);
   std::snprintf(line, sizeof(line), "  %-6s %9.3fs\n", "total",
                 result.totalSeconds);
+  add();
+
+  std::snprintf(line, sizeof(line),
+                "\nparallel: %d threads, pool %.3fs busy / %.3fs capacity "
+                "(%.0f%% utilization)\n",
+                threads, poolBusySeconds, poolCapacitySeconds,
+                100.0 * poolUtilization);
   add();
 
   if (!gpRuns.empty()) {

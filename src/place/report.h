@@ -34,6 +34,8 @@ namespace dreamplace {
 struct ObservabilitySnapshot {
   std::map<std::string, TimingStat> timing;
   std::map<std::string, CounterRegistry::Value> counters;
+  std::int64_t poolBusyMicros = 0;
+  std::int64_t poolCapacityMicros = 0;
 
   static ObservabilitySnapshot capture();
 };
@@ -73,6 +75,14 @@ struct RunReport {
 
   // GP convergence, one entry per GP run (restarts included).
   std::vector<TelemetryRunSummary> gpRuns;
+
+  // Parallel runtime (common/parallel.h): configured thread count plus
+  // the pool's busy/capacity time over this run (deltas). utilization =
+  // busy / capacity, 0 when the pool did no parallel work.
+  int threads = 0;
+  double poolBusySeconds = 0.0;
+  double poolCapacitySeconds = 0.0;
+  double poolUtilization = 0.0;
 
   // Registry sections: timing/counters are run deltas, memory is live.
   std::map<std::string, TimingStat> timing;

@@ -1,0 +1,184 @@
+// Unit tests for the deterministic parallel runtime (common/parallel.h):
+// coverage/exactly-once execution, thread-count-independent block
+// decomposition, bit-identical reductions, nested-job degradation, pool
+// reconfiguration, and the observability counters.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstdint>
+#include <vector>
+
+#include "common/counters.h"
+#include "common/parallel.h"
+
+namespace dreamplace {
+namespace {
+
+/// Forces a pool size for one test, restoring auto-resolution on exit so
+/// later tests in the binary see the default configuration.
+class ScopedThreads {
+ public:
+  explicit ScopedThreads(int threads) {
+    ThreadPool::instance().setThreads(threads);
+  }
+  ~ScopedThreads() { ThreadPool::instance().setThreads(0); }
+};
+
+TEST(ParallelForTest, VisitsEveryIndexExactlyOnce) {
+  for (const int threads : {1, 2, 4}) {
+    ScopedThreads scope(threads);
+    constexpr Index kN = 10007;  // prime: exercises a ragged tail block
+    std::vector<std::atomic<int>> visits(kN);
+    for (auto& v : visits) v.store(0);
+    parallelFor("test/visit", kN, 64,
+                [&](Index i) { visits[i].fetch_add(1); });
+    for (Index i = 0; i < kN; ++i) {
+      ASSERT_EQ(visits[i].load(), 1) << "index " << i << " at " << threads
+                                     << " threads";
+    }
+  }
+}
+
+TEST(ParallelForTest, EmptyAndSingleRangesAreHandled) {
+  ScopedThreads scope(4);
+  int calls = 0;
+  parallelFor("test/empty", 0, 16, [&](Index) { ++calls; });
+  EXPECT_EQ(calls, 0);
+  parallelFor("test/one", 1, 16, [&](Index i) {
+    EXPECT_EQ(i, 0);
+    ++calls;
+  });
+  EXPECT_EQ(calls, 1);
+}
+
+TEST(ParallelForBlockedTest, BlockBoundariesIgnoreThreadCount) {
+  // The determinism contract: block boundaries are a function of
+  // (n, grain) only. Collect the (lo, hi) set at several thread counts
+  // and require them identical.
+  constexpr Index kN = 777;
+  constexpr Index kGrain = 32;
+  auto boundaries = [&](int threads) {
+    ScopedThreads scope(threads);
+    std::mutex m;
+    std::vector<std::pair<Index, Index>> blocks;
+    parallelForBlocked("test/blocks", kN, kGrain,
+                       [&](Index lo, Index hi, int) {
+                         std::lock_guard<std::mutex> lock(m);
+                         blocks.emplace_back(lo, hi);
+                       });
+    std::sort(blocks.begin(), blocks.end());
+    return blocks;
+  };
+  const auto b1 = boundaries(1);
+  const auto b2 = boundaries(2);
+  const auto b4 = boundaries(4);
+  EXPECT_EQ(b1, b2);
+  EXPECT_EQ(b1, b4);
+  ASSERT_EQ(b1.size(), static_cast<std::size_t>((kN + kGrain - 1) / kGrain));
+  EXPECT_EQ(b1.front().first, 0);
+  EXPECT_EQ(b1.back().second, kN);
+}
+
+TEST(ParallelForBlockedTest, WorkerIndexWithinPool) {
+  ScopedThreads scope(3);
+  std::atomic<bool> ok{true};
+  parallelForBlocked("test/worker", 64, 1, [&](Index, Index, int worker) {
+    if (worker < 0 || worker >= ThreadPool::instance().threads()) {
+      ok.store(false);
+    }
+  });
+  EXPECT_TRUE(ok.load());
+}
+
+TEST(ParallelReduceTest, BitIdenticalAcrossThreadCounts) {
+  // Float accumulation order is fixed by the block decomposition, so the
+  // reduction must produce the same bits at any pool size.
+  constexpr Index kN = 54321;
+  std::vector<double> values(kN);
+  std::uint64_t state = 0x9e3779b97f4a7c15ull;
+  for (double& v : values) {
+    state = state * 6364136223846793005ull + 1442695040888963407ull;
+    v = static_cast<double>(state >> 11) * 0x1.0p-53 - 0.5;
+  }
+  auto sum = [&](int threads) {
+    ScopedThreads scope(threads);
+    return parallelReduce(
+        "test/sum", kN, 1024, 0.0,
+        [&](Index lo, Index hi) {
+          double s = 0.0;
+          for (Index i = lo; i < hi; ++i) s += values[i];
+          return s;
+        },
+        [](double acc, double partial) { return acc + partial; });
+  };
+  const double s1 = sum(1);
+  EXPECT_EQ(s1, sum(2));
+  EXPECT_EQ(s1, sum(4));
+}
+
+TEST(ParallelReduceTest, MatchesSerialBlockOrder) {
+  ScopedThreads scope(4);
+  constexpr Index kN = 1000;
+  constexpr Index kGrain = 64;
+  const double parallel = parallelReduce(
+      "test/ordered", kN, kGrain, 0.0,
+      [](Index lo, Index hi) {
+        double s = 0.0;
+        for (Index i = lo; i < hi; ++i) s += 1.0 / (1.0 + i);
+        return s;
+      },
+      [](double acc, double partial) { return acc + partial; });
+  double serial = 0.0;
+  for (Index lo = 0; lo < kN; lo += kGrain) {
+    const Index hi = std::min<Index>(lo + kGrain, kN);
+    double s = 0.0;
+    for (Index i = lo; i < hi; ++i) s += 1.0 / (1.0 + i);
+    serial += s;
+  }
+  EXPECT_EQ(parallel, serial);
+}
+
+TEST(ThreadPoolTest, NestedJobsRunSerialInsteadOfDeadlocking) {
+  ScopedThreads scope(4);
+  std::atomic<int> total{0};
+  parallelFor("test/outer", 8, 1, [&](Index) {
+    parallelFor("test/inner", 8, 1, [&](Index) { total.fetch_add(1); });
+  });
+  EXPECT_EQ(total.load(), 64);
+}
+
+TEST(ThreadPoolTest, SetThreadsReconfigures) {
+  ThreadPool& pool = ThreadPool::instance();
+  pool.setThreads(3);
+  EXPECT_EQ(pool.threads(), 3);
+  pool.setThreads(1);
+  EXPECT_EQ(pool.threads(), 1);
+  pool.setThreads(0);  // back to auto
+  EXPECT_GE(pool.threads(), 1);
+}
+
+TEST(ThreadPoolTest, CountersAndUtilizationAdvance) {
+  ScopedThreads scope(2);
+  auto& registry = CounterRegistry::instance();
+  const auto jobs0 = registry.value("parallel/jobs");
+  const auto tasks0 = registry.value("parallel/tasks");
+  parallelFor("test/counted", 256, 16, [](Index) {});
+  EXPECT_EQ(registry.value("parallel/jobs") - jobs0, 1);
+  EXPECT_EQ(registry.value("parallel/tasks") - tasks0, 16);
+  const double utilization = ThreadPool::instance().utilization();
+  EXPECT_GE(utilization, 0.0);
+  EXPECT_LE(utilization, 1.0);
+}
+
+TEST(ThreadPoolTest, SerialModeCountsTasksToo) {
+  // The `parallel/tasks >= 1` report invariant must hold on a 1-core
+  // machine where every job takes the serial inline path.
+  ScopedThreads scope(1);
+  auto& registry = CounterRegistry::instance();
+  const auto tasks0 = registry.value("parallel/tasks");
+  parallelFor("test/serial", 100, 10, [](Index) {});
+  EXPECT_EQ(registry.value("parallel/tasks") - tasks0, 10);
+}
+
+}  // namespace
+}  // namespace dreamplace

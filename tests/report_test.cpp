@@ -82,7 +82,9 @@ TEST(ReportTest, JsonSchemaGolden) {
            "design.cells", "design.movable", "design.nets", "design.pins",
            "result.hpwl", "result.overflow", "result.gp_iterations",
            "result.legal", "stages.gp_s", "stages.lg_s", "stages.dp_s",
-           "stages.io_s", "stages.total_s", "gp_runs.0.iterations",
+           "stages.io_s", "stages.total_s", "parallel.threads",
+           "parallel.busy_s", "parallel.capacity_s", "parallel.utilization",
+           "gp_runs.0.iterations",
            "gp_runs.0.overflow", "timing.gp.count", "timing.gp.incl_s",
            "timing.gp.self_s", "counters.ops/density/evaluate",
            "counters.ops/electrostatics/solve",
@@ -95,6 +97,9 @@ TEST(ReportTest, JsonSchemaGolden) {
 
   EXPECT_EQ(report.numbers.at("design.movable"), 600.0);  // pads excluded
   EXPECT_EQ(report.numbers.at("timing.gp.count"), 1.0);
+  EXPECT_GE(report.numbers.at("parallel.threads"), 1.0);
+  EXPECT_GE(report.numbers.at("parallel.utilization"), 0.0);
+  EXPECT_LE(report.numbers.at("parallel.utilization"), 1.0);
   // Self <= inclusive holds in the exported stats too.
   EXPECT_LE(report.numbers.at("timing.gp.self_s"),
             report.numbers.at("timing.gp.incl_s") + 1e-12);

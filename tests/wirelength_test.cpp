@@ -202,14 +202,14 @@ TEST(WaWirelengthTest, PerNetGradientConservation) {
   EXPECT_EQ(grad, grad2);
 }
 
-TEST(WaWirelengthTest, AtomicWorkspaceAllocatesOnce) {
-  // The atomic kernel's six scatter buffers are member workspace: the
-  // first evaluate() allocates them, every later call reuses them. The
-  // counter registry is the witness (deltas, since other tests in this
-  // binary also exercise the atomic kernel).
+TEST(WaWirelengthTest, PinScratchAllocatesOnce) {
+  // The per-pin gradient scratch is member workspace: the first
+  // evaluate() allocates it, every later call reuses it. The counter
+  // registry is the witness (deltas, since other tests in this binary
+  // also exercise the kernels).
   auto& registry = CounterRegistry::instance();
-  const auto allocs0 = registry.value("ops/wirelength/atomic_ws_alloc");
-  const auto reuses0 = registry.value("ops/wirelength/atomic_ws_reuse");
+  const auto allocs0 = registry.value("ops/wirelength/scratch_alloc");
+  const auto reuses0 = registry.value("ops/wirelength/scratch_reuse");
 
   auto db = smallDesign(90, 13);
   const Index n = db->numMovable();
@@ -224,8 +224,8 @@ TEST(WaWirelengthTest, AtomicWorkspaceAllocatesOnce) {
   for (int i = 0; i < kEvals; ++i) {
     op.evaluate(params, grad);
   }
-  EXPECT_EQ(registry.value("ops/wirelength/atomic_ws_alloc") - allocs0, 1);
-  EXPECT_EQ(registry.value("ops/wirelength/atomic_ws_reuse") - reuses0,
+  EXPECT_EQ(registry.value("ops/wirelength/scratch_alloc") - allocs0, 1);
+  EXPECT_EQ(registry.value("ops/wirelength/scratch_reuse") - reuses0,
             kEvals - 1);
 }
 
