@@ -29,12 +29,12 @@ int main() {
     for (InitialPlacement init :
          {InitialPlacement::kRandomCenter, InitialPlacement::kSpread}) {
       auto db = generateNetlist(entry.config);
-      TimingRegistry::instance().clear();
       PlacerOptions options;
       options.gp = dreamplaceFastGp();
       options.gp.init = init;
-      results[i] = placeDesign(*db, options);
-      ip_seconds[i] = TimingRegistry::instance().total("gp/init");
+      RunReport report;
+      results[i] = placeWithReport(*db, options, report);
+      ip_seconds[i] = timingTotal(report, "gp/init");
       ++i;
     }
     const double delta =

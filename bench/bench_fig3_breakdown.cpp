@@ -17,7 +17,8 @@ int main(int argc, char** argv) {
   using namespace dreamplace;
   using namespace dreamplace::bench;
 
-  TelemetrySession session(argc, argv);
+  const BenchFlags flags = parseBenchFlags(argc, argv);
+  TelemetrySession session(flags);
 
   const double scale = benchScale(0.01);
   const SuiteEntry entry = findSuiteEntry("bigblue4", scale);
@@ -26,13 +27,13 @@ int main(int argc, char** argv) {
               entry.name.c_str(), entry.config.numCells, scale);
 
   auto db = generateNetlist(entry.config);
-  TimingRegistry::instance().clear();
 
-  PlacerOptions options;
+  PlacerOptions options = flags.flowOptions();
   options.gp = replaceModeGp();
   session.attach(options, entry.name);
   Timer total_timer;
-  const FlowResult result = placeDesign(*db, options);
+  RunReport report;
+  const FlowResult result = placeWithReport(*db, options, report);
 
   // IO phase: benchmark write + read, as the tables' IO column does.
   Timer io_timer;
@@ -42,8 +43,7 @@ int main(int argc, char** argv) {
   const double io = io_timer.elapsed();
   fs::remove_all(dir);
 
-  const auto& registry = TimingRegistry::instance();
-  const double gp_ip = registry.total("gp/init");
+  const double gp_ip = timingTotal(report, "gp/init");
   const double gp_total = result.gpSeconds;
   const double gp_nl = gp_total - gp_ip;
   const double grand = total_timer.elapsed() + io;

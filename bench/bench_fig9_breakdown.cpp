@@ -24,13 +24,13 @@ int main() {
               entry.name.c_str(), entry.config.numCells);
 
   auto db = generateNetlist(entry.config);
-  TimingRegistry::instance().clear();
 
   PlacerOptions options;
   options.precision = Precision::kFloat32;
   options.gp = dreamplaceFastGp();
   Timer total_timer;
-  const FlowResult result = placeDesign(*db, options);
+  RunReport report;
+  const FlowResult result = placeWithReport(*db, options, report);
 
   Timer io_timer;
   namespace fs = std::filesystem;
@@ -51,12 +51,11 @@ int main() {
               result.dpSeconds, pct(result.dpSeconds));
   std::printf("%-22s %10.2f %7.1f%%\n", "IO", io, pct(io));
 
-  const auto& reg = TimingRegistry::instance();
-  const double wl = reg.total("gp/op/wirelength");
-  const double density = reg.total("gp/op/density");
-  const double scatter = reg.total("gp/op/density/scatter");
-  const double poisson = reg.total("gp/op/density/poisson");
-  const double gather = reg.total("gp/op/density/gather");
+  const double wl = timingTotal(report, "gp/op/wirelength");
+  const double density = timingTotal(report, "gp/op/density");
+  const double scatter = timingTotal(report, "gp/op/density/scatter");
+  const double poisson = timingTotal(report, "gp/op/density/poisson");
+  const double gather = timingTotal(report, "gp/op/density/gather");
   const double pass = wl + density;
   std::printf("\n(b) one GP forward+backward pass (accumulated)\n");
   std::printf("%-26s %10.2f %7.1f%%\n", "wirelength fwd+bwd", wl,

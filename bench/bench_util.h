@@ -33,12 +33,14 @@
 #include <vector>
 
 #include "common/counters.h"
+#include "common/flow_context.h"
 #include "common/parallel.h"
 #include "common/trace.h"
 #include "gen/suites.h"
 #include "gp/global_placer.h"
 #include "gp/telemetry.h"
 #include "place/placer.h"
+#include "place/report.h"
 
 namespace dreamplace::bench {
 
@@ -55,17 +57,29 @@ namespace dreamplace::bench {
 // DREAMPLACE_THREADS.
 // ---------------------------------------------------------------------------
 
-struct TelemetryArgs {
+/// The shared bench command line, parsed once. flowOptions() turns it
+/// into a flow-scoped PlacerOptions, so every bench starts from the same
+/// configuration surface instead of re-implementing flag handling.
+struct BenchFlags {
   std::string traceFile;
   std::string jsonlFile;
   std::string csvFile;
   std::string reportFile;
   std::string reportTextFile;
   int threads = 0;  ///< 0 = auto (DREAMPLACE_THREADS / hw concurrency).
+
+  /// Flow options with the parsed flags applied. Telemetry *file* exports
+  /// stay owned by the TelemetrySession (one file across all flows of a
+  /// sweep); attach() wires them per flow.
+  PlacerOptions flowOptions() const {
+    PlacerOptions options;
+    options.threads = threads;
+    return options;
+  }
 };
 
-inline TelemetryArgs parseTelemetryArgs(int argc, char** argv) {
-  TelemetryArgs args;
+inline BenchFlags parseBenchFlags(int argc, char** argv) {
+  BenchFlags args;
   const auto fromEnv = [](const char* name) {
     const char* v = std::getenv(name);
     return v ? std::string(v) : std::string();
@@ -104,7 +118,7 @@ inline TelemetryArgs parseTelemetryArgs(int argc, char** argv) {
 /// an unconfigured bench pays nothing.
 class TelemetrySession {
  public:
-  explicit TelemetrySession(const TelemetryArgs& args)
+  explicit TelemetrySession(const BenchFlags& args)
       : trace_file_(args.traceFile),
         report_file_(args.reportFile),
         report_text_file_(args.reportTextFile) {
@@ -136,7 +150,7 @@ class TelemetrySession {
   }
 
   TelemetrySession(int argc, char** argv)
-      : TelemetrySession(parseTelemetryArgs(argc, argv)) {}
+      : TelemetrySession(parseBenchFlags(argc, argv)) {}
 
   ~TelemetrySession() {
     if (!trace_file_.empty()) {
@@ -183,14 +197,29 @@ class TelemetrySession {
 /// benchmark::Initialize. Without the flag the pool keeps its auto
 /// resolution (DREAMPLACE_THREADS / hardware concurrency).
 inline void applyBenchThreads(int argc, char** argv) {
-  for (int i = 1; i < argc; ++i) {
-    if (std::strncmp(argv[i], "--threads=", 10) == 0) {
-      const int threads = std::atoi(argv[i] + 10);
-      if (threads > 0) {
-        ThreadPool::instance().setThreads(threads);
-      }
-    }
+  const BenchFlags flags = parseBenchFlags(argc, argv);
+  if (flags.threads > 0) {
+    ThreadPool::instance().setThreads(flags.threads);
   }
+}
+
+/// Runs one flow and hands back its RunReport alongside the result.
+/// Benches that need per-flow timing/counter breakdowns read them from
+/// the report — flows run under private FlowContexts now, so post-flow
+/// reads of the global registries see nothing (and sweeps no longer need
+/// to clear() registries between runs).
+inline FlowResult placeWithReport(Database& db, const PlacerOptions& options,
+                                  RunReport& report) {
+  FlowContext::Config config;
+  config.privateTrace = !options.traceFile.empty();
+  FlowContext context(config);
+  return placeDesign(db, options, context, &report);
+}
+
+/// Inclusive seconds of one timing key in a run report (0 when absent).
+inline double timingTotal(const RunReport& report, const std::string& key) {
+  const auto it = report.timing.find(key);
+  return it == report.timing.end() ? 0.0 : it->second.seconds;
 }
 
 /// Output path for the machine-readable result file of a bench binary.

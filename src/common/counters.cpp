@@ -4,27 +4,27 @@
 
 namespace dreamplace {
 
-CounterRegistry& CounterRegistry::instance() {
-  static CounterRegistry registry;
-  return registry;
-}
+// CounterRegistry::instance() is defined in flow_context.cpp: it returns
+// the default FlowContext's registry.
 
 std::atomic<CounterRegistry::Value>& CounterRegistry::counter(
-    const std::string& key) {
+    std::string_view key) {
   std::lock_guard<std::mutex> lock(mutex_);
   auto it = counters_.find(key);
   if (it == counters_.end()) {
-    it = counters_.emplace(key, std::make_unique<std::atomic<Value>>(0))
+    it = counters_
+             .emplace(std::string(key),
+                      std::make_unique<std::atomic<Value>>(0))
              .first;
   }
   return *it->second;
 }
 
-void CounterRegistry::add(const std::string& key, Value delta) {
+void CounterRegistry::add(std::string_view key, Value delta) {
   counter(key).fetch_add(delta, std::memory_order_relaxed);
 }
 
-CounterRegistry::Value CounterRegistry::value(const std::string& key) const {
+CounterRegistry::Value CounterRegistry::value(std::string_view key) const {
   std::lock_guard<std::mutex> lock(mutex_);
   auto it = counters_.find(key);
   return it == counters_.end() ? 0 : it->second->load();

@@ -6,9 +6,14 @@
 // '/'-separated paths like the timing registry ("ops/wirelength/evaluate")
 // so prefix sums work the same way.
 //
-// Hot paths increment through a Counter handle, which caches the atomic's
-// address once (function-local static) and then costs one relaxed
-// fetch_add per event — no map lookup, no lock.
+// Registries are per-flow: each FlowContext (common/flow_context.h) owns
+// one, and instance() returns the default context's registry so legacy
+// call sites keep working. Counter handles therefore hold the *key*, not
+// a cell address, and resolve the current context's registry on every
+// add() — the same static Counter in a hot kernel charges whichever flow
+// runs on the calling thread. Counters fire per event (op call, FFT
+// transform), not per element, so the map lookup is noise next to the
+// work being counted.
 #pragma once
 
 #include <atomic>
@@ -17,22 +22,28 @@
 #include <memory>
 #include <mutex>
 #include <string>
+#include <string_view>
 
 namespace dreamplace {
 
-/// Process-wide registry of named monotonic counters.
+/// Registry of named monotonic counters (one per FlowContext).
 class CounterRegistry {
  public:
   using Value = std::int64_t;
 
+  CounterRegistry() = default;
+  CounterRegistry(const CounterRegistry&) = delete;
+  CounterRegistry& operator=(const CounterRegistry&) = delete;
+
+  /// The default FlowContext's registry (legacy process-wide accessor).
   static CounterRegistry& instance();
 
   /// Returns the counter cell for `key`, creating it at zero. The address
-  /// stays valid for the process lifetime (clear() zeroes, never erases).
-  std::atomic<Value>& counter(const std::string& key);
+  /// stays valid for the registry lifetime (clear() zeroes, never erases).
+  std::atomic<Value>& counter(std::string_view key);
 
-  void add(const std::string& key, Value delta = 1);
-  Value value(const std::string& key) const;
+  void add(std::string_view key, Value delta = 1);
+  Value value(std::string_view key) const;
   /// Sum of all counters whose key starts with `prefix`.
   Value totalPrefix(const std::string& prefix) const;
   std::map<std::string, Value> snapshot() const;
@@ -43,26 +54,30 @@ class CounterRegistry {
   std::string report() const;
 
  private:
-  CounterRegistry() = default;
   mutable std::mutex mutex_;
-  std::map<std::string, std::unique_ptr<std::atomic<Value>>> counters_;
+  // std::less<> enables find(string_view) without a temporary string.
+  std::map<std::string, std::unique_ptr<std::atomic<Value>>, std::less<>>
+      counters_;
 };
 
-/// Cheap increment handle bound to one registry cell.
+/// The current flow's counter registry (common/flow_context.h).
+CounterRegistry& currentCounterRegistry();
+
+/// Increment handle bound to one counter *key*; the owning registry is
+/// resolved per call from the current FlowContext.
 class Counter {
  public:
-  explicit Counter(const char* key)
-      : cell_(CounterRegistry::instance().counter(key)) {}
+  explicit Counter(const char* key) : key_(key) {}
 
   void add(CounterRegistry::Value delta = 1) {
-    cell_.fetch_add(delta, std::memory_order_relaxed);
+    currentCounterRegistry().add(key_, delta);
   }
   CounterRegistry::Value value() const {
-    return cell_.load(std::memory_order_relaxed);
+    return currentCounterRegistry().value(key_);
   }
 
  private:
-  std::atomic<CounterRegistry::Value>& cell_;
+  const char* key_;
 };
 
 }  // namespace dreamplace

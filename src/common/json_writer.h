@@ -1,0 +1,95 @@
+// Minimal dependency-free JSON emission helpers shared by the run-report
+// and options serializers (place/report.cpp, PlacerOptions::toJson). Not
+// a general-purpose library: just escaped strings, finite numbers, and a
+// comma-managing object/array emitter.
+#pragma once
+
+#include <cinttypes>
+#include <cmath>
+#include <cstdint>
+#include <cstdio>
+#include <string>
+
+namespace dreamplace {
+namespace json {
+
+inline void appendEscaped(std::string& out, const std::string& s) {
+  out += '"';
+  for (const char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\r': out += "\\r"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  out += '"';
+}
+
+inline void appendNumber(std::string& out, double v) {
+  if (!std::isfinite(v)) {
+    out += "null";  // JSON has no NaN/Inf; null keeps the document valid.
+    return;
+  }
+  char buf[40];
+  std::snprintf(buf, sizeof(buf), "%.12g", v);
+  out += buf;
+}
+
+inline void appendInt(std::string& out, std::int64_t v) {
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%" PRId64, v);
+  out += buf;
+}
+
+/// Tiny comma-managing JSON emitter; enough for one flat-ish document.
+class Json {
+ public:
+  std::string out;
+
+  void openObject() { punct('{'); fresh_ = true; }
+  void closeObject() { out += '}'; fresh_ = false; }
+  void openArray() { punct('['); fresh_ = true; }
+  void closeArray() { out += ']'; fresh_ = false; }
+
+  void key(const std::string& k) {
+    comma();
+    appendEscaped(out, k);
+    out += ':';
+    fresh_ = true;  // value follows, no comma before it
+  }
+  void value(const std::string& v) { comma(); appendEscaped(out, v); }
+  void value(const char* v) { comma(); appendEscaped(out, v); }
+  void value(double v) { comma(); appendNumber(out, v); }
+  void value(std::int64_t v) { comma(); appendInt(out, v); }
+  void value(int v) { comma(); appendInt(out, v); }
+  void value(bool v) { comma(); out += v ? "true" : "false"; }
+  /// Splices a pre-rendered JSON document as the next value. The caller
+  /// guarantees `rendered` is itself valid JSON.
+  void rawValue(const std::string& rendered) { comma(); out += rendered; }
+
+ private:
+  void punct(char c) {
+    comma();
+    out += c;
+  }
+  void comma() {
+    if (!fresh_) {
+      out += ',';
+    }
+    fresh_ = false;
+  }
+  bool fresh_ = true;
+};
+
+}  // namespace json
+}  // namespace dreamplace

@@ -28,10 +28,8 @@ ProcessMemory sampleProcessMemory() {
   return mem;
 }
 
-MemoryTracker& MemoryTracker::instance() {
-  static MemoryTracker tracker;
-  return tracker;
-}
+// MemoryTracker::instance() is defined in flow_context.cpp: it returns
+// the default FlowContext's tracker.
 
 void MemoryTracker::adjust(const std::string& key, std::int64_t deltaBytes) {
   std::int64_t current = 0;
@@ -43,7 +41,7 @@ void MemoryTracker::adjust(const std::string& key, std::int64_t deltaBytes) {
     usage.peakBytes = std::max(usage.peakBytes, usage.currentBytes);
     current = usage.currentBytes;
   }
-  TraceRecorder& trace = TraceRecorder::instance();
+  TraceRecorder& trace = currentTraceRecorder();
   if (trace.enabled()) {
     trace.counterEvent("mem/" + key, static_cast<double>(current));
   }
@@ -104,8 +102,18 @@ void TrackedBytes::set(std::int64_t bytes) {
   if (bytes == bytes_) {
     return;
   }
-  MemoryTracker::instance().adjust(key_, bytes - bytes_);
+  std::shared_ptr<MemoryTracker> cur = currentMemoryTrackerPtr();
+  if (tracker_ && tracker_ != cur && bytes_ > 0) {
+    // Resized under a different flow: give the old flow its bytes back
+    // before charging the new one, so neither report is corrupted.
+    tracker_->adjust(key_, -bytes_);
+    bytes_ = 0;
+  }
+  if (bytes != bytes_) {
+    cur->adjust(key_, bytes - bytes_);
+  }
   bytes_ = bytes;
+  tracker_ = bytes > 0 ? std::move(cur) : nullptr;
 }
 
 }  // namespace dreamplace

@@ -21,6 +21,7 @@
 
 #include <cstdint>
 #include <map>
+#include <memory>
 #include <mutex>
 #include <string>
 
@@ -37,7 +38,9 @@ struct ProcessMemory {
 /// zeros) on platforms without procfs, so callers can gate on it.
 ProcessMemory sampleProcessMemory();
 
-/// Process-wide registry attributing workspace bytes to named subsystems.
+/// Registry attributing workspace bytes to named subsystems (one per
+/// FlowContext; shared ownership so TrackedBytes releases stay valid
+/// after a flow ends).
 class MemoryTracker {
  public:
   struct Usage {
@@ -45,6 +48,11 @@ class MemoryTracker {
     std::int64_t peakBytes = 0;     ///< Maximum currentBytes ever seen.
   };
 
+  MemoryTracker() = default;
+  MemoryTracker(const MemoryTracker&) = delete;
+  MemoryTracker& operator=(const MemoryTracker&) = delete;
+
+  /// The default FlowContext's tracker (legacy process-wide accessor).
   static MemoryTracker& instance();
 
   /// Adjusts `key` by `deltaBytes` (negative to release). Clamps current
@@ -64,14 +72,26 @@ class MemoryTracker {
   std::string report() const;
 
  private:
-  MemoryTracker() = default;
   mutable std::mutex mutex_;
   std::map<std::string, Usage> usage_;
 };
 
+/// The current flow's memory tracker (common/flow_context.h).
+MemoryTracker& currentMemoryTracker();
+/// Shared-ownership handle to the current flow's tracker; TrackedBytes
+/// holds one so releases reach the tracker the bytes were charged to even
+/// after the owning FlowContext is gone.
+std::shared_ptr<MemoryTracker> currentMemoryTrackerPtr();
+
 /// RAII byte reservation against one MemoryTracker subsystem. Owning
 /// classes keep one per workspace group and call set() whenever the
 /// workspace is (re)sized; destruction releases the attribution.
+///
+/// Context-aware: set() charges the tracker of the FlowContext current at
+/// the call. If the owner is resized under a *different* context, the old
+/// reservation is released against the tracker it was charged to (kept
+/// alive by a shared_ptr) before charging the new one, so attributions
+/// never leak across flows and never dangle.
 class TrackedBytes {
  public:
   explicit TrackedBytes(std::string key) : key_(std::move(key)) {}
@@ -81,7 +101,9 @@ class TrackedBytes {
   TrackedBytes& operator=(const TrackedBytes&) = delete;
   /// Moves transfer the reservation (owning classes stay movable).
   TrackedBytes(TrackedBytes&& o) noexcept
-      : key_(std::move(o.key_)), bytes_(o.bytes_) {
+      : key_(std::move(o.key_)),
+        bytes_(o.bytes_),
+        tracker_(std::move(o.tracker_)) {
     o.bytes_ = 0;
   }
   TrackedBytes& operator=(TrackedBytes&& o) noexcept {
@@ -89,6 +111,7 @@ class TrackedBytes {
       set(0);
       key_ = std::move(o.key_);
       bytes_ = o.bytes_;
+      tracker_ = std::move(o.tracker_);
       o.bytes_ = 0;
     }
     return *this;
@@ -104,6 +127,7 @@ class TrackedBytes {
  private:
   std::string key_;
   std::int64_t bytes_ = 0;
+  std::shared_ptr<MemoryTracker> tracker_;  ///< Where bytes_ is charged.
 };
 
 }  // namespace dreamplace

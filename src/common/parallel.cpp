@@ -4,6 +4,7 @@
 #include <cstdlib>
 
 #include "common/counters.h"
+#include "common/flow_context.h"
 #include "common/trace.h"
 
 #ifdef DREAMPLACE_OPENMP_FALLBACK
@@ -45,6 +46,9 @@ struct ThreadPool::Job {
   const std::function<void(Index, int)>* fn = nullptr;
   const char* label = "";
   Index numTasks = 0;
+  /// Submitting flow's context; workers adopt it while participating so
+  /// instrumentation inside tasks attributes to the right flow.
+  FlowContext* context = nullptr;
   std::atomic<Index> next{0};       ///< Shared claim cursor.
   std::atomic<Index> completed{0};  ///< Tasks fully executed.
   int active = 0;  ///< Participants inside participate(); job_mutex_.
@@ -142,7 +146,11 @@ void ThreadPool::workerMain(int worker) {
     if (job == nullptr) continue;
     ++job->active;
     lock.unlock();
-    participate(*job, worker);
+    {
+      // Adopt the submitting flow's context for the job's duration.
+      FlowContextScope scope(*job->context);
+      participate(*job, worker);
+    }
     lock.lock();
     --job->active;
     done_cv_.notify_all();
@@ -166,7 +174,7 @@ void ThreadPool::participate(Job& job, int worker) {
   if (executed > 0) {
     busy_us_.fetch_add(elapsedMicros(start), std::memory_order_relaxed);
     if (worker != 0) steals.add(executed);
-    TraceRecorder& recorder = TraceRecorder::instance();
+    TraceRecorder& recorder = currentTraceRecorder();
     if (recorder.enabled()) {
       // One lane per worker thread: the recorder assigns tids per thread,
       // so each worker's share of the job shows as its own track.
@@ -188,22 +196,42 @@ void ThreadPool::run(const char* label, Index numTasks,
   tasks.add(numTasks);
   const int num_threads = threads();
   const auto start = std::chrono::steady_clock::now();
-  if (num_threads <= 1 || numTasks <= 1 || tl_in_pool_task) {
+  const auto run_inline = [&] {
     // Strictly serial inline execution: no pool, no synchronization.
     for (Index task = 0; task < numTasks; ++task) fn(task, 0);
     const std::int64_t wall = elapsedMicros(start);
     busy_us_.fetch_add(wall, std::memory_order_relaxed);
     capacity_us_.fetch_add(wall, std::memory_order_relaxed);
+  };
+  if (num_threads <= 1 || numTasks <= 1 || tl_in_pool_task) {
+    run_inline();
     return;
   }
+  // Single job slot: when another flow's job already occupies the pool,
+  // run this job inline on the calling thread. The deterministic block
+  // decomposition makes the result identical; only wall time differs.
+  bool expected = false;
+  if (!job_inflight_.compare_exchange_strong(expected, true,
+                                             std::memory_order_acquire)) {
+    static Counter contended("parallel/contended");
+    contended.add();
+    run_inline();
+    return;
+  }
+  struct SlotRelease {
+    std::atomic<bool>& flag;
+    ~SlotRelease() { flag.store(false, std::memory_order_release); }
+  } slot_release{job_inflight_};
 #ifdef DREAMPLACE_OPENMP_FALLBACK
   // Optional fallback backend: same dynamic claim loop, OpenMP threads.
   {
     static Counter steals("parallel/steals");
+    FlowContext& context = FlowContext::current();
     std::atomic<Index> next{0};
     std::atomic<std::int64_t> busy{0};
 #pragma omp parallel num_threads(num_threads)
     {
+      FlowContextScope scope(context);
       const int worker = omp_get_thread_num();
       const auto thread_start = std::chrono::steady_clock::now();
       const bool was_in_task = tl_in_pool_task;
@@ -233,6 +261,7 @@ void ThreadPool::run(const char* label, Index numTasks,
   job.fn = &fn;
   job.label = label;
   job.numTasks = numTasks;
+  job.context = &FlowContext::current();
   job.active = 1;  // The caller participates as worker 0.
   {
     std::lock_guard<std::mutex> lock(job_mutex_);

@@ -48,12 +48,25 @@
 
 namespace dreamplace {
 
-/// Process-wide worker pool. Lazily started: no threads exist until the
-/// first parallel job with threads() > 1 runs. Thread count is
-/// reconfigurable between jobs via setThreads(); configuring while a job
-/// is in flight is not supported.
+class FlowContext;
+
+/// Worker pool. Lazily started: no threads exist until the first parallel
+/// job with threads() > 1 runs. Thread count is reconfigurable between
+/// jobs via setThreads(); configuring while a job is in flight is not
+/// supported.
+///
+/// instance() is the process-wide pool used by flows on the default
+/// context; a PlacementEngine constructs its own so concurrent jobs share
+/// one bounded worker set. A pool accepts run() from several threads at
+/// once: one caller's job occupies the workers, the others execute their
+/// tasks inline on the calling thread (the determinism contract makes
+/// the result identical either way — only wall time differs). Workers
+/// adopt the submitting flow's FlowContext for the duration of a job, so
+/// per-flow counters/timers/traces attribute correctly from inside
+/// kernels.
 class ThreadPool {
  public:
+  ThreadPool() = default;
   static ThreadPool& instance();
 
   /// Requests a pool size: n >= 1 forces n, 0 re-resolves from
@@ -84,7 +97,6 @@ class ThreadPool {
   ThreadPool& operator=(const ThreadPool&) = delete;
 
  private:
-  ThreadPool() = default;
   struct Job;
 
   void ensureStarted(int threads);
@@ -96,6 +108,10 @@ class ThreadPool {
   std::mutex config_mutex_;
   int requested_ = 0;
   std::atomic<int> resolved_{0};  ///< 0 = not yet resolved.
+
+  /// Single job slot: true while a pooled job is in flight. A second
+  /// concurrent run() caller falls back to inline-serial execution.
+  std::atomic<bool> job_inflight_{false};
 
   std::mutex job_mutex_;
   std::condition_variable job_cv_;
@@ -109,6 +125,11 @@ class ThreadPool {
   std::atomic<std::int64_t> capacity_us_{0};
 };
 
+/// The current flow's pool (common/flow_context.h): the engine pool for
+/// engine jobs, the process-wide pool otherwise. The helpers below run on
+/// it, so kernels need no pool plumbing.
+ThreadPool& currentThreadPool();
+
 /// Elementwise parallel loop: fn(i) for every i in [0, n), grouped into
 /// ceil(n/grain) dynamically-claimed blocks. Use when iterations write
 /// disjoint state (fn must not race with itself on shared writes).
@@ -117,7 +138,7 @@ void parallelFor(const char* label, Index n, Index grain, Fn&& fn) {
   if (n <= 0) return;
   const Index g = grain > 0 ? grain : 1;
   const Index blocks = (n + g - 1) / g;
-  ThreadPool::instance().run(label, blocks, [&](Index block, int) {
+  currentThreadPool().run(label, blocks, [&](Index block, int) {
     const Index lo = block * g;
     const Index hi = std::min<Index>(lo + g, n);
     for (Index i = lo; i < hi; ++i) fn(i);
@@ -132,7 +153,7 @@ void parallelForBlocked(const char* label, Index n, Index grain, Fn&& fn) {
   if (n <= 0) return;
   const Index g = grain > 0 ? grain : 1;
   const Index blocks = (n + g - 1) / g;
-  ThreadPool::instance().run(label, blocks, [&](Index block, int worker) {
+  currentThreadPool().run(label, blocks, [&](Index block, int worker) {
     const Index lo = block * g;
     const Index hi = std::min<Index>(lo + g, n);
     fn(lo, hi, worker);
@@ -152,7 +173,7 @@ R parallelReduce(const char* label, Index n, Index grain, R init, Map&& map,
   const Index g = grain > 0 ? grain : 1;
   const Index blocks = (n + g - 1) / g;
   std::vector<R> partial(static_cast<std::size_t>(blocks), init);
-  ThreadPool::instance().run(label, blocks, [&](Index block, int) {
+  currentThreadPool().run(label, blocks, [&](Index block, int) {
     const Index lo = block * g;
     const Index hi = std::min<Index>(lo + g, n);
     partial[static_cast<std::size_t>(block)] = map(lo, hi);

@@ -37,17 +37,17 @@ ScopedTimer::~ScopedTimer() {
   // Clock jitter can make the children sum slightly exceed the parent's
   // own elapsed reading; clamp so self <= inclusive always holds.
   const double self = std::max(0.0, seconds - child_seconds);
-  TimingRegistry::instance().addScope(key_, seconds, self, root);
-  TraceRecorder& trace = TraceRecorder::instance();
+  // Resolve per call: the same scope key charges whichever flow context
+  // is current on this thread (common/flow_context.h).
+  currentTimingRegistry().addScope(key_, seconds, self, root);
+  TraceRecorder& trace = currentTraceRecorder();
   if (trace.enabled()) {
     trace.completeEvent(key_, seconds);
   }
 }
 
-TimingRegistry& TimingRegistry::instance() {
-  static TimingRegistry registry;
-  return registry;
-}
+// TimingRegistry::instance() is defined in flow_context.cpp: it returns
+// the default FlowContext's registry.
 
 void TimingRegistry::add(const std::string& key, double seconds) {
   addScope(key, seconds, seconds, /*root=*/true);

@@ -67,13 +67,18 @@ struct TimingStat {
   }
 };
 
-/// Process-wide accumulator of named timing scopes.
+/// Accumulator of named timing scopes (one per FlowContext).
 ///
 /// Scope keys are '/'-separated paths, e.g. "gp/density/fft". Accumulation
 /// is additive across calls; the registry can be cleared between runs.
 /// All entry points are thread-safe.
 class TimingRegistry {
  public:
+  TimingRegistry() = default;
+  TimingRegistry(const TimingRegistry&) = delete;
+  TimingRegistry& operator=(const TimingRegistry&) = delete;
+
+  /// The default FlowContext's registry (legacy process-wide accessor).
   static TimingRegistry& instance();
 
   /// Manual accumulation: treated as a leaf root scope (self == inclusive,
@@ -110,10 +115,12 @@ class TimingRegistry {
   std::string report() const;
 
  private:
-  TimingRegistry() = default;
   mutable std::mutex mutex_;
   std::map<std::string, TimingStat> totals_;
 };
+
+/// The current flow's timing registry (common/flow_context.h).
+TimingRegistry& currentTimingRegistry();
 
 /// RAII scope that adds its lifetime to the registry under `key`.
 ///

@@ -6,10 +6,8 @@
 
 namespace dreamplace {
 
-TraceRecorder& TraceRecorder::instance() {
-  static TraceRecorder recorder;
-  return recorder;
-}
+// TraceRecorder::instance() is defined in flow_context.cpp: it returns
+// the default FlowContext's recorder.
 
 TraceRecorder::TraceRecorder() : epoch_(std::chrono::steady_clock::now()) {}
 

@@ -34,7 +34,10 @@ struct TraceEvent {
   std::string args;
 };
 
-/// Process-wide trace-event collector.
+/// Trace-event collector. The process has one shared default recorder
+/// (instance(), owned by the default FlowContext); flows that request a
+/// trace file get a private recorder so concurrent timelines stay
+/// isolated (common/flow_context.h).
 ///
 /// Thread-safe: events from concurrent scopes are appended under a mutex
 /// (recording is rare enough that contention is irrelevant; the disabled
@@ -50,6 +53,11 @@ class TraceRecorder {
   /// Default event-buffer capacity (~150 MB worst case of event strings).
   static constexpr std::size_t kDefaultCapacity = 1u << 20;
 
+  TraceRecorder();
+  TraceRecorder(const TraceRecorder&) = delete;
+  TraceRecorder& operator=(const TraceRecorder&) = delete;
+
+  /// The shared default recorder (legacy process-wide accessor).
   static TraceRecorder& instance();
 
   bool enabled() const { return enabled_.load(std::memory_order_relaxed); }
@@ -79,7 +87,6 @@ class TraceRecorder {
   bool writeJson(const std::string& path) const;
 
  private:
-  TraceRecorder();
   int threadId();
   /// Caller holds mutex_. True if an event slot is available; otherwise
   /// records the drop.
@@ -94,13 +101,17 @@ class TraceRecorder {
   std::size_t dropped_ = 0;
 };
 
+/// The current flow's trace recorder (common/flow_context.h).
+TraceRecorder& currentTraceRecorder();
+
 /// RAII trace-only scope: a complete event spanning the scope lifetime.
 /// Near-zero cost when recording is disabled (one relaxed load in the
-/// constructor, one branch in the destructor).
+/// constructor, one branch in the destructor). Resolves the current
+/// flow's recorder per call.
 class TraceScope {
  public:
   explicit TraceScope(std::string_view name) {
-    if (TraceRecorder::instance().enabled()) {
+    if (currentTraceRecorder().enabled()) {
       name_ = name;
       start_ = std::chrono::steady_clock::now();
       active_ = true;
@@ -112,7 +123,7 @@ class TraceScope {
           std::chrono::duration<double>(std::chrono::steady_clock::now() -
                                         start_)
               .count();
-      TraceRecorder::instance().completeEvent(name_, seconds);
+      currentTraceRecorder().completeEvent(name_, seconds);
     }
   }
 

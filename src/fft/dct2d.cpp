@@ -114,7 +114,7 @@ Dct2dPlan<T>::Dct2dPlan(int n1, int n2, Dct2dAlgorithm algo)
   }
 
   spec_.resize(static_cast<size_t>(n1_) * stride_);
-  scratch_workers_ = ThreadPool::instance().threads();
+  scratch_workers_ = currentThreadPool().threads();
   row_scratch_stride_ =
       std::max(row_fwd_->scratchSize(), row_inv_->scratchSize());
   col_scratch_stride_ = static_cast<size_t>(n1_) +
@@ -126,7 +126,7 @@ Dct2dPlan<T>::Dct2dPlan(int n1, int n2, Dct2dAlgorithm algo)
 
 template <typename T>
 void Dct2dPlan<T>::ensureScratch() {
-  const int workers = ThreadPool::instance().threads();
+  const int workers = currentThreadPool().threads();
   if (workers <= scratch_workers_) return;
   scratch_workers_ = workers;
   row_ws_.resize(row_scratch_stride_ * workers);

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cmath>
 
+#include "common/flow_context.h"
 #include "common/log.h"
 #include "common/parallel.h"
 #include "common/timer.h"
@@ -244,11 +245,15 @@ GlobalPlacerResult GlobalPlacer<T>::run(const Callback& callback) {
     info.solver = optimizer_->name();
     telemetry->onRunBegin(info);
   }
-  TimingRegistry& timing = TimingRegistry::instance();
+  TimingRegistry& timing = currentTimingRegistry();
   GlobalPlacerResult result;
   double overflow = density_->overflow(std::span<const T>(params));
   int iter = 0;
+  FlowContext& flow = FlowContext::current();
   for (; iter < options_.maxIterations; ++iter) {
+    // Cooperative timeout/cancel point: once per iteration keeps engine
+    // job deadlines responsive without per-kernel checks.
+    flow.throwIfInterrupted();
     // Per-op time attribution: the ops accumulate into the timing
     // registry; the delta across one step is this iteration's share.
     double wl_t0 = 0.0, density_t0 = 0.0;

@@ -90,7 +90,7 @@ void CsvTelemetrySink::onRunEnd(const TelemetryRunSummary& s) {
 // ---------------------------------------------------------------------------
 
 void TraceTelemetrySink::onIteration(const IterationStats& s) {
-  TraceRecorder& trace = TraceRecorder::instance();
+  TraceRecorder& trace = currentTraceRecorder();
   if (!trace.enabled()) {
     return;
   }

@@ -160,7 +160,7 @@ void DensityMapBuilder<T>::scatter(const T* x, const T* y, Index begin,
   slice_scratch_.resize(bins * static_cast<std::size_t>(slices));
   mem_slices_.set(static_cast<std::int64_t>(slice_scratch_.size() *
                                             sizeof(T)));
-  ThreadPool::instance().run(
+  currentThreadPool().run(
       "ops/density/scatter", slices, [&](Index s, int) {
         T* partial = slice_scratch_.data() + bins * static_cast<std::size_t>(s);
         std::fill(partial, partial + bins, T(0));

@@ -1,0 +1,254 @@
+#include "place/engine.h"
+
+#include <algorithm>
+#include <atomic>
+#include <chrono>
+#include <exception>
+#include <stdexcept>
+#include <thread>
+#include <utility>
+
+#include "common/flow_context.h"
+#include "common/json_writer.h"
+#include "common/log.h"
+#include "common/parallel.h"
+#include "common/timer.h"
+
+namespace dreamplace {
+
+void EngineOptions::validate() const {
+  std::string errors;
+  const auto fail = [&errors](const std::string& message) {
+    errors += (errors.empty() ? "" : "; ") + message;
+  };
+
+  if (threads < 0) {
+    fail("threads must be >= 0 (got " + std::to_string(threads) +
+         "); 0 means auto (DREAMPLACE_THREADS or hardware concurrency)");
+  }
+  if (maxConcurrentJobs < 1) {
+    fail("maxConcurrentJobs must be >= 1 (got " +
+         std::to_string(maxConcurrentJobs) + ")");
+  }
+  if (jobTimeoutSeconds < 0.0) {
+    fail("jobTimeoutSeconds must be >= 0 (got " +
+         std::to_string(jobTimeoutSeconds) + "); 0 disables the timeout");
+  }
+  if (maxJobAttempts < 1) {
+    fail("maxJobAttempts must be >= 1 (got " +
+         std::to_string(maxJobAttempts) + ")");
+  }
+
+  if (!errors.empty()) {
+    throw std::invalid_argument("EngineOptions: " + errors);
+  }
+}
+
+const char* statusName(JobStatus status) {
+  switch (status) {
+    case JobStatus::kSucceeded: return "succeeded";
+    case JobStatus::kFailed: return "failed";
+    case JobStatus::kTimedOut: return "timed_out";
+  }
+  return "unknown";
+}
+
+bool isOrderDependentCounter(std::string_view key) {
+  // Plan-cache counters attribute to whichever flow *first* needs a plan
+  // of a given size — under concurrency that is a race winner, not a
+  // property of the flow.
+  if (key.substr(0, 8) == "fft/plan") return true;
+  // Pool scheduling: who started the workers, how blocks were claimed,
+  // whether a second run() caller hit the occupied job slot.
+  return key == "parallel/steals" || key == "parallel/pool_start" ||
+         key == "parallel/contended";
+}
+
+std::map<std::string, CounterRegistry::Value> deterministicCounters(
+    const std::map<std::string, CounterRegistry::Value>& counters) {
+  std::map<std::string, CounterRegistry::Value> out;
+  for (const auto& [key, value] : counters) {
+    if (!isOrderDependentCounter(key)) {
+      out.emplace(key, value);
+    }
+  }
+  return out;
+}
+
+std::string BatchReport::toJson() const {
+  json::Json j;
+  j.openObject();
+  j.key("schema"); j.value(kSchema);
+  j.key("label"); j.value(label);
+  j.key("wall_s"); j.value(wallSeconds);
+  j.key("aggregate_s"); j.value(aggregateSeconds);
+
+  j.key("counts");
+  j.openObject();
+  j.key("jobs"); j.value(static_cast<std::int64_t>(jobs.size()));
+  j.key("succeeded"); j.value(succeeded);
+  j.key("failed"); j.value(failed);
+  j.key("timed_out"); j.value(timedOut);
+  j.closeObject();
+
+  j.key("jobs");
+  j.openArray();
+  for (const JobReport& job : jobs) {
+    j.openObject();
+    j.key("name"); j.value(job.name);
+    j.key("status"); j.value(statusName(job.status));
+    j.key("attempts"); j.value(job.attempts);
+    j.key("wall_s"); j.value(job.wallSeconds);
+    if (!job.error.empty()) {
+      j.key("error"); j.value(job.error);
+    }
+    if (job.status == JobStatus::kSucceeded) {
+      j.key("report");
+      j.rawValue(job.report.toJson());
+    }
+    j.closeObject();
+  }
+  j.closeArray();
+
+  j.closeObject();
+  return j.out;
+}
+
+PlacementEngine::PlacementEngine(EngineOptions options)
+    : options_(std::move(options)), pool_(std::make_unique<ThreadPool>()) {
+  options_.validate();
+  if (options_.threads > 0) {
+    pool_->setThreads(options_.threads);
+  }
+}
+
+PlacementEngine::~PlacementEngine() = default;
+
+JobReport PlacementEngine::runJob(PlacementJob& job) {
+  JobReport out;
+  out.name = job.name;
+  Timer wall;
+
+  // One budget for the whole job: retries run against the deadline fixed
+  // here, so a flaky job cannot stretch its wall-clock allowance by
+  // failing first.
+  std::chrono::steady_clock::time_point deadline{};
+  const bool has_deadline = options_.jobTimeoutSeconds > 0.0;
+  if (has_deadline) {
+    deadline = std::chrono::steady_clock::now() +
+               std::chrono::duration_cast<std::chrono::steady_clock::duration>(
+                   std::chrono::duration<double>(options_.jobTimeoutSeconds));
+  }
+
+  PlacerOptions options = job.options;
+  // Flow-scoped options only: a job must not resize the shared engine
+  // pool under its sibling jobs.
+  options.threads = 0;
+
+  for (int attempt = 1; attempt <= options_.maxJobAttempts; ++attempt) {
+    out.attempts = attempt;
+    try {
+      if (job.attemptHook) {
+        job.attemptHook(attempt);
+      }
+      FlowContext::Config config;
+      config.pool = pool_.get();
+      config.privateTrace = true;
+      config.traceCapacity = options_.traceCapacity;
+      FlowContext context(config);
+      if (has_deadline) {
+        context.setDeadline(deadline);
+      }
+      out.result = placeDesign(*job.db, options, context, &out.report);
+      out.status = JobStatus::kSucceeded;
+      out.error.clear();
+      break;
+    } catch (const FlowTimeoutError& e) {
+      // The budget is spent; a retry would time out immediately.
+      out.status = JobStatus::kTimedOut;
+      out.error = e.what();
+      logWarn("engine: job '%s' timed out after %.1fs (attempt %d)",
+              out.name.c_str(), options_.jobTimeoutSeconds, attempt);
+      break;
+    } catch (const std::exception& e) {
+      out.status = JobStatus::kFailed;
+      out.error = e.what();
+      logWarn("engine: job '%s' attempt %d/%d failed: %s", out.name.c_str(),
+              attempt, options_.maxJobAttempts, e.what());
+    }
+  }
+
+  out.wallSeconds = wall.elapsed();
+  return out;
+}
+
+BatchReport PlacementEngine::run(std::vector<PlacementJob> jobs) {
+  BatchReport batch;
+  batch.jobs.resize(jobs.size());
+  Timer wall;
+
+  for (std::size_t i = 0; i < jobs.size(); ++i) {
+    if (jobs[i].db == nullptr) {
+      throw std::invalid_argument("PlacementEngine: job " + std::to_string(i) +
+                                  " has no database");
+    }
+    if (jobs[i].name.empty()) {
+      jobs[i].name = "job" + std::to_string(i);
+    }
+  }
+
+  const int lanes =
+      std::max(1, std::min(options_.maxConcurrentJobs,
+                           static_cast<int>(jobs.size())));
+  std::atomic<std::size_t> next{0};
+
+  // Each lane pulls the next unstarted job. Every job body runs on a
+  // *fresh* OS thread (not the lane thread, which stays warm across
+  // jobs): per-thread scratch caches then start cold for every job,
+  // identically at any concurrency level — one ingredient of the
+  // serial-vs-concurrent bit-identical-report contract (docs/ENGINE.md).
+  const auto lane = [&]() {
+    for (;;) {
+      const std::size_t i = next.fetch_add(1, std::memory_order_relaxed);
+      if (i >= jobs.size()) {
+        break;
+      }
+      JobReport report;
+      std::thread worker([this, &jobs, &report, i]() {
+        report = runJob(jobs[i]);
+      });
+      worker.join();
+      batch.jobs[i] = std::move(report);
+    }
+  };
+
+  if (lanes == 1) {
+    lane();
+  } else {
+    std::vector<std::thread> runners;
+    runners.reserve(static_cast<std::size_t>(lanes));
+    for (int l = 0; l < lanes; ++l) {
+      runners.emplace_back(lane);
+    }
+    for (std::thread& runner : runners) {
+      runner.join();
+    }
+  }
+
+  batch.wallSeconds = wall.elapsed();
+  for (const JobReport& job : batch.jobs) {
+    batch.aggregateSeconds += job.wallSeconds;
+    switch (job.status) {
+      case JobStatus::kSucceeded: ++batch.succeeded; break;
+      case JobStatus::kFailed: ++batch.failed; break;
+      case JobStatus::kTimedOut: ++batch.timedOut; break;
+    }
+  }
+  logInfo("engine: batch done: %d/%zu succeeded (%d failed, %d timed out), "
+          "wall %.1fs aggregate %.1fs",
+          batch.succeeded, batch.jobs.size(), batch.failed, batch.timedOut,
+          batch.wallSeconds, batch.aggregateSeconds);
+  return batch;
+}
+
+}  // namespace dreamplace

@@ -1,0 +1,159 @@
+// PlacementEngine: a long-lived runner for batches of placement flows.
+//
+// The paper's evaluation runs many designs through the same flow; doing
+// that one process per design wastes the expensive process-level state
+// (worker pool threads, cached FFT plans). The engine owns that state
+// once and accepts PlacementJobs — a database plus flow-scoped
+// PlacerOptions — running up to maxConcurrentJobs of them at a time, each
+// under its own FlowContext (place/report.h registries, private trace,
+// cooperative deadline), with bounded retry on failure.
+//
+// Determinism: every job runs on a fresh OS thread, so per-thread scratch
+// caches start cold identically whether the batch runs serial or
+// concurrent; per-flow registries keep counters/timers isolated; and the
+// deterministic parallel runtime (docs/PARALLEL.md) makes kernel results
+// independent of which pool threads execute them. Per-job reports are
+// therefore bit-identical (float64) between maxConcurrentJobs=1 and
+// maxConcurrentJobs=N — except for the order-dependent counters listed in
+// isOrderDependentCounter(), which record shared-infrastructure
+// attribution (plan-cache insertion order, pool scheduling) rather than
+// algorithmic work. docs/ENGINE.md has the full contract.
+#pragma once
+
+#include <cstddef>
+#include <functional>
+#include <map>
+#include <memory>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/counters.h"
+#include "place/placer.h"
+#include "place/report.h"
+
+namespace dreamplace {
+
+class ThreadPool;
+
+/// Engine/process-scoped settings: everything shared across the jobs of a
+/// batch. Flow-scoped settings stay in PlacerOptions.
+struct EngineOptions {
+  /// Worker threads of the engine-owned pool (shared by all jobs).
+  /// 0 = auto (DREAMPLACE_THREADS env var, else hardware concurrency).
+  int threads = 0;
+  /// Jobs placed concurrently. Each extra lane costs one resident design
+  /// (positions, nets, density grids); the worker pool stays one bounded
+  /// set regardless.
+  int maxConcurrentJobs = 1;
+  /// Per-job wall-clock budget, enforced cooperatively at GP-iteration
+  /// and flow-stage boundaries. Retries share one budget (the deadline is
+  /// fixed before the first attempt). 0 = no timeout.
+  double jobTimeoutSeconds = 0.0;
+  /// Attempts per job: on a thrown failure the job is retried until this
+  /// many attempts were made. Timeouts are never retried. Must be >= 1.
+  int maxJobAttempts = 1;
+  /// Event capacity of each job's private trace recorder; 0 = default.
+  std::size_t traceCapacity = 0;
+
+  /// Throws std::invalid_argument listing every violated constraint.
+  void validate() const;
+};
+
+/// One unit of work: a design to place and how to place it.
+struct PlacementJob {
+  /// Placed in-place; must stay alive for the whole batch and must not be
+  /// shared between jobs of one batch.
+  Database* db = nullptr;
+  PlacerOptions options;
+  std::string name;  ///< Job label in the BatchReport ("" = index).
+  /// Optional hook called at the start of every attempt (1-based) on the
+  /// job's thread, before the flow. A throw counts as a failed attempt —
+  /// tests use this to inject failures and observe retries.
+  std::function<void(int attempt)> attemptHook;
+};
+
+enum class JobStatus {
+  kSucceeded,  ///< Flow completed; result and report are valid.
+  kFailed,     ///< Every attempt threw (last error recorded).
+  kTimedOut,   ///< Deadline passed (FlowTimeoutError); not retried.
+};
+
+const char* statusName(JobStatus status);
+
+/// Outcome of one job.
+struct JobReport {
+  std::string name;
+  JobStatus status = JobStatus::kFailed;
+  int attempts = 0;        ///< Attempts actually made (>= 1).
+  std::string error;       ///< Last failure message; empty on success.
+  FlowResult result;       ///< Valid only when status == kSucceeded.
+  RunReport report;        ///< Valid only when status == kSucceeded.
+  double wallSeconds = 0.0;
+};
+
+/// Outcome of a whole batch: per-job reports plus aggregate accounting.
+struct BatchReport {
+  static constexpr const char* kSchema = "dreamplace.batch_report.v1";
+
+  std::string label;
+  std::vector<JobReport> jobs;
+  double wallSeconds = 0.0;       ///< Batch wall time (concurrent lanes).
+  double aggregateSeconds = 0.0;  ///< Sum of per-job wall times.
+  int succeeded = 0;
+  int failed = 0;
+  int timedOut = 0;
+
+  bool allSucceeded() const {
+    return failed == 0 && timedOut == 0 &&
+           succeeded == static_cast<int>(jobs.size());
+  }
+
+  /// One JSON document (schema dreamplace.batch_report.v1): batch counts
+  /// and timings plus a "jobs" array embedding each succeeded job's full
+  /// RunReport under "report". tools/check_report understands this shape
+  /// and applies the per-run baseline to every job.
+  std::string toJson() const;
+};
+
+/// True for counter keys whose values legitimately differ between serial
+/// and concurrent batch runs: they attribute *shared infrastructure*
+/// (plan-cache insertions land on whichever flow first needs a plan, pool
+/// start/steal/contention depend on scheduling), not algorithmic work.
+/// Everything else — op evaluate/solve counts, FFT transform counts,
+/// optimizer steps, parallel/jobs and parallel/tasks — is deterministic
+/// per flow and safe to compare bit-for-bit.
+bool isOrderDependentCounter(std::string_view key);
+
+/// Copy of `counters` with the order-dependent keys removed — the subset
+/// a determinism comparison may EXPECT_EQ across concurrency levels.
+std::map<std::string, CounterRegistry::Value> deterministicCounters(
+    const std::map<std::string, CounterRegistry::Value>& counters);
+
+/// The long-lived engine. Owns its worker pool; safe to run() multiple
+/// batches over its lifetime. Not itself thread-safe: drive one engine
+/// from one thread (it parallelizes internally).
+class PlacementEngine {
+ public:
+  explicit PlacementEngine(EngineOptions options = {});
+  ~PlacementEngine();
+
+  PlacementEngine(const PlacementEngine&) = delete;
+  PlacementEngine& operator=(const PlacementEngine&) = delete;
+
+  /// Runs every job, up to options().maxConcurrentJobs at a time, and
+  /// returns the batch outcome. Job order in the result matches the input
+  /// order regardless of completion order.
+  BatchReport run(std::vector<PlacementJob> jobs);
+
+  const EngineOptions& options() const { return options_; }
+  ThreadPool& pool() { return *pool_; }
+
+ private:
+  JobReport runJob(PlacementJob& job);
+
+  EngineOptions options_;
+  std::unique_ptr<ThreadPool> pool_;
+};
+
+}  // namespace dreamplace

@@ -2,7 +2,9 @@
 
 #include <memory>
 #include <stdexcept>
+#include <utility>
 
+#include "common/flow_context.h"
 #include "common/log.h"
 #include "common/parallel.h"
 #include "common/timer.h"
@@ -34,9 +36,11 @@ class GpSummarySink final : public TelemetrySink {
 
 /// Builds the telemetry sink stack requested by the options and wires it
 /// into the GP options. Owns the file sinks; must outlive the flow run.
+/// Constructed (and destroyed) with the flow's context installed, so the
+/// trace it enables/writes is the *flow's* recorder, not a global one.
 class FlowTelemetry {
  public:
-  explicit FlowTelemetry(const PlacerOptions& options) {
+  FlowTelemetry(const PlacerOptions& options, bool wantSummaries) {
     if (!options.telemetryJsonl.empty()) {
       jsonl_ = std::make_unique<JsonlTelemetrySink>(options.telemetryJsonl);
       mux_.addSink(jsonl_.get());
@@ -47,10 +51,10 @@ class FlowTelemetry {
     }
     if (!options.traceFile.empty()) {
       trace_file_ = options.traceFile;
-      TraceRecorder::instance().setEnabled(true);
+      currentTraceRecorder().setEnabled(true);
       mux_.addSink(&trace_sink_);
     }
-    if (!options.reportJson.empty() || !options.reportText.empty()) {
+    if (wantSummaries) {
       mux_.addSink(&summary_sink_);
     }
     mux_.addSink(options.telemetry);
@@ -58,7 +62,7 @@ class FlowTelemetry {
 
   ~FlowTelemetry() {
     if (!trace_file_.empty()) {
-      TraceRecorder& trace = TraceRecorder::instance();
+      TraceRecorder& trace = currentTraceRecorder();
       trace.setEnabled(false);
       if (!trace.writeJson(trace_file_)) {
         logWarn("trace: cannot write %s", trace_file_.c_str());
@@ -113,6 +117,7 @@ FlowResult runFlow(Database& db, const PlacerOptions& options,
   }
   result.gpSeconds = gp_timer.elapsed();
   result.hpwlGp = hpwl(db);
+  FlowContext::current().throwIfInterrupted();
 
   // --- Legalization ------------------------------------------------------
   Timer lg_timer;
@@ -135,6 +140,7 @@ FlowResult runFlow(Database& db, const PlacerOptions& options,
   }
   result.lgSeconds = lg_timer.elapsed();
   result.hpwlLegal = hpwl(db);
+  FlowContext::current().throwIfInterrupted();
 
   // --- Detailed placement ---------------------------------------------------
   Timer dp_timer;
@@ -263,27 +269,44 @@ void PlacerOptions::validate() const {
 }
 
 FlowResult placeDesign(Database& db, const PlacerOptions& options) {
+  // Fresh context per call: the flow's counters/timings start from zero,
+  // so sequential flows in one process no longer leak into each other's
+  // reports. A trace export gets its own recorder; otherwise scopes keep
+  // landing on the shared default recorder (program-wide tracing, e.g. a
+  // bench's TelemetrySession, still sees the flow).
+  FlowContext::Config config;
+  config.privateTrace = !options.traceFile.empty();
+  FlowContext context(config);
+  return placeDesign(db, options, context, nullptr);
+}
+
+FlowResult placeDesign(Database& db, const PlacerOptions& options,
+                       FlowContext& context, RunReport* reportOut) {
   options.validate();
+  FlowContextScope scope(context);
   // 0 keeps the pool as configured (auto-resolution or a caller's
   // earlier setThreads); only an explicit request reconfigures it.
   if (options.threads > 0) {
-    ThreadPool::instance().setThreads(options.threads);
+    context.pool().setThreads(options.threads);
   }
-  FlowTelemetry telemetry(options);
-  const bool want_report =
-      !options.reportJson.empty() || !options.reportText.empty();
-  ObservabilitySnapshot before;
-  if (want_report) {
-    before = ObservabilitySnapshot::capture();
-  }
+  context.markFlowStart();
+  FlowTelemetry telemetry(options, /*wantSummaries=*/reportOut != nullptr ||
+                                       !options.reportJson.empty() ||
+                                       !options.reportText.empty());
+  const bool want_report = reportOut != nullptr ||
+                           !options.reportJson.empty() ||
+                           !options.reportText.empty();
   const FlowResult result =
       options.precision == Precision::kFloat32
           ? runFlow<float>(db, options, telemetry)
           : runFlow<double>(db, options, telemetry);
   if (want_report) {
-    const RunReport report = buildRunReport(db, options, result,
-                                            telemetry.gpSummaries(), before);
+    RunReport report = buildRunReport(db, options, result,
+                                      telemetry.gpSummaries(), context);
     writeRunReport(report, options.reportJson, options.reportText);
+    if (reportOut != nullptr) {
+      *reportOut = std::move(report);
+    }
   }
   return result;
 }

@@ -14,15 +14,25 @@
 
 namespace dreamplace {
 
+class FlowContext;
+struct RunReport;
+
 enum class Precision { kFloat32, kFloat64 };
 
+/// Flow-scoped placement configuration: everything that describes *one*
+/// flow run. Process/engine-scoped settings (worker pool size, job
+/// concurrency, cache and trace capacities) live in EngineOptions
+/// (place/engine.h); the one legacy exception is `threads` below, kept
+/// for standalone placeDesign() callers and ignored under an engine.
 struct PlacerOptions {
   Precision precision = Precision::kFloat64;
   /// Worker threads for the deterministic parallel runtime
   /// (common/parallel.h). 0 leaves the pool as configured (auto:
   /// DREAMPLACE_THREADS env var if set, else hardware concurrency).
   /// 1 runs strictly serial. Results are bit-identical for any value
-  /// (docs/PARALLEL.md).
+  /// (docs/PARALLEL.md). Process-scoped: resizes the pool the flow runs
+  /// on; PlacementEngine forces 0 so one job cannot resize the shared
+  /// engine pool under its siblings (docs/ENGINE.md).
   int threads = 0;
   GlobalPlacerOptions gp;
   GreedyLegalizer::Options greedy;
@@ -57,6 +67,11 @@ struct PlacerOptions {
   /// Rejects nonsensical configurations with an actionable message.
   /// Throws std::invalid_argument listing every violated constraint.
   void validate() const;
+
+  /// Full configuration as one JSON object (every field, names instead of
+  /// enum ordinals). Embedded under "config.options" in RunReport so a
+  /// report completely identifies the run that produced it.
+  std::string toJson() const;
 };
 
 struct FlowResult {
@@ -76,7 +91,20 @@ struct FlowResult {
   double totalSeconds = 0.0;
 };
 
-/// Runs the full placement flow on `db` in place.
+/// Runs the full placement flow on `db` in place. Each call runs under a
+/// fresh FlowContext, so the RunReport (when requested) contains exactly
+/// this flow's counters/timings — sequential flows in one process no
+/// longer leak into each other's reports.
 FlowResult placeDesign(Database& db, const PlacerOptions& options);
+
+/// Context-aware variant: runs the flow under `context` (installed on the
+/// calling thread for the duration). The context carries the registries,
+/// trace recorder, worker pool, and the cooperative deadline/cancel state
+/// honored at GP-iteration and stage boundaries. When `reportOut` is
+/// non-null the assembled RunReport is also returned through it (built
+/// regardless of whether file exports were requested). This is the entry
+/// point PlacementEngine drives.
+FlowResult placeDesign(Database& db, const PlacerOptions& options,
+                       FlowContext& context, RunReport* reportOut = nullptr);
 
 }  // namespace dreamplace

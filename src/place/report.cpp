@@ -6,6 +6,8 @@
 #include <cstdio>
 #include <cstring>
 
+#include "common/flow_context.h"
+#include "common/json_writer.h"
 #include "common/log.h"
 #include "common/parallel.h"
 
@@ -49,81 +51,7 @@ const char* initName(InitialPlacement i) {
   return i == InitialPlacement::kRandomCenter ? "random_center" : "spread";
 }
 
-// --- Minimal JSON writer ---------------------------------------------------
-
-void appendEscaped(std::string& out, const std::string& s) {
-  out += '"';
-  for (const char c : s) {
-    switch (c) {
-      case '"': out += "\\\""; break;
-      case '\\': out += "\\\\"; break;
-      case '\n': out += "\\n"; break;
-      case '\r': out += "\\r"; break;
-      case '\t': out += "\\t"; break;
-      default:
-        if (static_cast<unsigned char>(c) < 0x20) {
-          char buf[8];
-          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
-          out += buf;
-        } else {
-          out += c;
-        }
-    }
-  }
-  out += '"';
-}
-
-void appendNumber(std::string& out, double v) {
-  if (!std::isfinite(v)) {
-    out += "null";  // JSON has no NaN/Inf; null keeps the document valid.
-    return;
-  }
-  char buf[40];
-  std::snprintf(buf, sizeof(buf), "%.12g", v);
-  out += buf;
-}
-
-void appendInt(std::string& out, std::int64_t v) {
-  char buf[32];
-  std::snprintf(buf, sizeof(buf), "%" PRId64, v);
-  out += buf;
-}
-
-/// Tiny comma-managing JSON emitter; enough for one flat-ish document.
-class Json {
- public:
-  std::string out;
-
-  void openObject() { punct('{'); fresh_ = true; }
-  void closeObject() { out += '}'; fresh_ = false; }
-  void openArray() { punct('['); fresh_ = true; }
-  void closeArray() { out += ']'; fresh_ = false; }
-
-  void key(const std::string& k) {
-    comma();
-    appendEscaped(out, k);
-    out += ':';
-    fresh_ = true;  // value follows, no comma before it
-  }
-  void value(const std::string& v) { comma(); appendEscaped(out, v); }
-  void value(double v) { comma(); appendNumber(out, v); }
-  void value(std::int64_t v) { comma(); appendInt(out, v); }
-  void value(int v) { comma(); appendInt(out, v); }
-  void value(bool v) { comma(); out += v ? "true" : "false"; }
-
- private:
-  void punct(char c) {
-    comma();
-    out += c;
-  }
-  void comma() {
-    if (!fresh_) {
-      out += ',';
-    }
-    fresh_ = false;
-  }
-  bool fresh_ = true;
-};
+using json::Json;
 
 std::string formatBytes(std::int64_t bytes) {
   char buf[32];
@@ -151,19 +79,111 @@ bool writeFile(const std::string& path, const std::string& contents) {
 
 }  // namespace
 
-ObservabilitySnapshot ObservabilitySnapshot::capture() {
-  ObservabilitySnapshot snap;
-  snap.timing = TimingRegistry::instance().statsSnapshot();
-  snap.counters = CounterRegistry::instance().snapshot();
-  snap.poolBusyMicros = ThreadPool::instance().busyMicros();
-  snap.poolCapacityMicros = ThreadPool::instance().capacityMicros();
-  return snap;
+// Defined here rather than placer.cpp so it shares the enum-name helpers
+// the report's config summary uses — the two renderings cannot drift.
+std::string PlacerOptions::toJson() const {
+  Json j;
+  j.openObject();
+  j.key("precision"); j.value(precisionName(precision));
+  j.key("threads"); j.value(threads);
+  j.key("run_detailed_placement"); j.value(runDetailedPlacement);
+  j.key("routability"); j.value(routability);
+  j.key("telemetry_label"); j.value(telemetryLabel);
+
+  j.key("gp");
+  j.openObject();
+  j.key("target_density"); j.value(gp.targetDensity);
+  j.key("solver"); j.value(solverName(gp.solver));
+  j.key("lr"); j.value(gp.lr);
+  j.key("lr_decay"); j.value(gp.lrDecay);
+  j.key("wl_model"); j.value(wlModelName(gp.wlModel));
+  j.key("wl_kernel"); j.value(wlKernelName(gp.wlKernel));
+  j.key("density_kernel"); j.value(densityKernelName(gp.densityKernel));
+  j.key("density_subdivision"); j.value(gp.densitySubdivision);
+  j.key("dct"); j.value(dctName(gp.dct));
+  j.key("max_iterations"); j.value(gp.maxIterations);
+  j.key("min_iterations"); j.value(gp.minIterations);
+  j.key("stop_overflow"); j.value(gp.stopOverflow);
+  j.key("seed"); j.value(static_cast<std::int64_t>(gp.seed));
+  j.key("init"); j.value(initName(gp.init));
+  j.key("noise_ratio"); j.value(gp.noiseRatio);
+  j.key("lambda_update_every"); j.value(gp.lambdaUpdateEvery);
+  j.key("tcad_mu_variant"); j.value(gp.tcadMuVariant);
+  j.key("ignore_net_degree");
+  j.value(static_cast<std::int64_t>(gp.ignoreNetDegree));
+  j.key("precondition"); j.value(gp.precondition);
+  j.key("bins_max"); j.value(gp.binsMax);
+  j.key("initial_density_weight"); j.value(gp.initialDensityWeight);
+  j.key("fences"); j.value(static_cast<std::int64_t>(gp.fences.size()));
+  j.key("inflated_cells");
+  j.value(static_cast<std::int64_t>(gp.inflation.size()));
+  j.closeObject();
+
+  j.key("greedy");
+  j.openObject();
+  j.key("row_search_window"); j.value(greedy.rowSearchWindow);
+  j.closeObject();
+
+  j.key("abacus");
+  j.openObject();
+  j.key("row_search_window"); j.value(abacus.rowSearchWindow);
+  j.closeObject();
+
+  j.key("dp");
+  j.openObject();
+  j.key("passes"); j.value(dp.passes);
+  j.key("window_size"); j.value(dp.windowSize);
+  j.key("swap_radius_rows"); j.value(dp.swapRadiusRows);
+  j.key("max_candidates"); j.value(dp.maxCandidates);
+  j.key("convergence_tolerance"); j.value(dp.convergenceTolerance);
+  j.key("enable_ism"); j.value(dp.enableIsm);
+  j.key("ism_set_size"); j.value(dp.ismSetSize);
+  j.closeObject();
+
+  if (routability) {
+    j.key("routability_options");
+    j.openObject();
+    j.key("inflation_trigger"); j.value(routabilityOptions.inflationTrigger);
+    j.key("inflation_exponent"); j.value(routabilityOptions.inflationExponent);
+    j.key("inflation_max"); j.value(routabilityOptions.inflationMax);
+    j.key("whitespace_budget"); j.value(routabilityOptions.whitespaceBudget);
+    j.key("stop_inflation_ratio");
+    j.value(routabilityOptions.stopInflationRatio);
+    j.key("max_rounds"); j.value(routabilityOptions.maxRounds);
+    j.key("slow_lambda_every"); j.value(routabilityOptions.slowLambdaEvery);
+    j.key("router");
+    j.openObject();
+    j.key("grid_x"); j.value(routabilityOptions.router.gridX);
+    j.key("grid_y"); j.value(routabilityOptions.router.gridY);
+    j.key("layer_pairs"); j.value(routabilityOptions.router.numLayerPairs);
+    j.key("capacity_per_layer");
+    j.value(routabilityOptions.router.capacityPerLayer);
+    j.key("capacity_factor"); j.value(routabilityOptions.router.capacityFactor);
+    j.key("wire_pitch"); j.value(routabilityOptions.router.wirePitch);
+    j.key("reroute_rounds"); j.value(routabilityOptions.router.rerouteRounds);
+    j.key("max_net_degree");
+    j.value(static_cast<std::int64_t>(routabilityOptions.router.maxNetDegree));
+    j.closeObject();
+    j.closeObject();
+  }
+
+  j.key("exports");
+  j.openObject();
+  j.key("telemetry_jsonl"); j.value(telemetryJsonl);
+  j.key("telemetry_csv"); j.value(telemetryCsv);
+  j.key("trace_file"); j.value(traceFile);
+  j.key("report_json"); j.value(reportJson);
+  j.key("report_text"); j.value(reportText);
+  j.closeObject();
+
+  j.closeObject();
+  return j.out;
 }
 
 RunReport buildRunReport(const Database& db, const PlacerOptions& options,
                          const FlowResult& result,
                          const std::vector<TelemetryRunSummary>& gpRuns,
-                         const ObservabilitySnapshot& before) {
+                         FlowContext& context) {
   RunReport report;
   report.label = options.telemetryLabel;
 
@@ -186,46 +206,57 @@ RunReport buildRunReport(const Database& db, const PlacerOptions& options,
   report.binsMax = options.gp.binsMax;
   report.routability = options.routability;
   report.detailedPlacement = options.runDetailedPlacement;
+  report.optionsJson = options.toJson();
 
   report.result = result;
-  report.ioSeconds = TimingRegistry::instance().totalPrefix("io");
+  // IO typically happens before placeDesign (reader scopes land in the
+  // default context); fold it in with any flow-local "io/" scopes.
+  report.ioSeconds = context.timing().totalPrefix("io");
+  if (!context.isDefault()) {
+    report.ioSeconds +=
+        FlowContext::defaultContext().timing().totalPrefix("io");
+  }
   report.gpRuns = gpRuns;
 
-  ThreadPool& pool = ThreadPool::instance();
+  // Pool time since markFlowStart(). The pool may be shared with
+  // concurrent jobs, so busy/capacity are wall-clock facts about this
+  // window, not per-flow invariants — the gate never checks them.
+  ThreadPool& pool = context.pool();
   report.threads = pool.threads();
-  const std::int64_t busy_us = pool.busyMicros() - before.poolBusyMicros;
-  const std::int64_t cap_us = pool.capacityMicros() - before.poolCapacityMicros;
+  const std::int64_t busy_us =
+      pool.busyMicros() - context.poolBusyStartMicros();
+  const std::int64_t cap_us =
+      pool.capacityMicros() - context.poolCapacityStartMicros();
   report.poolBusySeconds = static_cast<double>(busy_us) * 1e-6;
   report.poolCapacitySeconds = static_cast<double>(cap_us) * 1e-6;
   report.poolUtilization =
       cap_us > 0 ? std::clamp(static_cast<double>(busy_us) / cap_us, 0.0, 1.0)
                  : 0.0;
 
-  // Run deltas: subtract the flow-start snapshot, drop empty entries.
-  for (auto& [key, stat] : TimingRegistry::instance().statsSnapshot()) {
-    TimingStat delta = stat;
-    if (const auto it = before.timing.find(key); it != before.timing.end()) {
-      delta.count -= it->second.count;
-      delta.seconds -= it->second.seconds;
-      delta.selfSeconds -= it->second.selfSeconds;
-      delta.rootSeconds -= it->second.rootSeconds;
-    }
-    if (delta.count != 0 || delta.seconds != 0.0) {
-      report.timing.emplace(key, delta);
+  // Per-flow registries start empty at flow start, so their contents ARE
+  // this run's numbers — no delta arithmetic, no cross-flow leakage.
+  for (auto& [key, stat] : context.timing().statsSnapshot()) {
+    if (stat.count != 0 || stat.seconds != 0.0) {
+      report.timing.emplace(key, stat);
     }
   }
-  for (auto& [key, value] : CounterRegistry::instance().snapshot()) {
-    CounterRegistry::Value delta = value;
-    if (const auto it = before.counters.find(key);
-        it != before.counters.end()) {
-      delta -= it->second;
-    }
-    if (delta != 0) {
-      report.counters.emplace(key, delta);
+  for (auto& [key, value] : context.counters().snapshot()) {
+    if (value != 0) {
+      report.counters.emplace(key, value);
     }
   }
 
-  report.trackedMemory = MemoryTracker::instance().snapshot();
+  // Memory: merge pre-flow attributions (the database, loaded under the
+  // default context before placeDesign) with the flow's own workspaces.
+  report.trackedMemory = context.memory().snapshot();
+  if (!context.isDefault()) {
+    for (const auto& [key, usage] :
+         FlowContext::defaultContext().memory().snapshot()) {
+      MemoryTracker::Usage& merged = report.trackedMemory[key];
+      merged.currentBytes += usage.currentBytes;
+      merged.peakBytes += usage.peakBytes;
+    }
+  }
   report.processMemory = sampleProcessMemory();
   return report;
 }
@@ -262,6 +293,10 @@ std::string RunReport::toJson() const {
   j.key("bins_max"); j.value(binsMax);
   j.key("routability"); j.value(routability);
   j.key("detailed_placement"); j.value(detailedPlacement);
+  if (!optionsJson.empty()) {
+    j.key("options");
+    j.rawValue(optionsJson);
+  }
   j.closeObject();
 
   j.key("result");

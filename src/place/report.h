@@ -7,10 +7,13 @@
 // telemetry summaries — plus design/config metadata, and renders them as
 // one JSON document and/or a human-readable text summary.
 //
-// Timing and counter sections are *deltas* from a snapshot taken at flow
-// start, so a process that runs several flows (benches, sweeps) reports
-// per-run numbers; memory and the IO stage are absolute (IO typically
-// happens before placeDesign, and memory attribution is a live gauge).
+// Timing and counter sections come from the flow's own FlowContext
+// registries, which start empty when the flow starts — so a process that
+// runs several flows (benches, sweeps, engine batches) reports exact
+// per-run numbers with no delta arithmetic and no cross-flow leakage.
+// Memory merges the default context's tracker (pre-flow attributions such
+// as the database, loaded before placeDesign) with the flow's own; the IO
+// stage likewise folds in pre-flow "io/" scopes.
 //
 // The JSON schema is pinned by tests/report_test.cpp and consumed by
 // tools/check_report.cpp, the count-based CI regression gate (see
@@ -29,16 +32,6 @@
 #include "place/placer.h"
 
 namespace dreamplace {
-
-/// Snapshot of the delta-reported registries, taken at flow start.
-struct ObservabilitySnapshot {
-  std::map<std::string, TimingStat> timing;
-  std::map<std::string, CounterRegistry::Value> counters;
-  std::int64_t poolBusyMicros = 0;
-  std::int64_t poolCapacityMicros = 0;
-
-  static ObservabilitySnapshot capture();
-};
 
 /// Everything one flow run exposes, ready to render.
 struct RunReport {
@@ -68,6 +61,10 @@ struct RunReport {
   int binsMax = 0;
   bool routability = false;
   bool detailedPlacement = true;
+  /// PlacerOptions::toJson() of the producing run, spliced verbatim under
+  /// "config.options" — the complete configuration, not just the summary
+  /// fields above. Empty = omitted (hand-built reports in tests).
+  std::string optionsJson;
 
   // Outcome + stage breakdown.
   FlowResult result;
@@ -94,13 +91,15 @@ struct RunReport {
   std::string toText() const;
 };
 
-/// Assembles the report for a finished flow run. `before` is the registry
-/// snapshot captured at flow start; `gpRuns` the telemetry summaries
+/// Assembles the report for a finished flow run from `context`, the
+/// FlowContext the flow ran under (its registries hold exactly this
+/// flow's activity; context.markFlowStart() must have been called at flow
+/// start for the pool section). `gpRuns` are the telemetry summaries
 /// observed during the run.
 RunReport buildRunReport(const Database& db, const PlacerOptions& options,
                          const FlowResult& result,
                          const std::vector<TelemetryRunSummary>& gpRuns,
-                         const ObservabilitySnapshot& before);
+                         FlowContext& context);
 
 /// Writes the JSON and/or text rendering to the given paths (empty path =
 /// skip). Logs a warning and returns false if any write fails.

@@ -326,4 +326,62 @@ bool checkReport(const FlatJson& report, const FlatJson& baseline,
   return true;
 }
 
+bool isBatchReport(const FlatJson& document) {
+  const auto it = document.strings.find("schema");
+  return it != document.strings.end() &&
+         it->second == "dreamplace.batch_report.v1";
+}
+
+bool checkBatchReport(const FlatJson& batch, const FlatJson& baseline,
+                      std::vector<BatchJobCheck>& jobs, std::string* error) {
+  jobs.clear();
+  const auto batchString = [&batch](const std::string& path) {
+    const auto it = batch.strings.find(path);
+    return it == batch.strings.end() ? std::string() : it->second;
+  };
+
+  for (int i = 0;; ++i) {
+    const std::string prefix = "jobs." + std::to_string(i) + ".";
+    const std::string status = batchString(prefix + "status");
+    if (status.empty()) {
+      break;
+    }
+    BatchJobCheck job;
+    job.name = batchString(prefix + "name");
+    if (job.name.empty()) {
+      job.name = "job" + std::to_string(i);
+    }
+    job.status = status;
+    job.succeeded = status == "succeeded";
+    if (job.succeeded) {
+      // Re-root the embedded run report ("jobs.N.report.*" -> "*") and
+      // apply the per-run baseline to it unchanged.
+      const std::string reportPrefix = prefix + "report.";
+      FlatJson report;
+      for (const auto& [path, value] : batch.numbers) {
+        if (path.compare(0, reportPrefix.size(), reportPrefix) == 0) {
+          report.numbers.emplace(path.substr(reportPrefix.size()), value);
+        }
+      }
+      for (const auto& [path, value] : batch.strings) {
+        if (path.compare(0, reportPrefix.size(), reportPrefix) == 0) {
+          report.strings.emplace(path.substr(reportPrefix.size()), value);
+        }
+      }
+      if (!checkReport(report, baseline, job.results, error)) {
+        return false;
+      }
+    }
+    jobs.push_back(std::move(job));
+  }
+
+  if (jobs.empty()) {
+    if (error != nullptr) {
+      *error = "batch report contains no jobs";
+    }
+    return false;
+  }
+  return true;
+}
+
 }  // namespace dreamplace

@@ -58,4 +58,27 @@ bool checkReport(const FlatJson& report, const FlatJson& baseline,
                  std::vector<CheckResult>& results,
                  std::string* error = nullptr);
 
+/// True when the parsed document is a PlacementEngine batch report
+/// (schema dreamplace.batch_report.v1, place/engine.h) rather than a
+/// single run report.
+bool isBatchReport(const FlatJson& document);
+
+/// Outcome of checking one job of a batch report.
+struct BatchJobCheck {
+  std::string name;
+  std::string status;      ///< "succeeded" / "failed" / "timed_out".
+  bool succeeded = false;  ///< status == "succeeded".
+  /// Per-run baseline results over the job's embedded report; empty when
+  /// the job did not succeed (there is no report to check).
+  std::vector<CheckResult> results;
+};
+
+/// Applies the per-run baseline to every job of a batch report: the
+/// batch passes only when every job succeeded AND every job's embedded
+/// RunReport passes every baseline check. Returns false (with `error`)
+/// when the batch has no jobs or the baseline is malformed.
+bool checkBatchReport(const FlatJson& batch, const FlatJson& baseline,
+                      std::vector<BatchJobCheck>& jobs,
+                      std::string* error = nullptr);
+
 }  // namespace dreamplace

@@ -1,7 +1,9 @@
 #include <gtest/gtest.h>
+#include <unistd.h>
 
 #include <filesystem>
 #include <fstream>
+#include <string>
 
 #include "db/metrics.h"
 #include "gen/netlist_generator.h"
@@ -16,7 +18,10 @@ namespace fs = std::filesystem;
 class BookshelfTest : public ::testing::Test {
  protected:
   void SetUp() override {
-    dir_ = fs::temp_directory_path() / "dp_bookshelf_test";
+    // Per-process dir: ctest -j runs each test in its own process, and a
+    // shared path would let one test's teardown race another's files.
+    dir_ = fs::temp_directory_path() /
+           ("dp_bookshelf_test_" + std::to_string(::getpid()));
     fs::remove_all(dir_);
     fs::create_directories(dir_);
   }

@@ -2,6 +2,7 @@
 // (place/report_check.h): JSON schema golden test, flat-parser unit
 // tests, and check pass/fail behavior on fresh vs doctored reports.
 #include <gtest/gtest.h>
+#include <unistd.h>
 
 #include <cstdio>
 #include <filesystem>
@@ -45,7 +46,11 @@ PlacerOptions reportFlow() {
 const FlatJson& freshReport() {
   static FlatJson* cached = nullptr;
   if (cached == nullptr) {
-    const fs::path dir = fs::temp_directory_path() / "dp_report_test";
+    // Per-process dir: ctest -j runs sibling ReportTest cases in separate
+    // processes, each building its own fresh report; a shared path would
+    // let one process's cleanup race another's reads.
+    const fs::path dir = fs::temp_directory_path() /
+                         ("dp_report_test_" + std::to_string(::getpid()));
     fs::create_directories(dir);
     const fs::path json = dir / "report.json";
     const fs::path text = dir / "report.txt";
@@ -94,6 +99,32 @@ TEST(ReportTest, JsonSchemaGolden) {
        }) {
     EXPECT_TRUE(report.hasNumber(path)) << path;
   }
+
+  // The full options echo under config.options (PlacerOptions::toJson):
+  // complete, consistent with the summary fields, and faithful to the
+  // requesting options.
+  for (const char* path : {
+           "config.options.threads", "config.options.run_detailed_placement",
+           "config.options.routability", "config.options.gp.target_density",
+           "config.options.gp.max_iterations", "config.options.gp.seed",
+           "config.options.gp.bins_max", "config.options.gp.lr",
+           "config.options.dp.passes", "config.options.dp.enable_ism",
+           "config.options.greedy.row_search_window",
+           "config.options.abacus.row_search_window",
+       }) {
+    EXPECT_TRUE(report.hasNumber(path)) << path;
+  }
+  EXPECT_EQ(report.strings.at("config.options.precision"),
+            report.strings.at("config.precision"));
+  EXPECT_EQ(report.strings.at("config.options.gp.solver"),
+            report.strings.at("config.solver"));
+  EXPECT_EQ(report.strings.at("config.options.gp.dct"),
+            report.strings.at("config.dct"));
+  EXPECT_EQ(report.numbers.at("config.options.gp.max_iterations"), 300.0);
+  EXPECT_EQ(report.numbers.at("config.options.gp.bins_max"), 64.0);
+  EXPECT_EQ(report.numbers.at("config.options.dp.passes"), 1.0);
+  // Routability was off, so its sub-options are omitted.
+  EXPECT_FALSE(report.hasNumber("config.options.routability_options.max_rounds"));
 
   EXPECT_EQ(report.numbers.at("design.movable"), 600.0);  // pads excluded
   EXPECT_EQ(report.numbers.at("timing.gp.count"), 1.0);

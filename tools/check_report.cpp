@@ -3,6 +3,11 @@
 //
 //   check_report <report.json> <baseline.json>
 //
+// <report.json> may be a single run report (dreamplace.run_report.v1) or
+// a PlacementEngine batch report (dreamplace.batch_report.v1); for a
+// batch, every job must have succeeded and every job's embedded run
+// report is checked against the same baseline.
+//
 // Prints one PASS/FAIL line per baseline check and exits non-zero when
 // any check fails or either document is malformed. Baselines compare
 // *counts* (transform-per-solve ratios, workspace allocations, dropped
@@ -59,6 +64,36 @@ int main(int argc, char** argv) {
   if (!parseJsonFlat(baseline_text, baseline, &error)) {
     std::fprintf(stderr, "error: baseline %s: %s\n", argv[2], error.c_str());
     return 2;
+  }
+
+  if (isBatchReport(report)) {
+    std::vector<BatchJobCheck> jobs;
+    if (!checkBatchReport(report, baseline, jobs, &error)) {
+      std::fprintf(stderr, "error: %s\n", error.c_str());
+      return 2;
+    }
+    int failed = 0;
+    std::size_t checks = 0;
+    for (const BatchJobCheck& job : jobs) {
+      if (!job.succeeded) {
+        ++failed;
+        std::printf("FAIL  [%s] job status %s (expected succeeded)\n",
+                    job.name.c_str(), job.status.c_str());
+        continue;
+      }
+      for (const CheckResult& result : job.results) {
+        ++checks;
+        if (!result.passed) {
+          ++failed;
+        }
+        std::printf("%s  [%s] %s  (%s)\n", result.passed ? "PASS" : "FAIL",
+                    job.name.c_str(), result.description.c_str(),
+                    result.detail.c_str());
+      }
+    }
+    std::printf("%zu jobs, %zu checks, %d failed\n", jobs.size(), checks,
+                failed);
+    return failed == 0 ? 0 : 1;
   }
 
   std::vector<CheckResult> results;

@@ -1,0 +1,87 @@
+// CI driver for the PlacementEngine batch gate: places N synthetic
+// designs concurrently through one engine and writes the BatchReport
+// JSON, which check_report then gates per-job against the run-report
+// baseline.
+//
+//   run_batch <batch.json> [jobs] [maxConcurrentJobs]
+//
+// Defaults: 3 jobs, 3 concurrent. Designs are the report_test scale
+// (600 cells, 300 GP iterations) with distinct seeds, so every job
+// satisfies the same baseline invariants as the single-run gate.
+// Exits non-zero when any job fails, times out, or is illegal.
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "gen/netlist_generator.h"
+#include "place/engine.h"
+
+int main(int argc, char** argv) {
+  using namespace dreamplace;
+
+  if (argc < 2 || argc > 4) {
+    std::fprintf(stderr,
+                 "usage: %s <batch.json> [jobs=3] [maxConcurrentJobs=3]\n",
+                 argv[0]);
+    return 2;
+  }
+  const std::string out_path = argv[1];
+  const int num_jobs = argc > 2 ? std::atoi(argv[2]) : 3;
+  const int concurrent = argc > 3 ? std::atoi(argv[3]) : 3;
+  if (num_jobs < 1 || concurrent < 1) {
+    std::fprintf(stderr, "error: jobs and maxConcurrentJobs must be >= 1\n");
+    return 2;
+  }
+
+  std::vector<std::unique_ptr<Database>> designs;
+  std::vector<PlacementJob> jobs;
+  for (int i = 0; i < num_jobs; ++i) {
+    GeneratorConfig cfg;
+    cfg.designName = "batch" + std::to_string(i);
+    cfg.numCells = 600;
+    cfg.utilization = 0.7;
+    cfg.seed = 7 + static_cast<std::uint64_t>(i);
+    designs.push_back(generateNetlist(cfg));
+
+    PlacementJob job;
+    job.db = designs.back().get();
+    job.name = cfg.designName;
+    job.options.gp.maxIterations = 300;
+    job.options.gp.binsMax = 64;
+    job.options.dp.passes = 1;
+    job.options.telemetryLabel = cfg.designName;
+    jobs.push_back(std::move(job));
+  }
+
+  EngineOptions engine_options;
+  engine_options.maxConcurrentJobs = concurrent;
+  PlacementEngine engine(engine_options);
+  const BatchReport batch = engine.run(std::move(jobs));
+
+  std::ofstream out(out_path, std::ios::binary);
+  if (!out) {
+    std::fprintf(stderr, "error: cannot write %s\n", out_path.c_str());
+    return 2;
+  }
+  out << batch.toJson() << '\n';
+  out.close();
+
+  bool ok = batch.allSucceeded();
+  for (const JobReport& job : batch.jobs) {
+    std::printf("%-10s %-10s attempts=%d hpwl=%.6e overflow=%.4f legal=%d "
+                "wall=%.1fs\n",
+                job.name.c_str(), statusName(job.status), job.attempts,
+                job.result.hpwl, job.result.overflow,
+                job.result.legal ? 1 : 0, job.wallSeconds);
+    if (job.status == JobStatus::kSucceeded && !job.result.legal) {
+      ok = false;
+    }
+  }
+  std::printf("batch: %d/%zu succeeded, wall %.1fs aggregate %.1fs -> %s\n",
+              batch.succeeded, batch.jobs.size(), batch.wallSeconds,
+              batch.aggregateSeconds, out_path.c_str());
+  return ok ? 0 : 1;
+}
