@@ -51,10 +51,11 @@ Setup& setupFor(const std::string& design) {
 }
 
 void waKernel(benchmark::State& state, const std::string& design,
-              WirelengthKernel kernel, int threads) {
+              WirelengthKernel kernel, int threads, bool simd = true) {
   Setup& setup = setupFor(design);
   WaWirelengthOp<float>::Options options;
   options.kernel = kernel;
+  options.simd = simd;
   WaWirelengthOp<float> op(*setup.db, setup.db->numMovable(), options);
   op.setGamma(4.0);
   const int prev = ThreadPool::instance().threads();
@@ -89,6 +90,14 @@ void registerAll() {
           waKernel(s, design, WirelengthKernel::kMerged, 0);
         })
         ->Unit(benchmark::kMillisecond);
+    // SIMD ablation: the merged kernel with the ScalarVec (libm exp)
+    // code path, the pre-SIMD numerics (docs/SIMD.md).
+    benchmark::RegisterBenchmark(
+        (std::string("WA/") + design + "/merged_scalar").c_str(),
+        [design](benchmark::State& s) {
+          waKernel(s, design, WirelengthKernel::kMerged, 0, /*simd=*/false);
+        })
+        ->Unit(benchmark::kMillisecond);
     // Fig. 10(c): net-by-net, 1 thread vs all hardware threads.
     benchmark::RegisterBenchmark(
         (std::string("WA/") + design + "/net_by_net_1thread").c_str(),
@@ -115,16 +124,23 @@ void writeJsonReport(const std::string& path) {
   const struct {
     const char* name;
     WirelengthKernel kernel;
+    bool simd;
   } kernels[] = {
-      {"net_by_net", WirelengthKernel::kNetByNet},
-      {"atomic", WirelengthKernel::kAtomic},
-      {"merged", WirelengthKernel::kMerged},
+      {"net_by_net", WirelengthKernel::kNetByNet, true},
+      {"atomic", WirelengthKernel::kAtomic, true},
+      {"merged", WirelengthKernel::kMerged, true},
+      // The SIMD comparison row: same merged kernel through the
+      // ScalarVec/libm-exp path. In a -DDREAMPLACE_SIMD=OFF build the two
+      // merged rows coincide (Options::simd is moot), so diffing the pair
+      // across build flavors isolates codegen (-mavx2) from algorithm.
+      {"merged_scalar", WirelengthKernel::kMerged, false},
   };
   for (const char* design : {"adaptec1", "bigblue4"}) {
     Setup& setup = setupFor(design);
     for (const auto& k : kernels) {
       WaWirelengthOp<float>::Options options;
       options.kernel = k.kernel;
+      options.simd = k.simd;
       WaWirelengthOp<float> op(*setup.db, setup.db->numMovable(), options);
       op.setGamma(4.0);
       const auto run = [&] {
@@ -147,6 +163,7 @@ void writeJsonReport(const std::string& path) {
     }
   }
   writer.addCounterPrefix("ops/wirelength/");
+  writer.addCounterPrefix("simd/");
   if (writer.write(path)) {
     std::printf("bench json written to %s\n", path.c_str());
   } else {
@@ -158,7 +175,7 @@ void writeJsonReport(const std::string& path) {
 
 int main(int argc, char** argv) {
   const std::string json_path =
-      benchJsonPath(argc, argv, "BENCH_fig10.json");
+      benchJsonPath(argc, argv, "BENCH_fig10_wirelength.json");
   applyBenchThreads(argc, argv);
   registerAll();
   benchmark::Initialize(&argc, argv);

@@ -185,4 +185,28 @@ R parallelReduce(const char* label, Index n, Index grain, R init, Map&& map,
   return acc;
 }
 
+/// parallelReduce with a worker index: map(begin, end, worker) may use
+/// per-worker scratch (worker in [0, threads())), exactly like
+/// parallelForBlocked. Same determinism guarantee — which worker runs a
+/// block never affects the partial it produces, and partials combine in
+/// ascending block order.
+template <typename R, typename Map, typename Combine>
+R parallelReduceBlocked(const char* label, Index n, Index grain, R init,
+                        Map&& map, Combine&& combine) {
+  if (n <= 0) return init;
+  const Index g = grain > 0 ? grain : 1;
+  const Index blocks = (n + g - 1) / g;
+  std::vector<R> partial(static_cast<std::size_t>(blocks), init);
+  currentThreadPool().run(label, blocks, [&](Index block, int worker) {
+    const Index lo = block * g;
+    const Index hi = std::min<Index>(lo + g, n);
+    partial[static_cast<std::size_t>(block)] = map(lo, hi, worker);
+  });
+  R acc = init;
+  for (Index block = 0; block < blocks; ++block) {
+    acc = combine(acc, partial[static_cast<std::size_t>(block)]);
+  }
+  return acc;
+}
+
 }  // namespace dreamplace

@@ -1,0 +1,25 @@
+#include "common/simd.h"
+
+namespace dreamplace {
+namespace simd {
+
+const char* activeIsaName() {
+#if defined(DREAMPLACE_SIMD_DISABLED)
+  return "scalar";
+#elif defined(__AVX512F__)
+  return "avx512";
+#elif defined(__AVX2__)
+  return "avx2";
+#elif defined(__AVX__)
+  return "avx";
+#elif defined(__SSE2__) || defined(__x86_64__)
+  return "sse2";
+#elif defined(__ARM_NEON) || defined(__aarch64__)
+  return "neon";
+#else
+  return "generic";
+#endif
+}
+
+}  // namespace simd
+}  // namespace dreamplace

@@ -6,8 +6,87 @@
 
 #include "common/log.h"
 #include "common/parallel.h"
+#include "common/simd.h"
 
 namespace dreamplace {
+namespace {
+
+/// row[by] += qox * yOverlap(by) for by in [by0, by1), where yOverlap is
+/// the (clamped) overlap of [yl, yh) with bin row by. Full lanes compute
+/// consecutive bins at once; overlap-free lanes contribute an exact 0.
+/// The tail stays scalar so stores never leave [by0, by1).
+template <typename V, typename T = typename V::Elem>
+inline void addOverlapStrip(T* row, int by0, int by1, T qox, T yl, T yh,
+                            T gridYl, T binH) {
+  constexpr int kW = V::kWidth;
+  int by = by0;
+  if (by1 - by0 >= kW) {
+    const V vyl = V::broadcast(yl);
+    const V vyh = V::broadcast(yh);
+    const V vbinh = V::broadcast(binH);
+    const V vgyl = V::broadcast(gridYl);
+    const V vq = V::broadcast(qox);
+    const V zero = V::zero();
+    V idx = V::iota() + V::broadcast(static_cast<T>(by0));
+    for (; by + kW <= by1; by += kW) {
+      const V bin_yl = fma(idx, vbinh, vgyl);
+      const V oy = max(zero, min(vyh, bin_yl + vbinh) - max(vyl, bin_yl));
+      fma(vq, oy, V::load(row + by)).store(row + by);
+      idx = idx + V::broadcast(static_cast<T>(kW));
+    }
+  }
+  for (; by < by1; ++by) {
+    const T bin_yl = static_cast<T>(by) * binH + gridYl;
+    const T oy = std::min(yh, bin_yl + binH) - std::max(yl, bin_yl);
+    if (oy > 0) {
+      row[by] += qox * oy;
+    }
+  }
+}
+
+/// fx += sum ox*oy(by)*fieldX[b], fy likewise, over the strip's bins.
+/// Lane partials fold in ascending lane order (deterministic — the lane
+/// decomposition depends only on [by0, by1)).
+template <typename V, typename T = typename V::Elem>
+inline void dotOverlapStrip(const T* rowX, const T* rowY, int by0, int by1,
+                            T ox, T yl, T yh, T gridYl, T binH, T& fx,
+                            T& fy) {
+  constexpr int kW = V::kWidth;
+  int by = by0;
+  T sx = 0, sy = 0;
+  if (by1 - by0 >= kW) {
+    const V vyl = V::broadcast(yl);
+    const V vyh = V::broadcast(yh);
+    const V vbinh = V::broadcast(binH);
+    const V vgyl = V::broadcast(gridYl);
+    const V vox = V::broadcast(ox);
+    const V zero = V::zero();
+    V ax = V::zero(), ay = V::zero();
+    V idx = V::iota() + V::broadcast(static_cast<T>(by0));
+    for (; by + kW <= by1; by += kW) {
+      const V bin_yl = fma(idx, vbinh, vgyl);
+      const V area =
+          vox * max(zero, min(vyh, bin_yl + vbinh) - max(vyl, bin_yl));
+      ax = fma(area, V::load(rowX + by), ax);
+      ay = fma(area, V::load(rowY + by), ay);
+      idx = idx + V::broadcast(static_cast<T>(kW));
+    }
+    sx = hsum(ax);
+    sy = hsum(ay);
+  }
+  for (; by < by1; ++by) {
+    const T bin_yl = static_cast<T>(by) * binH + gridYl;
+    const T oy = std::min(yh, bin_yl + binH) - std::max(yl, bin_yl);
+    if (oy > 0) {
+      sx += ox * oy * rowX[by];
+      sy += ox * oy * rowY[by];
+    }
+  }
+  fx += sx;
+  fy += sy;
+}
+
+}  // namespace
 
 template <typename T>
 DensityGrid<T> makeGrid(const Box<Coord>& region, Index numCells,
@@ -41,6 +120,9 @@ DensityMapBuilder<T>::DensityMapBuilder(const DensityGrid<T>& grid,
       options_(options) {
   DP_ASSERT(widths_.size() == heights_.size());
   DP_ASSERT(options_.subdivision >= 1);
+  inv_bin_w_ = T(1) / grid_.binW;
+  inv_bin_h_ = T(1) / grid_.binH;
+  inv_bin_area_ = T(1) / grid_.binArea();
   const Index n = numNodes();
   eff_w_.resize(n);
   eff_h_.resize(n);
@@ -68,8 +150,9 @@ DensityMapBuilder<T>::DensityMapBuilder(const DensityGrid<T>& grid,
 
 template <typename T>
 template <typename Visit>
-void DensityMapBuilder<T>::forEachOverlap(const T* x, const T* y, Index node,
-                                          Visit visit) const {
+void DensityMapBuilder<T>::forEachOverlapStrip(const T* x, const T* y,
+                                               Index node,
+                                               Visit visit) const {
   const int sub = options_.subdivision;
   const T w = eff_w_[node];
   const T h = eff_h_[node];
@@ -86,10 +169,10 @@ void DensityMapBuilder<T>::forEachOverlap(const T* x, const T* y, Index node,
       const T xh = xl + sub_w;
       const T yl = node_yl + sy * sub_h;
       const T yh = yl + sub_h;
-      int bx0 = static_cast<int>(std::floor((xl - grid_.xl) / grid_.binW));
-      int bx1 = static_cast<int>(std::ceil((xh - grid_.xl) / grid_.binW));
-      int by0 = static_cast<int>(std::floor((yl - grid_.yl) / grid_.binH));
-      int by1 = static_cast<int>(std::ceil((yh - grid_.yl) / grid_.binH));
+      int bx0 = static_cast<int>(std::floor((xl - grid_.xl) * inv_bin_w_));
+      int bx1 = static_cast<int>(std::ceil((xh - grid_.xl) * inv_bin_w_));
+      int by0 = static_cast<int>(std::floor((yl - grid_.yl) * inv_bin_h_));
+      int by1 = static_cast<int>(std::ceil((yh - grid_.yl) * inv_bin_h_));
       bx0 = std::max(bx0, 0);
       by0 = std::max(by0, 0);
       bx1 = std::min(bx1, grid_.mx);
@@ -100,15 +183,7 @@ void DensityMapBuilder<T>::forEachOverlap(const T* x, const T* y, Index node,
         if (ox <= 0) {
           continue;
         }
-        for (int by = by0; by < by1; ++by) {
-          const T bin_yl = grid_.yl + by * grid_.binH;
-          const T oy =
-              std::min(yh, bin_yl + grid_.binH) - std::max(yl, bin_yl);
-          if (oy <= 0) {
-            continue;
-          }
-          visit(bx, by, ox * oy);
-        }
+        visit(bx, by0, by1, ox, yl, yh);
       }
     }
   }
@@ -131,7 +206,7 @@ template <typename T>
 void DensityMapBuilder<T>::scatter(const T* x, const T* y, Index begin,
                                    Index end, std::vector<T>& map) const {
   DP_ASSERT(static_cast<int>(map.size()) == grid_.mx * grid_.my);
-  const T inv_bin_area = T(1) / grid_.binArea();
+  using V = simd::NativeVec<T>;
   const Index n = numNodes();
   // order_ is a permutation of all nodes; entries outside [begin, end)
   // are skipped.
@@ -143,10 +218,12 @@ void DensityMapBuilder<T>::scatter(const T* x, const T* y, Index begin,
       if (node < begin || node >= end) {
         continue;
       }
-      const T q = scale_[node] * inv_bin_area;
-      forEachOverlap(x, y, node, [&](int bx, int by, T area) {
-        map[bx * grid_.my + by] += q * area;
-      });
+      const T q = scale_[node] * inv_bin_area_;
+      forEachOverlapStrip(
+          x, y, node, [&](int bx, int by0, int by1, T ox, T yl, T yh) {
+            addOverlapStrip<V>(map.data() + bx * grid_.my, by0, by1, q * ox,
+                               yl, yh, grid_.yl, grid_.binH);
+          });
     }
     return;
   }
@@ -169,10 +246,12 @@ void DensityMapBuilder<T>::scatter(const T* x, const T* y, Index begin,
           if (node < begin || node >= end) {
             continue;
           }
-          const T q = scale_[node] * inv_bin_area;
-          forEachOverlap(x, y, node, [&](int bx, int by, T area) {
-            partial[bx * grid_.my + by] += q * area;
-          });
+          const T q = scale_[node] * inv_bin_area_;
+          forEachOverlapStrip(
+              x, y, node, [&](int bx, int by0, int by1, T ox, T yl, T yh) {
+                addOverlapStrip<V>(partial + bx * grid_.my, by0, by1, q * ox,
+                                   yl, yh, grid_.yl, grid_.binH);
+              });
         }
       });
   parallelFor("ops/density/combine", static_cast<Index>(bins), 4096,
@@ -191,9 +270,7 @@ void DensityMapBuilder<T>::gatherForce(const T* x, const T* y,
                                        std::span<const T> fieldY, T* gx,
                                        T* gy) const {
   const Index n = numNodes();
-  const T inv_bin_area = T(1) / grid_.binArea();
-  const T inv_bin_w = T(1) / grid_.binW;
-  const T inv_bin_h = T(1) / grid_.binH;
+  using V = simd::NativeVec<T>;
   // Nodes write disjoint gradient entries, so the backward gather needs
   // no synchronization; blocks over the area-sorted order keep the
   // per-block cost roughly even.
@@ -201,16 +278,17 @@ void DensityMapBuilder<T>::gatherForce(const T* x, const T* y,
     const Index node = order_[k];
     T fx = 0;
     T fy = 0;
-    forEachOverlap(x, y, node, [&](int bx, int by, T area) {
-      const int b = bx * grid_.my + by;
-      fx += area * fieldX[b];
-      fy += area * fieldY[b];
-    });
-    const T q = scale_[node] * inv_bin_area;
+    forEachOverlapStrip(
+        x, y, node, [&](int bx, int by0, int by1, T ox, T yl, T yh) {
+          const int b = bx * grid_.my;
+          dotOverlapStrip<V>(fieldX.data() + b, fieldY.data() + b, by0, by1,
+                             ox, yl, yh, grid_.yl, grid_.binH, fx, fy);
+        });
+    const T q = scale_[node] * inv_bin_area_;
     // Density gradient is minus the electric force; the 1/bin scale
     // converts the field from bin-index to layout coordinates.
-    gx[node] = -q * fx * inv_bin_w;
-    gy[node] = -q * fy * inv_bin_h;
+    gx[node] = -q * fx * inv_bin_w_;
+    gy[node] = -q * fy * inv_bin_h_;
   });
 }
 
@@ -219,12 +297,14 @@ std::vector<T> buildFixedDensityMap(const Database& db,
                                     const DensityGrid<T>& grid) {
   std::vector<T> map(static_cast<size_t>(grid.mx) * grid.my, T(0));
   const T inv_bin_area = T(1) / grid.binArea();
+  const double inv_bin_w = 1.0 / grid.binW;
+  const double inv_bin_h = 1.0 / grid.binH;
   for (Index i = db.numMovable(); i < db.numCells(); ++i) {
     const Box<Coord> box = db.cellBox(i);
-    int bx0 = static_cast<int>(std::floor((box.xl - grid.xl) / grid.binW));
-    int bx1 = static_cast<int>(std::ceil((box.xh - grid.xl) / grid.binW));
-    int by0 = static_cast<int>(std::floor((box.yl - grid.yl) / grid.binH));
-    int by1 = static_cast<int>(std::ceil((box.yh - grid.yl) / grid.binH));
+    int bx0 = static_cast<int>(std::floor((box.xl - grid.xl) * inv_bin_w));
+    int bx1 = static_cast<int>(std::ceil((box.xh - grid.xl) * inv_bin_w));
+    int by0 = static_cast<int>(std::floor((box.yl - grid.yl) * inv_bin_h));
+    int by1 = static_cast<int>(std::ceil((box.yh - grid.yl) * inv_bin_h));
     bx0 = std::max(bx0, 0);
     by0 = std::max(by0, 0);
     bx1 = std::min(bx1, grid.mx);

@@ -82,14 +82,28 @@ class DensityMapBuilder {
   T chargeScale(Index node) const { return scale_[node]; }
 
  private:
+  /// Decomposes a node's overlap with the bin grid into contiguous
+  /// y-strips: visit(bx, by0, by1, ox, yl, yh) once per bin column the
+  /// node (sub-rectangle) overlaps, where ox is the x overlap with
+  /// column bx and [yl, yh) the sub-rectangle's y extent. The per-bin y
+  /// overlaps are then lane math on consecutive bins (common/simd.h),
+  /// and the bin-index searches use the precomputed 1/binW, 1/binH
+  /// instead of dividing per sub-rectangle.
   template <typename Visit>
-  void forEachOverlap(const T* x, const T* y, Index node, Visit visit) const;
+  void forEachOverlapStrip(const T* x, const T* y, Index node,
+                           Visit visit) const;
   /// Slice count for the parallel scatter: 1 for small designs, else up
   /// to 8, reduced when the per-slice partial map would blow the scratch
   /// budget on huge grids. Depends only on (node count, grid, T).
   int scatterSlices() const;
 
   DensityGrid<T> grid_;
+  // Hoisted reciprocals: the per-sub-rectangle bin-index math multiplies
+  // instead of dividing (division is ~20x the latency of multiply and
+  // not pipelined).
+  T inv_bin_w_ = 0;
+  T inv_bin_h_ = 0;
+  T inv_bin_area_ = 0;
   std::vector<T> widths_;
   std::vector<T> heights_;
   std::vector<T> eff_w_;   ///< Smoothed width (>= sqrt(2) * binW).

@@ -10,6 +10,7 @@
 #include "common/json_writer.h"
 #include "common/log.h"
 #include "common/parallel.h"
+#include "common/simd.h"
 
 namespace dreamplace {
 
@@ -233,6 +234,11 @@ RunReport buildRunReport(const Database& db, const PlacerOptions& options,
       cap_us > 0 ? std::clamp(static_cast<double>(busy_us) / cap_us, 0.0, 1.0)
                  : 0.0;
 
+  report.simdEnabled = simd::kEnabled;
+  report.simdIsa = simd::activeIsaName();
+  report.simdWidthF32 = simd::kNativeWidth<float>;
+  report.simdWidthF64 = simd::kNativeWidth<double>;
+
   // Per-flow registries start empty at flow start, so their contents ARE
   // this run's numbers — no delta arithmetic, no cross-flow leakage.
   for (auto& [key, stat] : context.timing().statsSnapshot()) {
@@ -324,6 +330,14 @@ std::string RunReport::toJson() const {
   j.key("busy_s"); j.value(poolBusySeconds);
   j.key("capacity_s"); j.value(poolCapacitySeconds);
   j.key("utilization"); j.value(poolUtilization);
+  j.closeObject();
+
+  j.key("simd");
+  j.openObject();
+  j.key("enabled"); j.value(simdEnabled);
+  j.key("isa"); j.value(simdIsa);
+  j.key("width_f32"); j.value(simdWidthF32);
+  j.key("width_f64"); j.value(simdWidthF64);
   j.closeObject();
 
   j.key("gp_runs");
@@ -430,6 +444,12 @@ std::string RunReport::toText() const {
                 "(%.0f%% utilization)\n",
                 threads, poolBusySeconds, poolCapacitySeconds,
                 100.0 * poolUtilization);
+  add();
+
+  std::snprintf(line, sizeof(line),
+                "simd: %s (%s, %d/%d lanes f32/f64)\n",
+                simdEnabled ? "on" : "off", simdIsa.c_str(), simdWidthF32,
+                simdWidthF64);
   add();
 
   if (!gpRuns.empty()) {

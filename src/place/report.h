@@ -81,6 +81,14 @@ struct RunReport {
   double poolCapacitySeconds = 0.0;
   double poolUtilization = 0.0;
 
+  // SIMD kernel layer (common/simd.h): whether the HwVec kernels were
+  // compiled in, which ISA they target, and the native lane widths —
+  // build facts, filled from the simd layer's constants.
+  bool simdEnabled = false;
+  std::string simdIsa;
+  int simdWidthF32 = 1;
+  int simdWidthF64 = 1;
+
   // Registry sections: timing/counters are run deltas, memory is live.
   std::map<std::string, TimingStat> timing;
   std::map<std::string, CounterRegistry::Value> counters;

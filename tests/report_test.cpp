@@ -89,6 +89,7 @@ TEST(ReportTest, JsonSchemaGolden) {
            "result.legal", "stages.gp_s", "stages.lg_s", "stages.dp_s",
            "stages.io_s", "stages.total_s", "parallel.threads",
            "parallel.busy_s", "parallel.capacity_s", "parallel.utilization",
+           "simd.enabled", "simd.width_f32", "simd.width_f64",
            "gp_runs.0.iterations",
            "gp_runs.0.overflow", "timing.gp.count", "timing.gp.incl_s",
            "timing.gp.self_s", "counters.ops/density/evaluate",
@@ -131,6 +132,13 @@ TEST(ReportTest, JsonSchemaGolden) {
   EXPECT_GE(report.numbers.at("parallel.threads"), 1.0);
   EXPECT_GE(report.numbers.at("parallel.utilization"), 0.0);
   EXPECT_LE(report.numbers.at("parallel.utilization"), 1.0);
+  // The simd section mirrors the build: lane widths are >= 1 always, and
+  // the active width counter published by the wirelength op matches.
+  EXPECT_FALSE(report.strings.at("simd.isa").empty());
+  EXPECT_GE(report.numbers.at("simd.width_f32"), 1.0);
+  EXPECT_GE(report.numbers.at("simd.width_f64"), 1.0);
+  EXPECT_GE(report.numbers.at("counters.simd/width"), 1.0);
+  EXPECT_GE(report.numbers.at("counters.simd/vexp_calls"), 1.0);
   // Self <= inclusive holds in the exported stats too.
   EXPECT_LE(report.numbers.at("timing.gp.self_s"),
             report.numbers.at("timing.gp.incl_s") + 1e-12);

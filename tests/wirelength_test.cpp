@@ -229,6 +229,38 @@ TEST(WaWirelengthTest, PinScratchAllocatesOnce) {
             kEvals - 1);
 }
 
+TEST(WaWirelengthTest, KernelSwitchReusesWorkspace) {
+  // The net-by-net and atomic strategies share one intermediate
+  // workspace, sized up front to the larger (net-by-net) footprint, so
+  // alternating strategies on one op allocates once and then reuses —
+  // no reallocation churn from the size mismatch (2*numPins vs numPins).
+  auto& registry = CounterRegistry::instance();
+  const auto allocs0 = registry.value("ops/wirelength/kernel_ws_alloc");
+  const auto reuses0 = registry.value("ops/wirelength/kernel_ws_reuse");
+
+  auto db = smallDesign(90, 17);
+  const Index n = db->numMovable();
+  WaWirelengthOp<double>::Options opts;
+  opts.kernel = WirelengthKernel::kNetByNet;
+  WaWirelengthOp<double> op(*db, n, opts);
+  op.setGamma(4.0);
+  auto params = centerParams<double>(*db, n);
+  std::vector<double> grad(params.size());
+
+  // Alternate the two strategies that materialize intermediates: the
+  // atomic passes fit inside the net-by-net footprint, so the switch
+  // must hit the reuse path every time after the first evaluate.
+  constexpr int kEvals = 6;
+  for (int i = 0; i < kEvals; ++i) {
+    op.setKernel(i % 2 == 0 ? WirelengthKernel::kNetByNet
+                            : WirelengthKernel::kAtomic);
+    op.evaluate(params, grad);
+  }
+  EXPECT_EQ(registry.value("ops/wirelength/kernel_ws_alloc") - allocs0, 1);
+  EXPECT_EQ(registry.value("ops/wirelength/kernel_ws_reuse") - reuses0,
+            kEvals - 1);
+}
+
 TEST(WaWirelengthTest, TopologyViewIsConsistent) {
   // All three kernels and the HPWL path consume the same NetTopologyView;
   // its CSR invariants are what make that sharing sound.
