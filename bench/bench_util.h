@@ -34,6 +34,7 @@
 
 #include "common/counters.h"
 #include "common/flow_context.h"
+#include "common/log.h"
 #include "common/parallel.h"
 #include "common/trace.h"
 #include "gen/suites.h"
@@ -52,9 +53,10 @@ namespace dreamplace::bench {
 //   --report=<file>           end-of-flow run report JSON (place/report.h)
 //   --report-text=<file>      human-readable rendering of the run report
 //   --threads=N               parallel-runtime worker threads (0 = auto)
+//   --log-level=LEVEL         debug|info|warn|error|silent
 // Environment fallbacks: DREAMPLACE_TRACE, DREAMPLACE_TELEMETRY_JSONL,
 // DREAMPLACE_TELEMETRY_CSV, DREAMPLACE_REPORT, DREAMPLACE_REPORT_TEXT,
-// DREAMPLACE_THREADS.
+// DREAMPLACE_THREADS, DREAMPLACE_LOG_LEVEL, DREAMPLACE_LOG_JSON.
 // ---------------------------------------------------------------------------
 
 /// The shared bench command line, parsed once. flowOptions() turns it
@@ -80,6 +82,8 @@ struct BenchFlags {
 
 inline BenchFlags parseBenchFlags(int argc, char** argv) {
   BenchFlags args;
+  initLogLevelFromEnv();
+  initLogJsonFromEnv();
   const auto fromEnv = [](const char* name) {
     const char* v = std::getenv(name);
     return v ? std::string(v) : std::string();
@@ -107,6 +111,13 @@ inline BenchFlags parseBenchFlags(int argc, char** argv) {
       args.reportFile = v;
     } else if (const char* v = match("--threads=")) {
       args.threads = std::atoi(v);
+    } else if (const char* v = match("--log-level=")) {
+      LogLevel level = LogLevel::kInfo;
+      if (!parseLogLevel(v, level)) {
+        std::fprintf(stderr, "error: unknown log level '%s'\n", v);
+        std::exit(2);
+      }
+      setLogLevel(level);
     }
   }
   return args;

@@ -38,6 +38,7 @@
 #include <stdexcept>
 
 #include "common/counters.h"
+#include "common/heartbeat.h"
 #include "common/memory.h"
 #include "common/timer.h"
 #include "common/trace.h"
@@ -97,6 +98,11 @@ class FlowContext {
   /// reach the tracker they were charged to, even after the flow ends.
   const std::shared_ptr<MemoryTracker>& memoryPtr() const { return memory_; }
   TraceRecorder& trace() { return *trace_; }
+  /// Liveness heartbeat of this flow: the GP loop and the flow driver
+  /// publish into it; the engine watchdog and the metrics exposition read
+  /// it from other threads (common/heartbeat.h).
+  HeartbeatState& heartbeat() { return heartbeat_; }
+  const HeartbeatState& heartbeat() const { return heartbeat_; }
   ThreadPool& pool();
 
   /// True for the process-wide default context backing the legacy
@@ -137,6 +143,7 @@ class FlowContext {
 
   CounterRegistry counters_;
   TimingRegistry timing_;
+  HeartbeatState heartbeat_;
   std::shared_ptr<MemoryTracker> memory_;
   std::unique_ptr<TraceRecorder> trace_owned_;
   TraceRecorder* trace_ = nullptr;

@@ -1,15 +1,25 @@
 #include "common/log.h"
 
 #include <atomic>
+#include <cctype>
+#include <chrono>
 #include <cstdio>
 #include <cstdlib>
 #include <mutex>
+#include <stdexcept>
+#include <utility>
+#include <vector>
 
 namespace dreamplace {
 
 namespace {
 std::atomic<LogLevel> g_level{LogLevel::kInfo};
 std::mutex g_mutex;
+
+// JSONL mirror sink; guarded by g_mutex (the same lock that serializes
+// the stderr lines, so text and JSONL stay in the same order).
+std::FILE* g_json_file = nullptr;
+std::string g_json_path;
 
 const char* prefix(LogLevel level) {
   switch (level) {
@@ -25,23 +35,181 @@ const char* prefix(LogLevel level) {
       return "";
   }
 }
+
+/// Per-thread stack of active LogScope key/value pairs.
+std::vector<std::pair<std::string, std::string>>& scopeStack() {
+  thread_local std::vector<std::pair<std::string, std::string>> stack;
+  return stack;
+}
+
+void appendJsonEscaped(std::string& out, const std::string& s) {
+  for (const char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\r': out += "\\r"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+}
 }  // namespace
 
 void setLogLevel(LogLevel level) { g_level.store(level); }
 LogLevel logLevel() { return g_level.load(); }
+
+const char* logLevelName(LogLevel level) {
+  switch (level) {
+    case LogLevel::kDebug: return "debug";
+    case LogLevel::kInfo: return "info";
+    case LogLevel::kWarn: return "warn";
+    case LogLevel::kError: return "error";
+    case LogLevel::kSilent: return "silent";
+  }
+  return "unknown";
+}
+
+bool parseLogLevel(std::string_view name, LogLevel& out) {
+  std::string lower;
+  lower.reserve(name.size());
+  for (const char c : name) {
+    lower += static_cast<char>(std::tolower(static_cast<unsigned char>(c)));
+  }
+  if (lower == "debug") { out = LogLevel::kDebug; return true; }
+  if (lower == "info") { out = LogLevel::kInfo; return true; }
+  if (lower == "warn" || lower == "warning") { out = LogLevel::kWarn; return true; }
+  if (lower == "error") { out = LogLevel::kError; return true; }
+  if (lower == "silent" || lower == "off") { out = LogLevel::kSilent; return true; }
+  return false;
+}
+
+bool initLogLevelFromEnv() {
+  const char* env = std::getenv("DREAMPLACE_LOG_LEVEL");
+  if (env == nullptr || *env == '\0') {
+    return false;
+  }
+  LogLevel level;
+  if (!parseLogLevel(env, level)) {
+    logWarn("log: ignoring invalid DREAMPLACE_LOG_LEVEL '%s' "
+            "(expected debug|info|warn|error|silent)", env);
+    return false;
+  }
+  setLogLevel(level);
+  return true;
+}
+
+void setLogJsonPath(const std::string& path) {
+  std::lock_guard<std::mutex> lock(g_mutex);
+  if (path == g_json_path) {
+    return;  // idempotent: engines and CLIs may both apply the same env
+  }
+  if (g_json_file != nullptr) {
+    std::fclose(g_json_file);
+    g_json_file = nullptr;
+    g_json_path.clear();
+  }
+  if (path.empty()) {
+    return;
+  }
+  std::FILE* f = std::fopen(path.c_str(), "a");
+  if (f == nullptr) {
+    throw std::runtime_error("log: cannot write " + path);
+  }
+  g_json_file = f;
+  g_json_path = path;
+}
+
+bool initLogJsonFromEnv() {
+  const char* env = std::getenv("DREAMPLACE_LOG_JSON");
+  if (env == nullptr || *env == '\0') {
+    return false;
+  }
+  try {
+    setLogJsonPath(env);
+  } catch (const std::exception& e) {
+    logError("log: DREAMPLACE_LOG_JSON: %s", e.what());
+    return false;
+  }
+  return true;
+}
+
+LogScope::LogScope(std::string key, std::string value) {
+  scopeStack().emplace_back(std::move(key), std::move(value));
+}
+
+LogScope::~LogScope() { scopeStack().pop_back(); }
+
+std::string LogScope::currentText() {
+  std::string out;
+  for (const auto& [key, value] : scopeStack()) {
+    if (!out.empty()) {
+      out += ' ';
+    }
+    out += key;
+    out += '=';
+    out += value;
+  }
+  return out;
+}
 
 namespace detail {
 void vlog(LogLevel level, const char* fmt, std::va_list args) {
   if (level < g_level.load()) {
     return;
   }
+  char msg[1024];
+  std::vsnprintf(msg, sizeof(msg), fmt, args);
+  const auto& scopes = scopeStack();
+
   // Logs go to stderr: benches and examples print result tables on
   // stdout, and the two streams must stay separable.
   std::lock_guard<std::mutex> lock(g_mutex);
   std::fputs(prefix(level), stderr);
-  std::vfprintf(stderr, fmt, args);
+  if (!scopes.empty()) {
+    std::fputc('[', stderr);
+    for (std::size_t i = 0; i < scopes.size(); ++i) {
+      std::fprintf(stderr, "%s%s=%s", i == 0 ? "" : " ",
+                   scopes[i].first.c_str(), scopes[i].second.c_str());
+    }
+    std::fputs("] ", stderr);
+  }
+  std::fputs(msg, stderr);
   std::fputc('\n', stderr);
   std::fflush(stderr);
+
+  if (g_json_file != nullptr) {
+    const double ts =
+        std::chrono::duration<double>(
+            std::chrono::system_clock::now().time_since_epoch())
+            .count();
+    std::string line = "{\"ts\":";
+    char num[64];
+    std::snprintf(num, sizeof(num), "%.6f", ts);
+    line += num;
+    line += ",\"level\":\"";
+    line += logLevelName(level);
+    line += '"';
+    for (const auto& [key, value] : scopes) {
+      line += ",\"";
+      appendJsonEscaped(line, key);
+      line += "\":\"";
+      appendJsonEscaped(line, value);
+      line += '"';
+    }
+    line += ",\"msg\":\"";
+    appendJsonEscaped(line, msg);
+    line += "\"}\n";
+    std::fputs(line.c_str(), g_json_file);
+    std::fflush(g_json_file);
+  }
 }
 }  // namespace detail
 

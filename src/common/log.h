@@ -2,10 +2,19 @@
 //
 // The placer is a long-running numerical loop; logging must be cheap when
 // disabled and line-buffered when enabled so progress is visible during runs.
+//
+// Structured context: a RAII LogScope stamps key=value pairs (job name,
+// design label) onto every line the current thread emits while the scope
+// is alive, so interleaved lines from concurrent engine jobs stay
+// attributable. An optional JSONL sink (DREAMPLACE_LOG_JSON=<path>, or
+// setLogJsonPath) mirrors every emitted line as one JSON object —
+// {"ts":…,"level":…,<scope keys>,"msg":…} — making engine lifecycle
+// events machine-parseable. See docs/OBSERVABILITY.md.
 #pragma once
 
 #include <cstdarg>
 #include <string>
+#include <string_view>
 
 namespace dreamplace {
 
@@ -20,6 +29,44 @@ enum class LogLevel : int {
 /// Global log threshold; messages below it are dropped.
 void setLogLevel(LogLevel level);
 LogLevel logLevel();
+
+/// Stable lowercase name ("debug", "info", "warn", "error", "silent").
+const char* logLevelName(LogLevel level);
+
+/// Parses a level name (case-insensitive; "warning" accepted for kWarn).
+/// Returns false and leaves `out` untouched on an unknown name.
+bool parseLogLevel(std::string_view name, LogLevel& out);
+
+/// Applies DREAMPLACE_LOG_LEVEL when set to a valid level name; returns
+/// true when a level was applied. An invalid value logs a warning and is
+/// ignored (logging must not break a run).
+bool initLogLevelFromEnv();
+
+/// Mirrors every emitted log line to `path` as one JSON object per line
+/// (append mode). An empty path disables the sink. Throws
+/// std::runtime_error("log: cannot write <path>") when the file cannot be
+/// opened. Re-setting the same path is a no-op.
+void setLogJsonPath(const std::string& path);
+
+/// Applies DREAMPLACE_LOG_JSON when set; an unopenable path logs an error
+/// and returns false instead of throwing (env-driven config must not kill
+/// a run that never asked for logs programmatically).
+bool initLogJsonFromEnv();
+
+/// RAII structured-log context: while alive, every log line emitted by
+/// *this thread* carries "key=value" (text) / "key":"value" (JSONL).
+/// Scopes nest; destruction must be LIFO (automatic with block scoping).
+class LogScope {
+ public:
+  LogScope(std::string key, std::string value);
+  ~LogScope();
+
+  LogScope(const LogScope&) = delete;
+  LogScope& operator=(const LogScope&) = delete;
+
+  /// "key=value key2=value2" for this thread's active scopes ("" if none).
+  static std::string currentText();
+};
 
 /// printf-style logging. All calls are thread-safe (single write per line).
 void logDebug(const char* fmt, ...) __attribute__((format(printf, 1, 2)));

@@ -1,0 +1,382 @@
+#include "common/metrics_export.h"
+
+#include <cctype>
+#include <cinttypes>
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <map>
+#include <string_view>
+
+#include "common/flow_context.h"
+#include "common/heartbeat.h"
+#include "common/memory.h"
+#include "common/timer.h"
+
+namespace dreamplace {
+
+namespace {
+
+void appendLabelEscaped(std::string& out, const std::string& s) {
+  // Prometheus label values escape backslash, double-quote and newline.
+  for (const char c : s) {
+    switch (c) {
+      case '\\': out += "\\\\"; break;
+      case '"': out += "\\\""; break;
+      case '\n': out += "\\n"; break;
+      default: out += c;
+    }
+  }
+}
+
+void appendValue(std::string& out, double v) {
+  if (std::isnan(v)) {
+    out += "NaN";
+  } else if (std::isinf(v)) {
+    out += v > 0 ? "+Inf" : "-Inf";
+  } else {
+    char buf[64];
+    std::snprintf(buf, sizeof(buf), "%.17g", v);
+    out += buf;
+  }
+}
+
+/// `name{job="…",key="…"} value` (omit a label by passing nullptr).
+void appendSample(std::string& out, const char* name, const std::string* job,
+                  const char* keyLabel, const std::string* key, double value) {
+  out += name;
+  if (job != nullptr || key != nullptr) {
+    out += '{';
+    bool first = true;
+    if (job != nullptr) {
+      out += "job=\"";
+      appendLabelEscaped(out, *job);
+      out += '"';
+      first = false;
+    }
+    if (key != nullptr) {
+      if (!first) {
+        out += ',';
+      }
+      out += keyLabel;
+      out += "=\"";
+      appendLabelEscaped(out, *key);
+      out += '"';
+    }
+    out += '}';
+  }
+  out += ' ';
+  appendValue(out, value);
+  out += '\n';
+}
+
+void appendHeader(std::string& out, const char* name, const char* type,
+                  const char* help) {
+  out += "# HELP ";
+  out += name;
+  out += ' ';
+  out += help;
+  out += "\n# TYPE ";
+  out += name;
+  out += ' ';
+  out += type;
+  out += '\n';
+}
+
+bool validMetricName(std::string_view name) {
+  if (name.empty()) {
+    return false;
+  }
+  const auto ok_first = [](char c) {
+    return std::isalpha(static_cast<unsigned char>(c)) || c == '_' || c == ':';
+  };
+  const auto ok_rest = [&ok_first](char c) {
+    return ok_first(c) || std::isdigit(static_cast<unsigned char>(c));
+  };
+  if (!ok_first(name[0])) {
+    return false;
+  }
+  for (std::size_t i = 1; i < name.size(); ++i) {
+    if (!ok_rest(name[i])) {
+      return false;
+    }
+  }
+  return true;
+}
+
+bool validSampleValue(std::string_view value) {
+  if (value == "NaN" || value == "+Inf" || value == "-Inf" || value == "Inf") {
+    return true;
+  }
+  if (value.empty()) {
+    return false;
+  }
+  const std::string copy(value);
+  char* end = nullptr;
+  std::strtod(copy.c_str(), &end);
+  return end == copy.c_str() + copy.size();
+}
+
+}  // namespace
+
+std::string renderPrometheusMetrics(
+    const std::vector<MetricsSource>& sources) {
+  for (const MetricsSource& source : sources) {
+    if (source.context != nullptr) {
+      source.context->counters().add("metrics/exports", 1);
+    }
+  }
+
+  std::string out;
+  out.reserve(4096);
+  const std::int64_t now_us = HeartbeatState::nowMicros();
+
+  appendHeader(out, "dreamplace_counter_total", "counter",
+               "Monotonic event counters, one series per flow and key.");
+  for (const MetricsSource& source : sources) {
+    if (source.context == nullptr) {
+      continue;
+    }
+    for (const auto& [key, value] : source.context->counters().snapshot()) {
+      appendSample(out, "dreamplace_counter_total", &source.job, "key", &key,
+                   static_cast<double>(value));
+    }
+  }
+
+  appendHeader(out, "dreamplace_timing_self_seconds_total", "counter",
+               "Self time per timing scope (seconds).");
+  appendHeader(out, "dreamplace_timing_calls_total", "counter",
+               "Invocations per timing scope.");
+  for (const MetricsSource& source : sources) {
+    if (source.context == nullptr) {
+      continue;
+    }
+    for (const auto& [key, stat] : source.context->timing().statsSnapshot()) {
+      appendSample(out, "dreamplace_timing_self_seconds_total", &source.job,
+                   "key", &key, stat.selfSeconds);
+      appendSample(out, "dreamplace_timing_calls_total", &source.job, "key",
+                   &key, static_cast<double>(stat.count));
+    }
+  }
+
+  appendHeader(out, "dreamplace_memory_current_bytes", "gauge",
+               "Tracked memory currently attributed, per flow and key.");
+  appendHeader(out, "dreamplace_memory_peak_bytes", "gauge",
+               "Tracked memory peak attribution, per flow and key.");
+  for (const MetricsSource& source : sources) {
+    if (source.context == nullptr) {
+      continue;
+    }
+    for (const auto& [key, usage] : source.context->memory().snapshot()) {
+      appendSample(out, "dreamplace_memory_current_bytes", &source.job, "key",
+                   &key, static_cast<double>(usage.currentBytes));
+      appendSample(out, "dreamplace_memory_peak_bytes", &source.job, "key",
+                   &key, static_cast<double>(usage.peakBytes));
+    }
+  }
+
+  appendHeader(out, "dreamplace_heartbeat_sequence", "gauge",
+               "Heartbeat publish count (0 = flow not started).");
+  appendHeader(out, "dreamplace_heartbeat_iteration", "gauge",
+               "Last published GP iteration (-1 outside the GP loop).");
+  appendHeader(out, "dreamplace_heartbeat_hpwl", "gauge",
+               "HPWL at the last heartbeat.");
+  appendHeader(out, "dreamplace_heartbeat_best_hpwl", "gauge",
+               "Running-best finite HPWL over the flow.");
+  appendHeader(out, "dreamplace_heartbeat_overflow", "gauge",
+               "Density overflow at the last heartbeat.");
+  appendHeader(out, "dreamplace_heartbeat_age_seconds", "gauge",
+               "Seconds since the last heartbeat was published.");
+  appendHeader(out, "dreamplace_heartbeat_stage", "gauge",
+               "1 for the flow's current stage label.");
+  for (const MetricsSource& source : sources) {
+    if (source.context == nullptr) {
+      continue;
+    }
+    const HeartbeatSnapshot hb = source.context->heartbeat().read();
+    appendSample(out, "dreamplace_heartbeat_sequence", &source.job, nullptr,
+                 nullptr, static_cast<double>(hb.sequence));
+    appendSample(out, "dreamplace_heartbeat_iteration", &source.job, nullptr,
+                 nullptr, static_cast<double>(hb.iteration));
+    appendSample(out, "dreamplace_heartbeat_hpwl", &source.job, nullptr,
+                 nullptr, hb.hpwl);
+    appendSample(out, "dreamplace_heartbeat_best_hpwl", &source.job, nullptr,
+                 nullptr, hb.bestHpwl);
+    appendSample(out, "dreamplace_heartbeat_overflow", &source.job, nullptr,
+                 nullptr, hb.overflow);
+    appendSample(out, "dreamplace_heartbeat_age_seconds", &source.job, nullptr,
+                 nullptr, hb.everPublished() ? hb.ageSeconds(now_us) : 0.0);
+    const std::string stage = flowStageName(hb.stage);
+    appendSample(out, "dreamplace_heartbeat_stage", &source.job, "stage",
+                 &stage, 1.0);
+  }
+
+  appendHeader(out, "dreamplace_active_flows", "gauge",
+               "Flows currently exported by this document.");
+  appendSample(out, "dreamplace_active_flows", nullptr, nullptr, nullptr,
+               static_cast<double>(sources.size()));
+
+  appendHeader(out, "dreamplace_process_resident_bytes", "gauge",
+               "Process resident set size (VmRSS).");
+  appendHeader(out, "dreamplace_process_peak_resident_bytes", "gauge",
+               "Process peak resident set size (VmHWM).");
+  const ProcessMemory mem = sampleProcessMemory();
+  if (mem.valid) {
+    appendSample(out, "dreamplace_process_resident_bytes", nullptr, nullptr,
+                 nullptr, static_cast<double>(mem.vmRssBytes));
+    appendSample(out, "dreamplace_process_peak_resident_bytes", nullptr,
+                 nullptr, nullptr, static_cast<double>(mem.vmHwmBytes));
+  }
+  return out;
+}
+
+bool writeMetricsFile(const std::string& path, const std::string& text,
+                      std::string* error) {
+  const std::string tmp = path + ".tmp";
+  {
+    std::ofstream out(tmp, std::ios::binary | std::ios::trunc);
+    if (!out || !(out << text) || !out.flush()) {
+      if (error != nullptr) {
+        *error = "metrics: cannot write " + path;
+      }
+      std::remove(tmp.c_str());
+      return false;
+    }
+  }
+  if (std::rename(tmp.c_str(), path.c_str()) != 0) {
+    if (error != nullptr) {
+      *error = "metrics: cannot write " + path;
+    }
+    std::remove(tmp.c_str());
+    return false;
+  }
+  return true;
+}
+
+bool validatePrometheusText(const std::string& text, std::string* error,
+                            std::size_t* samplesOut) {
+  const auto fail = [error](int line, const std::string& message) {
+    if (error != nullptr) {
+      *error = "line " + std::to_string(line) + ": " + message;
+    }
+    return false;
+  };
+
+  std::map<std::string, std::string, std::less<>> typed;  // name -> type
+  std::size_t samples = 0;
+  int line_no = 0;
+  std::size_t pos = 0;
+  while (pos <= text.size()) {
+    const std::size_t eol = text.find('\n', pos);
+    const std::string_view line(
+        text.data() + pos,
+        (eol == std::string::npos ? text.size() : eol) - pos);
+    pos = eol == std::string::npos ? text.size() + 1 : eol + 1;
+    ++line_no;
+    if (line.empty()) {
+      continue;
+    }
+
+    if (line[0] == '#') {
+      // "# HELP name text" / "# TYPE name kind"; other comments allowed.
+      if (line.rfind("# HELP ", 0) == 0 || line.rfind("# TYPE ", 0) == 0) {
+        const bool is_type = line[2] == 'T';
+        std::string_view rest = line.substr(7);
+        const std::size_t space = rest.find(' ');
+        const std::string_view name =
+            space == std::string_view::npos ? rest : rest.substr(0, space);
+        if (!validMetricName(name)) {
+          return fail(line_no, "invalid metric name in comment");
+        }
+        if (is_type) {
+          if (space == std::string_view::npos) {
+            return fail(line_no, "TYPE line without a type");
+          }
+          const std::string_view kind = rest.substr(space + 1);
+          if (kind != "counter" && kind != "gauge" && kind != "histogram" &&
+              kind != "summary" && kind != "untyped") {
+            return fail(line_no, "unknown metric type");
+          }
+          typed.emplace(std::string(name), std::string(kind));
+        }
+      }
+      continue;
+    }
+
+    // Sample line: name[{labels}] value [timestamp]
+    std::size_t i = 0;
+    while (i < line.size() && line[i] != '{' && line[i] != ' ') {
+      ++i;
+    }
+    const std::string_view name = line.substr(0, i);
+    if (!validMetricName(name)) {
+      return fail(line_no, "invalid metric name");
+    }
+    if (typed.find(name) == typed.end()) {
+      return fail(line_no,
+                  "sample for '" + std::string(name) + "' has no TYPE line");
+    }
+    if (i < line.size() && line[i] == '{') {
+      ++i;  // past '{'
+      while (i < line.size() && line[i] != '}') {
+        std::size_t label_start = i;
+        while (i < line.size() && line[i] != '=') {
+          ++i;
+        }
+        const std::string_view label = line.substr(label_start, i - label_start);
+        if (!validMetricName(label) || label.find(':') != std::string_view::npos) {
+          return fail(line_no, "invalid label name");
+        }
+        if (i + 1 >= line.size() || line[i + 1] != '"') {
+          return fail(line_no, "label value must be quoted");
+        }
+        i += 2;  // past ="
+        while (i < line.size() && line[i] != '"') {
+          i += line[i] == '\\' ? 2 : 1;
+        }
+        if (i >= line.size()) {
+          return fail(line_no, "unterminated label value");
+        }
+        ++i;  // past closing quote
+        if (i < line.size() && line[i] == ',') {
+          ++i;
+        } else if (i < line.size() && line[i] != '}') {
+          return fail(line_no, "expected ',' or '}' after label");
+        }
+      }
+      if (i >= line.size()) {
+        return fail(line_no, "unterminated label set");
+      }
+      ++i;  // past '}'
+    }
+    if (i >= line.size() || line[i] != ' ') {
+      return fail(line_no, "expected space before sample value");
+    }
+    ++i;
+    std::size_t value_end = i;
+    while (value_end < line.size() && line[value_end] != ' ') {
+      ++value_end;
+    }
+    if (!validSampleValue(line.substr(i, value_end - i))) {
+      return fail(line_no, "invalid sample value");
+    }
+    if (value_end < line.size()) {
+      // Optional millisecond timestamp.
+      const std::string ts(line.substr(value_end + 1));
+      char* end = nullptr;
+      std::strtoll(ts.c_str(), &end, 10);
+      if (ts.empty() || end != ts.c_str() + ts.size()) {
+        return fail(line_no, "invalid timestamp");
+      }
+    }
+    ++samples;
+  }
+
+  if (samplesOut != nullptr) {
+    *samplesOut = samples;
+  }
+  return true;
+}
+
+}  // namespace dreamplace

@@ -1,0 +1,54 @@
+// Prometheus text exposition over the live flow registries.
+//
+// renderPrometheusMetrics() snapshots each source FlowContext — counters,
+// timing self-times/call counts, tracked memory, process RSS/HWM, and the
+// liveness heartbeat (common/heartbeat.h) — into the Prometheus text
+// format (HELP/TYPE headers + `name{label="v"} value` samples). The
+// PlacementEngine's monitor thread renders periodically and atomically
+// rewrites a --metrics-file (write tmp, rename), so a scraper or a plain
+// `watch cat` always sees a complete document; tools/metrics_dump is the
+// standalone CLI. See docs/OBSERVABILITY.md for the metric families.
+//
+// Rendering only *reads* flow state (snapshots under the registries' own
+// locks) — plus one bookkeeping increment of the source's
+// "metrics/exports" counter, which is order-dependent by design and
+// excluded from determinism comparisons (place/engine.h
+// isOrderDependentCounter).
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+namespace dreamplace {
+
+class FlowContext;
+
+/// One flow to export; `job` becomes the `job="…"` label on its series.
+struct MetricsSource {
+  std::string job;
+  FlowContext* context = nullptr;
+};
+
+/// Renders the full exposition document for `sources` (possibly empty:
+/// process-level series are always present). Increments each source's
+/// "metrics/exports" counter.
+std::string renderPrometheusMetrics(const std::vector<MetricsSource>& sources);
+
+/// Atomically replaces `path` with `text`: writes `path + ".tmp"`, then
+/// renames over `path`. Returns false and sets `error` (if non-null) to
+/// "metrics: cannot write <path>" on failure.
+bool writeMetricsFile(const std::string& path, const std::string& text,
+                      std::string* error = nullptr);
+
+/// Validates Prometheus text exposition format: HELP/TYPE comment syntax,
+/// metric-name and label syntax, numeric sample values (including the
+/// NaN/+Inf/-Inf spellings), and that every sample's metric name was
+/// declared by a preceding TYPE line. On success returns true and sets
+/// `samplesOut` (if non-null) to the number of sample lines; on failure
+/// returns false with a line-numbered message in `error`.
+bool validatePrometheusText(const std::string& text,
+                            std::string* error = nullptr,
+                            std::size_t* samplesOut = nullptr);
+
+}  // namespace dreamplace

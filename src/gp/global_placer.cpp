@@ -250,6 +250,13 @@ GlobalPlacerResult GlobalPlacer<T>::run(const Callback& callback) {
   double overflow = density_->overflow(std::span<const T>(params));
   int iter = 0;
   FlowContext& flow = FlowContext::current();
+  // Liveness heartbeat (common/heartbeat.h): the pre-loop publish seeds
+  // the running-best HPWL with the initial placement, so the engine
+  // watchdog measures divergence against the true starting point even if
+  // its first sample lands iterations into the loop.
+  HeartbeatState& heartbeat = flow.heartbeat();
+  heartbeat.beginStage(FlowStage::kGlobalPlacement);
+  heartbeat.publishIteration(-1, hpwl0, overflow);
   for (; iter < options_.maxIterations; ++iter) {
     // Cooperative timeout/cancel point: once per iteration keeps engine
     // job deadlines responsive without per-kernel checks.
@@ -270,6 +277,8 @@ GlobalPlacerResult GlobalPlacer<T>::run(const Callback& callback) {
       ScopedTimer t("gp/overflow");
       overflow = density_->overflow(std::span<const T>(cur));
     }
+    // A few relaxed atomic stores per iteration; observers only read.
+    heartbeat.publishIteration(iter, cur_hpwl, overflow);
 
     const double prev_ema = ema_hpwl;
     ema_hpwl = (1.0 - kEmaAlpha) * ema_hpwl + kEmaAlpha * cur_hpwl;

@@ -18,14 +18,29 @@
 // isOrderDependentCounter(), which record shared-infrastructure
 // attribution (plan-cache insertion order, pool scheduling) rather than
 // algorithmic work. docs/ENGINE.md has the full contract.
+//
+// Health: an optional per-engine monitor thread samples each job's
+// heartbeat (common/heartbeat.h) and applies the stall/divergence
+// policies in EngineOptions, cancelling sick flows cooperatively via
+// FlowContext::requestCancel() — terminal states kDiverged/kStalled,
+// never retried. The same thread can periodically render a Prometheus
+// metrics file of all active jobs (common/metrics_export.h). Both only
+// read flow state, so determinism is unaffected; their bookkeeping
+// counters (health/checks, metrics/exports) are wall-clock-dependent and
+// listed order-dependent. docs/OBSERVABILITY.md documents the policies.
 #pragma once
 
+#include <chrono>
+#include <condition_variable>
 #include <cstddef>
+#include <cstdint>
 #include <functional>
 #include <map>
 #include <memory>
+#include <mutex>
 #include <string>
 #include <string_view>
+#include <thread>
 #include <vector>
 
 #include "common/counters.h"
@@ -56,6 +71,37 @@ struct EngineOptions {
   /// Event capacity of each job's private trace recorder; 0 = default.
   std::size_t traceCapacity = 0;
 
+  // --- Live health & metrics (docs/OBSERVABILITY.md) ----------------------
+  /// Stall policy: a job whose heartbeat has not advanced for this many
+  /// seconds is cancelled with terminal status `stalled`. Must exceed the
+  /// longest heartbeat gap of a healthy flow (LG/DP stages publish only
+  /// at their boundaries). 0 disables stall detection.
+  double stallSeconds = 0.0;
+  /// Divergence policy: a job whose published HPWL exceeds this ratio
+  /// times its running-best HPWL for `divergenceSamples` consecutive
+  /// watchdog observations of *fresh* GP iterations is cancelled with
+  /// terminal status `diverged`. A non-finite HPWL is fatal immediately.
+  /// 0 disables the ratio check; otherwise must be > 1.
+  double divergenceHpwlRatio = 0.0;
+  /// Consecutive over-ratio observations before the diverged verdict; a
+  /// healthy sample resets the run. Must be >= 1.
+  int divergenceSamples = 3;
+  /// Watchdog/metrics sampling period. Must be > 0.
+  double watchdogPeriodSeconds = 0.05;
+  /// When non-empty, the monitor thread periodically renders a Prometheus
+  /// text exposition of every active job (common/metrics_export.h) and
+  /// atomically rewrites this file (tmp+rename). run() fails up front if
+  /// the path is unwritable.
+  std::string metricsFile;
+  /// Seconds between metrics-file rewrites. Must be > 0.
+  double metricsPeriodSeconds = 1.0;
+
+  /// True when a health policy is configured (monitor thread samples
+  /// heartbeats, not just metrics).
+  bool watchdogEnabled() const {
+    return stallSeconds > 0.0 || divergenceHpwlRatio > 0.0;
+  }
+
   /// Throws std::invalid_argument listing every violated constraint.
   void validate() const;
 };
@@ -68,7 +114,10 @@ struct PlacementJob {
   PlacerOptions options;
   std::string name;  ///< Job label in the BatchReport ("" = index).
   /// Optional hook called at the start of every attempt (1-based) on the
-  /// job's thread, before the flow. A throw counts as a failed attempt —
+  /// job's thread, before the flow but with the attempt's FlowContext
+  /// already installed — so a hook can poll
+  /// FlowContext::current().throwIfInterrupted() and be cancelled by the
+  /// watchdog like the flow itself. A throw counts as a failed attempt —
   /// tests use this to inject failures and observe retries.
   std::function<void(int attempt)> attemptHook;
 };
@@ -77,9 +126,25 @@ enum class JobStatus {
   kSucceeded,  ///< Flow completed; result and report are valid.
   kFailed,     ///< Every attempt threw (last error recorded).
   kTimedOut,   ///< Deadline passed (FlowTimeoutError); not retried.
+  kDiverged,   ///< Watchdog divergence verdict (terminal, never retried).
+  kStalled,    ///< Watchdog stall verdict (terminal, never retried).
 };
 
 const char* statusName(JobStatus status);
+
+/// Watchdog view of one job, accumulated over its attempts. Populated
+/// whenever the engine monitor ran for the job (even without a verdict).
+struct JobHealth {
+  bool watchdogEnabled = false;  ///< A health policy was active.
+  std::int64_t checks = 0;       ///< Watchdog samples across all attempts.
+  std::string verdict;           ///< "", "diverged" or "stalled".
+  std::string detail;            ///< Human-readable policy explanation.
+  std::string lastStage;         ///< Flow stage at the last sample.
+  int lastIteration = -1;        ///< Last GP iteration observed.
+  double lastHpwl = 0.0;
+  double bestHpwl = 0.0;
+  double lastOverflow = 0.0;
+};
 
 /// Outcome of one job.
 struct JobReport {
@@ -89,6 +154,7 @@ struct JobReport {
   std::string error;       ///< Last failure message; empty on success.
   FlowResult result;       ///< Valid only when status == kSucceeded.
   RunReport report;        ///< Valid only when status == kSucceeded.
+  JobHealth health;        ///< Watchdog view (see JobHealth).
   double wallSeconds = 0.0;
 };
 
@@ -103,9 +169,11 @@ struct BatchReport {
   int succeeded = 0;
   int failed = 0;
   int timedOut = 0;
+  int diverged = 0;
+  int stalled = 0;
 
   bool allSucceeded() const {
-    return failed == 0 && timedOut == 0 &&
+    return failed == 0 && timedOut == 0 && diverged == 0 && stalled == 0 &&
            succeeded == static_cast<int>(jobs.size());
   }
 
@@ -150,10 +218,35 @@ class PlacementEngine {
   ThreadPool& pool() { return *pool_; }
 
  private:
+  /// Monitor-side state of one registered (running) flow; see engine.cpp.
+  struct FlowWatch;
+
   JobReport runJob(PlacementJob& job);
+
+  // Monitor thread lifecycle (run()-scoped). All FlowWatch access —
+  // including the context pointer a watch holds — happens under
+  // monitor_mutex_; runJob() unregisters a watch under the same mutex
+  // before its stack-local FlowContext dies.
+  bool monitorNeeded() const;
+  void startMonitor();
+  void stopMonitor();
+  void monitorLoop();
+  std::shared_ptr<FlowWatch> registerFlow(const std::string& name,
+                                          FlowContext* context);
+  void unregisterFlow(const std::shared_ptr<FlowWatch>& watch,
+                      JobHealth& health);
+  void sampleWatch(FlowWatch& watch,
+                   std::chrono::steady_clock::time_point now);
+  void exportMetricsLocked();
 
   EngineOptions options_;
   std::unique_ptr<ThreadPool> pool_;
+
+  std::mutex monitor_mutex_;
+  std::condition_variable monitor_cv_;
+  bool monitor_stop_ = false;
+  std::vector<std::shared_ptr<FlowWatch>> active_;
+  std::thread monitor_;
 };
 
 }  // namespace dreamplace

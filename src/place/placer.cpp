@@ -118,6 +118,7 @@ FlowResult runFlow(Database& db, const PlacerOptions& options,
   result.gpSeconds = gp_timer.elapsed();
   result.hpwlGp = hpwl(db);
   FlowContext::current().throwIfInterrupted();
+  FlowContext::current().heartbeat().beginStage(FlowStage::kLegalization);
 
   // --- Legalization ------------------------------------------------------
   Timer lg_timer;
@@ -141,6 +142,7 @@ FlowResult runFlow(Database& db, const PlacerOptions& options,
   result.lgSeconds = lg_timer.elapsed();
   result.hpwlLegal = hpwl(db);
   FlowContext::current().throwIfInterrupted();
+  FlowContext::current().heartbeat().beginStage(FlowStage::kDetailedPlacement);
 
   // --- Detailed placement ---------------------------------------------------
   Timer dp_timer;
@@ -153,6 +155,7 @@ FlowResult runFlow(Database& db, const PlacerOptions& options,
   result.hpwl = hpwl(db);
   result.legal = checkLegality(db).legal;
   result.totalSeconds = total.elapsed();
+  FlowContext::current().heartbeat().beginStage(FlowStage::kDone);
 
   if (options.routability) {
     // Re-estimate congestion on the final legalized placement.
@@ -303,7 +306,13 @@ FlowResult placeDesign(Database& db, const PlacerOptions& options,
   if (want_report) {
     RunReport report = buildRunReport(db, options, result,
                                       telemetry.gpSummaries(), context);
-    writeRunReport(report, options.reportJson, options.reportText);
+    std::string error;
+    if (!writeRunReport(report, options.reportJson, options.reportText,
+                        &error)) {
+      // The caller asked for a report file; silently dropping it would
+      // make the run look observable when it is not. Fail the flow.
+      throw std::runtime_error(error);
+    }
     if (reportOut != nullptr) {
       *reportOut = std::move(report);
     }

@@ -252,6 +252,15 @@ RunReport buildRunReport(const Database& db, const PlacerOptions& options,
     }
   }
 
+  // Conditions a reader should not have to dig out of the counter table.
+  const auto dropped = report.counters.find("trace/dropped");
+  if (dropped != report.counters.end() && dropped->second > 0) {
+    report.warnings.push_back(
+        "trace/dropped=" + std::to_string(dropped->second) +
+        ": the bounded trace buffer overflowed; raise traceCapacity or "
+        "disable tracing for this flow");
+  }
+
   // Memory: merge pre-flow attributions (the database, loaded under the
   // default context before placeDesign) with the flow's own workspaces.
   report.trackedMemory = context.memory().snapshot();
@@ -372,6 +381,13 @@ std::string RunReport::toJson() const {
     j.value(value);
   }
   j.closeObject();
+
+  j.key("warnings");
+  j.openArray();
+  for (const std::string& warning : warnings) {
+    j.value(warning);
+  }
+  j.closeArray();
 
   j.key("memory");
   j.openObject();
@@ -505,19 +521,36 @@ std::string RunReport::toText() const {
       add();
     }
   }
+
+  if (!warnings.empty()) {
+    out += "\nwarnings:\n";
+    for (const std::string& warning : warnings) {
+      out += "  ! ";
+      out += warning;
+      out += '\n';
+    }
+  }
   return out;
 }
 
 bool writeRunReport(const RunReport& report, const std::string& jsonPath,
-                    const std::string& textPath) {
+                    const std::string& textPath, std::string* error) {
   bool ok = true;
-  if (!jsonPath.empty() && !writeFile(jsonPath, report.toJson())) {
-    logWarn("report: cannot write %s", jsonPath.c_str());
+  const auto fail = [&ok, error](const std::string& path) {
+    logWarn("report: cannot write %s", path.c_str());
+    if (error != nullptr) {
+      if (!error->empty()) {
+        *error += "; ";
+      }
+      *error += "report: cannot write " + path;
+    }
     ok = false;
+  };
+  if (!jsonPath.empty() && !writeFile(jsonPath, report.toJson())) {
+    fail(jsonPath);
   }
   if (!textPath.empty() && !writeFile(textPath, report.toText())) {
-    logWarn("report: cannot write %s", textPath.c_str());
-    ok = false;
+    fail(textPath);
   }
   return ok;
 }

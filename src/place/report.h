@@ -89,6 +89,11 @@ struct RunReport {
   int simdWidthF32 = 1;
   int simdWidthF64 = 1;
 
+  /// Conditions worth surfacing without digging through counters:
+  /// nonzero trace/dropped, watchdog verdicts that raced completion.
+  /// Rendered as a JSON "warnings" array and a text section.
+  std::vector<std::string> warnings;
+
   // Registry sections: timing/counters are run deltas, memory is live.
   std::map<std::string, TimingStat> timing;
   std::map<std::string, CounterRegistry::Value> counters;
@@ -110,8 +115,11 @@ RunReport buildRunReport(const Database& db, const PlacerOptions& options,
                          FlowContext& context);
 
 /// Writes the JSON and/or text rendering to the given paths (empty path =
-/// skip). Logs a warning and returns false if any write fails.
+/// skip). Logs a warning and returns false if any write fails, appending
+/// "report: cannot write <path>" to `error` (if non-null). placeDesign
+/// treats a failed write as a flow failure — a requested export must not
+/// silently vanish.
 bool writeRunReport(const RunReport& report, const std::string& jsonPath,
-                    const std::string& textPath);
+                    const std::string& textPath, std::string* error = nullptr);
 
 }  // namespace dreamplace

@@ -286,15 +286,23 @@ bool checkReport(const FlatJson& report, const FlatJson& baseline,
       return false;
     }
 
-    // "missing_ok": true reads an absent report path as 0 — counters are
-    // registered lazily, so "this never happened" shows up as no entry.
+    // "missing_ok": true passes an absent report path — counters are
+    // registered lazily, so "this never happened" (or "this feature was
+    // off") shows up as no entry; the check constrains the value only
+    // when the path exists.
     const auto missingIt = baseline.numbers.find(prefix + "missing_ok");
     const bool missingOk =
         missingIt != baseline.numbers.end() && missingIt->second != 0.0;
 
     const auto it = report.numbers.find(path);
     const bool present = it != report.numbers.end();
-    if (!present && !missingOk) {
+    if (!present && missingOk) {
+      result.passed = true;
+      result.detail = "path absent, skipped (missing_ok)";
+      results.push_back(std::move(result));
+      continue;
+    }
+    if (!present) {
       result.passed = false;
       if (result.detail.empty()) {
         result.detail = "report has no numeric value at '" + path + "'";
@@ -302,7 +310,7 @@ bool checkReport(const FlatJson& report, const FlatJson& baseline,
     } else if (!expectedOk) {
       result.passed = false;
     } else {
-      const double actual = present ? it->second : 0.0;
+      const double actual = it->second;
       if (baseOp == "eq") {
         result.passed = actual == expected;
       } else if (baseOp == "le") {
@@ -311,8 +319,7 @@ bool checkReport(const FlatJson& report, const FlatJson& baseline,
         result.passed = actual >= expected;
       }
       result.detail = "actual " + formatNumber(actual) + ", expected " +
-                      baseOp + " " + formatNumber(expected) +
-                      (present ? "" : " (path absent, read as 0)");
+                      baseOp + " " + formatNumber(expected);
     }
     results.push_back(std::move(result));
   }
@@ -333,7 +340,8 @@ bool isBatchReport(const FlatJson& document) {
 }
 
 bool checkBatchReport(const FlatJson& batch, const FlatJson& baseline,
-                      std::vector<BatchJobCheck>& jobs, std::string* error) {
+                      std::vector<BatchJobCheck>& jobs, std::string* error,
+                      const BatchCheckOptions& options) {
   jobs.clear();
   const auto batchString = [&batch](const std::string& path) {
     const auto it = batch.strings.find(path);
@@ -352,8 +360,12 @@ bool checkBatchReport(const FlatJson& batch, const FlatJson& baseline,
       job.name = "job" + std::to_string(i);
     }
     job.status = status;
-    job.succeeded = status == "succeeded";
-    if (job.succeeded) {
+    const auto expected = options.expectedStatus.find(job.name);
+    job.expected = expected == options.expectedStatus.end()
+                       ? "succeeded"
+                       : expected->second;
+    job.succeeded = status == job.expected;
+    if (status == "succeeded") {
       // Re-root the embedded run report ("jobs.N.report.*" -> "*") and
       // apply the per-run baseline to it unchanged.
       const std::string reportPrefix = prefix + "report.";

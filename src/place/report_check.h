@@ -66,19 +66,32 @@ bool isBatchReport(const FlatJson& document);
 /// Outcome of checking one job of a batch report.
 struct BatchJobCheck {
   std::string name;
-  std::string status;      ///< "succeeded" / "failed" / "timed_out".
-  bool succeeded = false;  ///< status == "succeeded".
+  std::string status;    ///< "succeeded" / "failed" / "timed_out" /
+                         ///< "diverged" / "stalled".
+  std::string expected;  ///< Status this job was required to reach.
+  bool succeeded = false;  ///< status == expected.
   /// Per-run baseline results over the job's embedded report; empty when
   /// the job did not succeed (there is no report to check).
   std::vector<CheckResult> results;
 };
 
+/// Per-job expectations for checkBatchReport. Jobs not listed must reach
+/// "succeeded"; a listed job must land in exactly the given terminal
+/// status (e.g. "diverged" for the CI health-gate's injected divergence
+/// job) and is exempt from the per-run baseline, which only applies to
+/// succeeded jobs' embedded reports.
+struct BatchCheckOptions {
+  std::map<std::string, std::string> expectedStatus;
+};
+
 /// Applies the per-run baseline to every job of a batch report: the
-/// batch passes only when every job succeeded AND every job's embedded
-/// RunReport passes every baseline check. Returns false (with `error`)
-/// when the batch has no jobs or the baseline is malformed.
+/// batch passes only when every job reached its expected status AND
+/// every succeeded job's embedded RunReport passes every baseline check.
+/// Returns false (with `error`) when the batch has no jobs or the
+/// baseline is malformed.
 bool checkBatchReport(const FlatJson& batch, const FlatJson& baseline,
                       std::vector<BatchJobCheck>& jobs,
-                      std::string* error = nullptr);
+                      std::string* error = nullptr,
+                      const BatchCheckOptions& options = {});
 
 }  // namespace dreamplace

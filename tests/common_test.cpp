@@ -2,11 +2,17 @@
 
 #include <cmath>
 #include <cstdio>
+#include <cstdlib>
+#include <filesystem>
+#include <fstream>
+#include <stdexcept>
+#include <string>
 #include <set>
 #include <thread>
 
 #include "common/counters.h"
 #include "common/geometry.h"
+#include "common/log.h"
 #include "common/rng.h"
 #include "common/timer.h"
 #include "common/trace.h"
@@ -356,6 +362,103 @@ TEST(TraceRecorderTest, JsonEscape) {
   EXPECT_EQ(jsonEscape("a\\b"), "a\\\\b");
   EXPECT_EQ(jsonEscape("a\nb\tc"), "a\\nb\\tc");
   EXPECT_EQ(jsonEscape(std::string_view("\x01", 1)), "\\u0001");
+}
+
+
+TEST(LogTest, ParseLogLevelNamesAndAliases) {
+  LogLevel level = LogLevel::kError;
+  EXPECT_TRUE(parseLogLevel("debug", level));
+  EXPECT_EQ(level, LogLevel::kDebug);
+  EXPECT_TRUE(parseLogLevel("INFO", level));
+  EXPECT_EQ(level, LogLevel::kInfo);
+  EXPECT_TRUE(parseLogLevel("Warning", level));
+  EXPECT_EQ(level, LogLevel::kWarn);
+  EXPECT_TRUE(parseLogLevel("warn", level));
+  EXPECT_EQ(level, LogLevel::kWarn);
+  EXPECT_TRUE(parseLogLevel("error", level));
+  EXPECT_EQ(level, LogLevel::kError);
+  EXPECT_TRUE(parseLogLevel("silent", level));
+  EXPECT_EQ(level, LogLevel::kSilent);
+  EXPECT_TRUE(parseLogLevel("off", level));
+  EXPECT_EQ(level, LogLevel::kSilent);
+
+  level = LogLevel::kInfo;
+  EXPECT_FALSE(parseLogLevel("loud", level));
+  EXPECT_EQ(level, LogLevel::kInfo);  // untouched on failure
+
+  EXPECT_STREQ(logLevelName(LogLevel::kDebug), "debug");
+  EXPECT_STREQ(logLevelName(LogLevel::kWarn), "warn");
+  EXPECT_STREQ(logLevelName(LogLevel::kSilent), "silent");
+}
+
+TEST(LogTest, EnvDrivenLevelApplies) {
+  const LogLevel saved = logLevel();
+  ::setenv("DREAMPLACE_LOG_LEVEL", "error", 1);
+  EXPECT_TRUE(initLogLevelFromEnv());
+  EXPECT_EQ(logLevel(), LogLevel::kError);
+  ::setenv("DREAMPLACE_LOG_LEVEL", "not-a-level", 1);
+  EXPECT_FALSE(initLogLevelFromEnv());
+  EXPECT_EQ(logLevel(), LogLevel::kError);  // invalid value ignored
+  ::unsetenv("DREAMPLACE_LOG_LEVEL");
+  EXPECT_FALSE(initLogLevelFromEnv());
+  setLogLevel(saved);
+}
+
+TEST(LogTest, LogScopeStacksPerThread) {
+  EXPECT_EQ(LogScope::currentText(), "");
+  {
+    LogScope job("job", "eng7");
+    EXPECT_EQ(LogScope::currentText(), "job=eng7");
+    {
+      LogScope design("design", "adaptec1");
+      EXPECT_EQ(LogScope::currentText(), "job=eng7 design=adaptec1");
+      // Scopes are thread-local: a fresh thread starts clean.
+      std::string other;
+      std::thread t([&other] { other = LogScope::currentText(); });
+      t.join();
+      EXPECT_EQ(other, "");
+    }
+    EXPECT_EQ(LogScope::currentText(), "job=eng7");
+  }
+  EXPECT_EQ(LogScope::currentText(), "");
+}
+
+TEST(LogTest, JsonlSinkMirrorsLinesWithScopes) {
+  namespace fs = std::filesystem;
+  const fs::path dir = fs::temp_directory_path() / "dp_log_test";
+  fs::create_directories(dir);
+  const fs::path path = dir / "log.jsonl";
+  std::remove(path.c_str());
+
+  // The sink sits behind the same threshold as stderr, so the test logs
+  // at error level (one visible stderr line is acceptable test noise).
+  const LogLevel saved = logLevel();
+  setLogLevel(LogLevel::kError);
+  setLogJsonPath(path.string());
+  {
+    LogScope job("job", "j\\1");
+    logError("sink check %d", 42);
+  }
+  setLogJsonPath("");  // close so the buffer is flushed for reading
+  setLogLevel(saved);
+
+  std::ifstream in(path);
+  std::string line;
+  ASSERT_TRUE(std::getline(in, line));
+  EXPECT_NE(line.find("\"level\":\"error\""), std::string::npos) << line;
+  EXPECT_NE(line.find("\"job\":\"j\\\\1\""), std::string::npos) << line;
+  EXPECT_NE(line.find("sink check 42"), std::string::npos) << line;
+  EXPECT_NE(line.find("\"ts\":"), std::string::npos) << line;
+}
+
+TEST(LogTest, JsonlSinkThrowsOnUnwritablePath) {
+  try {
+    setLogJsonPath("/nonexistent_dir_dp/log.jsonl");
+    FAIL() << "expected std::runtime_error";
+  } catch (const std::runtime_error& e) {
+    EXPECT_NE(std::string(e.what()).find("log: cannot write"),
+              std::string::npos);
+  }
 }
 
 }  // namespace

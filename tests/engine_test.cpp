@@ -16,6 +16,7 @@
 #include <vector>
 
 #include "common/flow_context.h"
+#include "common/metrics_export.h"
 #include "gen/netlist_generator.h"
 #include "place/engine.h"
 #include "place/report_check.h"
@@ -75,6 +76,11 @@ TEST(EngineOptionsTest, ValidateRejectsBadValues) {
   options.maxJobAttempts = 0;
   options.jobTimeoutSeconds = -1.0;
   options.threads = -2;
+  options.stallSeconds = -0.5;
+  options.divergenceHpwlRatio = 0.5;  // must be 0 or > 1
+  options.divergenceSamples = 0;
+  options.watchdogPeriodSeconds = 0.0;
+  options.metricsPeriodSeconds = -1.0;
   try {
     options.validate();
     FAIL() << "expected std::invalid_argument";
@@ -84,7 +90,17 @@ TEST(EngineOptionsTest, ValidateRejectsBadValues) {
     EXPECT_NE(message.find("maxJobAttempts"), std::string::npos);
     EXPECT_NE(message.find("jobTimeoutSeconds"), std::string::npos);
     EXPECT_NE(message.find("threads"), std::string::npos);
+    EXPECT_NE(message.find("stallSeconds"), std::string::npos);
+    EXPECT_NE(message.find("divergenceHpwlRatio"), std::string::npos);
+    EXPECT_NE(message.find("divergenceSamples"), std::string::npos);
+    EXPECT_NE(message.find("watchdogPeriodSeconds"), std::string::npos);
+    EXPECT_NE(message.find("metricsPeriodSeconds"), std::string::npos);
   }
+
+  EngineOptions healthy;
+  EXPECT_FALSE(healthy.watchdogEnabled());
+  healthy.stallSeconds = 5.0;
+  EXPECT_TRUE(healthy.watchdogEnabled());
 }
 
 TEST(EngineTest, OrderDependentCounterFilter) {
@@ -93,12 +109,19 @@ TEST(EngineTest, OrderDependentCounterFilter) {
   EXPECT_TRUE(isOrderDependentCounter("parallel/steals"));
   EXPECT_TRUE(isOrderDependentCounter("parallel/pool_start"));
   EXPECT_TRUE(isOrderDependentCounter("parallel/contended"));
+  // Watchdog samples and metrics exports are wall-clock sampling.
+  EXPECT_TRUE(isOrderDependentCounter("health/checks"));
+  EXPECT_TRUE(isOrderDependentCounter("metrics/exports"));
   EXPECT_FALSE(isOrderDependentCounter("parallel/jobs"));
   EXPECT_FALSE(isOrderDependentCounter("fft/dct2d"));
   EXPECT_FALSE(isOrderDependentCounter("ops/wirelength/evaluate"));
 
   const std::map<std::string, CounterRegistry::Value> mixed = {
-      {"fft/dct2d", 10}, {"fft/plan/create", 3}, {"parallel/steals", 42}};
+      {"fft/dct2d", 10},
+      {"fft/plan/create", 3},
+      {"parallel/steals", 42},
+      {"health/checks", 17},
+      {"metrics/exports", 4}};
   const auto filtered = deterministicCounters(mixed);
   EXPECT_EQ(filtered.size(), 1u);
   EXPECT_EQ(filtered.count("fft/dct2d"), 1u);
@@ -107,17 +130,33 @@ TEST(EngineTest, OrderDependentCounterFilter) {
 // The tentpole acceptance test: three jobs run concurrently produce
 // per-job results and reports bit-identical (float64) to the same jobs
 // run serially — outside wall-times and the order-dependent counters.
+// Both runs keep the watchdog AND the metrics sampler enabled: the
+// monitor thread only reads flow state, so health sampling must not
+// perturb determinism (docs/OBSERVABILITY.md).
 TEST(EngineTest, ConcurrentMatchesSerialBitExact) {
   std::vector<std::unique_ptr<Database>> serialDbs;
   std::vector<std::unique_ptr<Database>> concurrentDbs;
+  const fs::path metricsDir =
+      fs::temp_directory_path() / "dp_engine_metrics_test";
+  fs::create_directories(metricsDir);
 
   EngineOptions serialOptions;
   serialOptions.maxConcurrentJobs = 1;
+  serialOptions.stallSeconds = 60.0;           // watchdog on, never fires
+  serialOptions.divergenceHpwlRatio = 1.0e6;   // watchdog on, never fires
+  serialOptions.watchdogPeriodSeconds = 0.01;
+  serialOptions.metricsFile = (metricsDir / "serial.prom").string();
+  serialOptions.metricsPeriodSeconds = 0.02;
   PlacementEngine serialEngine(serialOptions);
   const BatchReport serial = serialEngine.run(makeJobs(serialDbs));
 
   EngineOptions concurrentOptions;
   concurrentOptions.maxConcurrentJobs = 3;
+  concurrentOptions.stallSeconds = 60.0;
+  concurrentOptions.divergenceHpwlRatio = 1.0e6;
+  concurrentOptions.watchdogPeriodSeconds = 0.01;
+  concurrentOptions.metricsFile = (metricsDir / "concurrent.prom").string();
+  concurrentOptions.metricsPeriodSeconds = 0.02;
   PlacementEngine concurrentEngine(concurrentOptions);
   const BatchReport concurrent = concurrentEngine.run(makeJobs(concurrentDbs));
 
@@ -132,6 +171,10 @@ TEST(EngineTest, ConcurrentMatchesSerialBitExact) {
     SCOPED_TRACE(s.name);
     EXPECT_EQ(c.name, s.name);
     EXPECT_EQ(c.attempts, 1);
+
+    // The watchdog sampled every healthy job without delivering a verdict.
+    EXPECT_TRUE(c.health.watchdogEnabled);
+    EXPECT_TRUE(c.health.verdict.empty()) << c.health.verdict;
 
     // Flow results: every non-time field must match exactly.
     EXPECT_EQ(c.result.hpwlGp, s.result.hpwlGp);
@@ -165,6 +208,14 @@ TEST(EngineTest, ConcurrentMatchesSerialBitExact) {
       EXPECT_EQ(c.report.gpRuns[r].overflow, s.report.gpRuns[r].overflow);
       EXPECT_EQ(c.report.gpRuns[r].lambda, s.report.gpRuns[r].lambda);
     }
+  }
+
+  // The metrics sampler left valid Prometheus expositions behind.
+  for (const char* name : {"serial.prom", "concurrent.prom"}) {
+    const std::string text = readFile(metricsDir / name);
+    ASSERT_FALSE(text.empty()) << name;
+    std::string error;
+    EXPECT_TRUE(validatePrometheusText(text, &error)) << name << ": " << error;
   }
 }
 

@@ -1,0 +1,235 @@
+// Metrics exposition (common/metrics_export.h) and the liveness
+// heartbeat (common/heartbeat.h) it exports: the rendered document must
+// be valid Prometheus text covering counters, self-times, memory and
+// per-job heartbeat gauges; file replacement must be atomic; and the
+// seqlock heartbeat must never show a torn snapshot to a concurrent
+// reader.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cmath>
+#include <filesystem>
+#include <fstream>
+#include <memory>
+#include <sstream>
+#include <thread>
+
+#include "common/flow_context.h"
+#include "common/heartbeat.h"
+#include "common/metrics_export.h"
+#include "gen/netlist_generator.h"
+#include "place/placer.h"
+
+namespace dreamplace {
+namespace {
+
+namespace fs = std::filesystem;
+
+TEST(HeartbeatTest, StartsUnpublishedAndRoundTripsPublishes) {
+  HeartbeatState heartbeat;
+  HeartbeatSnapshot snapshot = heartbeat.read();
+  EXPECT_FALSE(snapshot.everPublished());
+  EXPECT_EQ(snapshot.sequence, 0u);
+  EXPECT_EQ(snapshot.stage, FlowStage::kIdle);
+
+  heartbeat.beginStage(FlowStage::kGlobalPlacement);
+  snapshot = heartbeat.read();
+  EXPECT_TRUE(snapshot.everPublished());
+  EXPECT_EQ(snapshot.stage, FlowStage::kGlobalPlacement);
+  EXPECT_EQ(snapshot.iteration, -1);
+
+  heartbeat.publishIteration(3, 123.5, 0.42);
+  snapshot = heartbeat.read();
+  EXPECT_EQ(snapshot.iteration, 3);
+  EXPECT_EQ(snapshot.hpwl, 123.5);
+  EXPECT_EQ(snapshot.overflow, 0.42);
+  EXPECT_EQ(snapshot.sequence % 2, 0u);
+  EXPECT_GE(snapshot.timestampMicros, 1);
+  EXPECT_GE(snapshot.ageSeconds(HeartbeatState::nowMicros()), 0.0);
+}
+
+TEST(HeartbeatTest, TracksRunningBestOverFiniteHpwls) {
+  HeartbeatState heartbeat;
+  heartbeat.beginStage(FlowStage::kGlobalPlacement);
+  heartbeat.publishIteration(0, 100.0, 1.0);
+  EXPECT_EQ(heartbeat.read().bestHpwl, 100.0);
+  heartbeat.publishIteration(1, 150.0, 0.9);
+  EXPECT_EQ(heartbeat.read().bestHpwl, 100.0);
+  heartbeat.publishIteration(2, 50.0, 0.8);
+  EXPECT_EQ(heartbeat.read().bestHpwl, 50.0);
+  // Non-finite publishes never become the best (the divergence ratio
+  // must keep a sane denominator).
+  heartbeat.publishIteration(3, std::nan(""), 0.7);
+  const HeartbeatSnapshot snapshot = heartbeat.read();
+  EXPECT_TRUE(std::isnan(snapshot.hpwl));
+  EXPECT_EQ(snapshot.bestHpwl, 50.0);
+}
+
+TEST(HeartbeatTest, StageNames) {
+  EXPECT_STREQ(flowStageName(FlowStage::kIdle), "idle");
+  EXPECT_STREQ(flowStageName(FlowStage::kGlobalPlacement), "gp");
+  EXPECT_STREQ(flowStageName(FlowStage::kLegalization), "lg");
+  EXPECT_STREQ(flowStageName(FlowStage::kDetailedPlacement), "dp");
+  EXPECT_STREQ(flowStageName(FlowStage::kDone), "done");
+}
+
+// Seqlock torn-read check: the writer maintains hpwl == 2 * iteration
+// and overflow == -iteration; a concurrent reader must never observe a
+// snapshot violating the invariant.
+TEST(HeartbeatTest, ConcurrentReaderNeverSeesTornSnapshot) {
+  HeartbeatState heartbeat;
+  heartbeat.beginStage(FlowStage::kGlobalPlacement);
+  // Seed one publish synchronously: on a single core the reader loop may
+  // finish before the writer thread is ever scheduled.
+  heartbeat.publishIteration(0, 0.0, 0.0);
+  std::atomic<bool> stop{false};
+
+  std::thread writer([&heartbeat, &stop] {
+    int i = 1;
+    while (!stop.load(std::memory_order_relaxed)) {
+      heartbeat.publishIteration(i, 2.0 * i, -1.0 * i);
+      ++i;
+    }
+  });
+
+  int consistent = 0;
+  for (int r = 0; r < 20000; ++r) {
+    const HeartbeatSnapshot snapshot = heartbeat.read();
+    if (snapshot.iteration >= 0) {
+      ASSERT_EQ(snapshot.hpwl, 2.0 * snapshot.iteration);
+      ASSERT_EQ(snapshot.overflow, -1.0 * snapshot.iteration);
+      ++consistent;
+    }
+  }
+  stop.store(true);
+  writer.join();
+  EXPECT_GT(consistent, 0);
+}
+
+// One real mini-flow rendered as Prometheus text: the document validates
+// and covers every family the dashboard needs — counters, self-time
+// seconds, tracked memory, per-job heartbeat gauges, process RSS/HWM.
+TEST(MetricsExportTest, RenderedFlowExpositionValidatesAndCoversFamilies) {
+  GeneratorConfig cfg;
+  cfg.designName = "mini";
+  cfg.numCells = 150;
+  cfg.utilization = 0.7;
+  cfg.seed = 31;
+  const std::unique_ptr<Database> db = generateNetlist(cfg);
+
+  PlacerOptions options;
+  options.gp.maxIterations = 40;
+  options.gp.binsMax = 32;
+  options.dp.passes = 1;
+  FlowContext context;
+  placeDesign(*db, options, context);
+
+  const std::string text =
+      renderPrometheusMetrics({MetricsSource{"mini", &context}});
+  std::string error;
+  std::size_t samples = 0;
+  ASSERT_TRUE(validatePrometheusText(text, &error, &samples)) << error;
+  EXPECT_GT(samples, 10u);
+
+  for (const char* needle :
+       {"dreamplace_counter_total{job=\"mini\",key=\"ops/density/evaluate\"}",
+        "dreamplace_timing_self_seconds_total{job=\"mini\",key=\"gp\"}",
+        "dreamplace_timing_calls_total{job=\"mini\",key=\"gp\"}",
+        "dreamplace_memory_peak_bytes{job=\"mini\"",
+        "dreamplace_heartbeat_sequence{job=\"mini\"}",
+        "dreamplace_heartbeat_hpwl{job=\"mini\"}",
+        "dreamplace_heartbeat_best_hpwl{job=\"mini\"}",
+        "dreamplace_heartbeat_stage{job=\"mini\",stage=\"done\"} 1",
+        "dreamplace_active_flows 1",
+        "dreamplace_process_resident_bytes",
+        "dreamplace_process_peak_resident_bytes"}) {
+    EXPECT_NE(text.find(needle), std::string::npos) << needle;
+  }
+
+  // The render charged its bookkeeping counter to the flow.
+  EXPECT_GE(context.counters().snapshot().at("metrics/exports"), 1);
+}
+
+TEST(MetricsExportTest, LabelValuesAreEscaped) {
+  FlowContext context;
+  context.counters().add("weird\"key\\with\nnasties", 1);
+  const std::string text =
+      renderPrometheusMetrics({MetricsSource{"job\"x", &context}});
+  std::string error;
+  EXPECT_TRUE(validatePrometheusText(text, &error)) << error;
+  EXPECT_NE(text.find("job=\"job\\\"x\""), std::string::npos);
+  EXPECT_NE(text.find("weird\\\"key\\\\with\\nnasties"), std::string::npos);
+}
+
+TEST(MetricsExportTest, WriteMetricsFileReplacesAtomically) {
+  const fs::path dir = fs::temp_directory_path() / "dp_metrics_export_test";
+  fs::create_directories(dir);
+  const fs::path path = dir / "metrics.prom";
+
+  std::string error;
+  ASSERT_TRUE(writeMetricsFile(path.string(), "# first\n", &error)) << error;
+  ASSERT_TRUE(writeMetricsFile(path.string(), "# second\n", &error)) << error;
+
+  std::ifstream in(path);
+  std::ostringstream ss;
+  ss << in.rdbuf();
+  EXPECT_EQ(ss.str(), "# second\n");
+  EXPECT_FALSE(fs::exists(path.string() + ".tmp"));
+}
+
+TEST(MetricsExportTest, WriteMetricsFileFailsWithClearError) {
+  std::string error;
+  EXPECT_FALSE(writeMetricsFile("/nonexistent_dir_dp/m.prom", "x", &error));
+  EXPECT_EQ(error, "metrics: cannot write /nonexistent_dir_dp/m.prom");
+}
+
+TEST(MetricsExportTest, ValidatorAcceptsSpecialValuesAndTimestamps) {
+  const std::string text =
+      "# HELP foo help text\n"
+      "# TYPE foo gauge\n"
+      "foo{l=\"v\"} NaN\n"
+      "foo{l=\"w\"} +Inf\n"
+      "foo -Inf\n"
+      "foo 1.5e-3 1712345678901\n";
+  std::string error;
+  std::size_t samples = 0;
+  EXPECT_TRUE(validatePrometheusText(text, &error, &samples)) << error;
+  EXPECT_EQ(samples, 4u);
+
+  // Empty document: valid, zero samples.
+  EXPECT_TRUE(validatePrometheusText("", &error, &samples));
+  EXPECT_EQ(samples, 0u);
+}
+
+TEST(MetricsExportTest, ValidatorRejectsMalformedDocuments) {
+  std::string error;
+
+  // Sample without a preceding TYPE declaration.
+  EXPECT_FALSE(validatePrometheusText("foo 1\n", &error));
+  EXPECT_NE(error.find("no TYPE line"), std::string::npos);
+
+  // Invalid metric name.
+  EXPECT_FALSE(
+      validatePrometheusText("# TYPE 1bad gauge\n1bad 1\n", &error));
+
+  // Invalid label name.
+  EXPECT_FALSE(validatePrometheusText(
+      "# TYPE foo gauge\nfoo{bad-label=\"x\"} 1\n", &error));
+
+  // Unquoted label value.
+  EXPECT_FALSE(
+      validatePrometheusText("# TYPE foo gauge\nfoo{l=x} 1\n", &error));
+
+  // Non-numeric sample value.
+  EXPECT_FALSE(validatePrometheusText("# TYPE foo gauge\nfoo abc\n", &error));
+
+  // Unknown metric type.
+  EXPECT_FALSE(validatePrometheusText("# TYPE foo widget\nfoo 1\n", &error));
+
+  // Bad timestamp.
+  EXPECT_FALSE(
+      validatePrometheusText("# TYPE foo gauge\nfoo 1 12x\n", &error));
+}
+
+}  // namespace
+}  // namespace dreamplace

@@ -196,14 +196,20 @@ TEST(ReportTest, CheckFailsOnMissingPath) {
   ASSERT_TRUE(parseJsonFlat(
       R"({"checks": [{"path": "b", "op": "eq", "value": 0},
                      {"path": "c", "op": "eq", "value": 0,
+                      "missing_ok": true},
+                     {"path": "d", "op": "ge", "value": 1,
+                      "missing_ok": true},
+                     {"path": "a", "op": "ge", "value": 5,
                       "missing_ok": true}]})",
       baseline, &error))
       << error;
   std::vector<CheckResult> results;
   ASSERT_TRUE(checkReport(report, baseline, results, &error)) << error;
-  ASSERT_EQ(results.size(), 2u);
+  ASSERT_EQ(results.size(), 4u);
   EXPECT_FALSE(results[0].passed);  // missing without missing_ok
-  EXPECT_TRUE(results[1].passed);   // missing_ok reads absent as 0
+  EXPECT_TRUE(results[1].passed);   // missing_ok: absent path is skipped
+  EXPECT_TRUE(results[2].passed);   // skipped even when 0 would fail "ge 1"
+  EXPECT_FALSE(results[3].passed);  // present values are still constrained
 }
 
 TEST(ReportTest, CheckRejectsMalformedBaseline) {

@@ -2,21 +2,27 @@
 // against a baseline of deterministic count invariants.
 //
 //   check_report <report.json> <baseline.json>
+//                [--expect-status=<job>:<status>]...
 //
 // <report.json> may be a single run report (dreamplace.run_report.v1) or
 // a PlacementEngine batch report (dreamplace.batch_report.v1); for a
 // batch, every job must have succeeded and every job's embedded run
-// report is checked against the same baseline.
+// report is checked against the same baseline. --expect-status overrides
+// the required terminal status for one job — the CI health-gate uses it
+// to assert that injected sick jobs end exactly `diverged` / `stalled`
+// (such jobs carry no run report and are exempt from the baseline).
 //
 // Prints one PASS/FAIL line per baseline check and exits non-zero when
 // any check fails or either document is malformed. Baselines compare
 // *counts* (transform-per-solve ratios, workspace allocations, dropped
 // trace events), never wall-times — see tools/report_baseline.json and
 // docs/OBSERVABILITY.md.
+#include <cstddef>
 #include <cstdio>
 #include <fstream>
 #include <sstream>
 #include <string>
+#include <vector>
 
 #include "place/report_check.h"
 
@@ -38,19 +44,44 @@ bool readFile(const char* path, std::string& out) {
 int main(int argc, char** argv) {
   using namespace dreamplace;
 
-  if (argc != 3) {
-    std::fprintf(stderr, "usage: %s <report.json> <baseline.json>\n", argv[0]);
+  BatchCheckOptions check_options;
+  std::vector<const char*> positional;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    const std::string kExpect = "--expect-status=";
+    if (arg.compare(0, kExpect.size(), kExpect) == 0) {
+      const std::string spec = arg.substr(kExpect.size());
+      const std::size_t colon = spec.find(':');
+      if (colon == std::string::npos || colon == 0 ||
+          colon + 1 == spec.size()) {
+        std::fprintf(stderr,
+                     "error: bad --expect-status '%s' (want <job>:<status>)\n",
+                     spec.c_str());
+        return 2;
+      }
+      check_options.expectedStatus[spec.substr(0, colon)] =
+          spec.substr(colon + 1);
+      continue;
+    }
+    positional.push_back(argv[i]);
+  }
+
+  if (positional.size() != 2) {
+    std::fprintf(stderr,
+                 "usage: %s <report.json> <baseline.json> "
+                 "[--expect-status=<job>:<status>]...\n",
+                 argv[0]);
     return 2;
   }
 
   std::string report_text;
   std::string baseline_text;
-  if (!readFile(argv[1], report_text)) {
-    std::fprintf(stderr, "error: cannot read report %s\n", argv[1]);
+  if (!readFile(positional[0], report_text)) {
+    std::fprintf(stderr, "error: cannot read report %s\n", positional[0]);
     return 2;
   }
-  if (!readFile(argv[2], baseline_text)) {
-    std::fprintf(stderr, "error: cannot read baseline %s\n", argv[2]);
+  if (!readFile(positional[1], baseline_text)) {
+    std::fprintf(stderr, "error: cannot read baseline %s\n", positional[1]);
     return 2;
   }
 
@@ -58,17 +89,19 @@ int main(int argc, char** argv) {
   FlatJson baseline;
   std::string error;
   if (!parseJsonFlat(report_text, report, &error)) {
-    std::fprintf(stderr, "error: report %s: %s\n", argv[1], error.c_str());
+    std::fprintf(stderr, "error: report %s: %s\n", positional[0],
+                 error.c_str());
     return 2;
   }
   if (!parseJsonFlat(baseline_text, baseline, &error)) {
-    std::fprintf(stderr, "error: baseline %s: %s\n", argv[2], error.c_str());
+    std::fprintf(stderr, "error: baseline %s: %s\n", positional[1],
+                 error.c_str());
     return 2;
   }
 
   if (isBatchReport(report)) {
     std::vector<BatchJobCheck> jobs;
-    if (!checkBatchReport(report, baseline, jobs, &error)) {
+    if (!checkBatchReport(report, baseline, jobs, &error, check_options)) {
       std::fprintf(stderr, "error: %s\n", error.c_str());
       return 2;
     }
@@ -77,7 +110,13 @@ int main(int argc, char** argv) {
     for (const BatchJobCheck& job : jobs) {
       if (!job.succeeded) {
         ++failed;
-        std::printf("FAIL  [%s] job status %s (expected succeeded)\n",
+        std::printf("FAIL  [%s] job status %s (expected %s)\n",
+                    job.name.c_str(), job.status.c_str(),
+                    job.expected.c_str());
+        continue;
+      }
+      if (job.status != "succeeded") {
+        std::printf("PASS  [%s] job status %s (as expected)\n",
                     job.name.c_str(), job.status.c_str());
         continue;
       }

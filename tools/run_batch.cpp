@@ -3,41 +3,130 @@
 // JSON, which check_report then gates per-job against the run-report
 // baseline.
 //
-//   run_batch <batch.json> [jobs] [maxConcurrentJobs]
+//   run_batch <batch.json> [jobs] [maxConcurrentJobs] [flags...]
 //
 // Defaults: 3 jobs, 3 concurrent. Designs are the report_test scale
 // (600 cells, 300 GP iterations) with distinct seeds, so every job
 // satisfies the same baseline invariants as the single-run gate.
-// Exits non-zero when any job fails, times out, or is illegal.
+//
+// Health-gate flags (docs/OBSERVABILITY.md):
+//   --stall-seconds=S        watchdog stall threshold (0 = off)
+//   --divergence-ratio=R     watchdog HPWL divergence ratio (0 = off)
+//   --divergence-samples=N   consecutive over-ratio samples for a verdict
+//   --timeout=S              per-job wall-clock budget (0 = off)
+//   --metrics-file=PATH      Prometheus exposition, atomically rewritten
+//   --metrics-period=S       seconds between metrics rewrites
+//   --log-level=LEVEL        debug|info|warn|error|silent
+//   --inject-diverge         add a job tuned to explode (expects: diverged)
+//   --inject-stall           add a job that hangs before the flow
+//                            (expects: stalled; requires --stall-seconds)
+//
+// Injected jobs are EXPECTED to end in their watchdog verdict: the exit
+// code treats "diverge ended diverged" as success and anything else as
+// failure, so CI can assert the watchdog actually fired.
 #include <cstdio>
 #include <cstdlib>
+#include <chrono>
 #include <fstream>
+#include <map>
 #include <memory>
 #include <string>
+#include <thread>
 #include <vector>
 
+#include "common/flow_context.h"
+#include "common/log.h"
 #include "gen/netlist_generator.h"
 #include "place/engine.h"
+
+namespace {
+
+bool parseFlagValue(const std::string& arg, const char* name,
+                    std::string& out) {
+  const std::string prefix = std::string(name) + "=";
+  if (arg.compare(0, prefix.size(), prefix) != 0) {
+    return false;
+  }
+  out = arg.substr(prefix.size());
+  return true;
+}
+
+}  // namespace
 
 int main(int argc, char** argv) {
   using namespace dreamplace;
 
-  if (argc < 2 || argc > 4) {
+  initLogLevelFromEnv();
+  initLogJsonFromEnv();
+
+  EngineOptions engine_options;
+  bool inject_diverge = false;
+  bool inject_stall = false;
+  std::vector<std::string> positional;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    std::string value;
+    if (arg == "--inject-diverge") {
+      inject_diverge = true;
+    } else if (arg == "--inject-stall") {
+      inject_stall = true;
+    } else if (parseFlagValue(arg, "--stall-seconds", value)) {
+      engine_options.stallSeconds = std::atof(value.c_str());
+    } else if (parseFlagValue(arg, "--divergence-ratio", value)) {
+      engine_options.divergenceHpwlRatio = std::atof(value.c_str());
+    } else if (parseFlagValue(arg, "--divergence-samples", value)) {
+      engine_options.divergenceSamples = std::atoi(value.c_str());
+    } else if (parseFlagValue(arg, "--timeout", value)) {
+      engine_options.jobTimeoutSeconds = std::atof(value.c_str());
+    } else if (parseFlagValue(arg, "--metrics-file", value)) {
+      engine_options.metricsFile = value;
+    } else if (parseFlagValue(arg, "--metrics-period", value)) {
+      engine_options.metricsPeriodSeconds = std::atof(value.c_str());
+    } else if (parseFlagValue(arg, "--log-level", value)) {
+      LogLevel level = LogLevel::kInfo;
+      if (!parseLogLevel(value, level)) {
+        std::fprintf(stderr, "error: unknown log level '%s'\n",
+                     value.c_str());
+        return 2;
+      }
+      setLogLevel(level);
+    } else if (arg.compare(0, 2, "--") == 0) {
+      std::fprintf(stderr, "error: unknown flag '%s'\n", arg.c_str());
+      return 2;
+    } else {
+      positional.push_back(arg);
+    }
+  }
+
+  if (positional.empty() || positional.size() > 3) {
     std::fprintf(stderr,
-                 "usage: %s <batch.json> [jobs=3] [maxConcurrentJobs=3]\n",
+                 "usage: %s <batch.json> [jobs=3] [maxConcurrentJobs=3] "
+                 "[flags...]\n",
                  argv[0]);
     return 2;
   }
-  const std::string out_path = argv[1];
-  const int num_jobs = argc > 2 ? std::atoi(argv[2]) : 3;
-  const int concurrent = argc > 3 ? std::atoi(argv[3]) : 3;
+  const std::string out_path = positional[0];
+  const int num_jobs =
+      positional.size() > 1 ? std::atoi(positional[1].c_str()) : 3;
+  const int concurrent =
+      positional.size() > 2 ? std::atoi(positional[2].c_str()) : 3;
   if (num_jobs < 1 || concurrent < 1) {
     std::fprintf(stderr, "error: jobs and maxConcurrentJobs must be >= 1\n");
+    return 2;
+  }
+  if (inject_stall && engine_options.stallSeconds <= 0.0) {
+    std::fprintf(stderr, "error: --inject-stall requires --stall-seconds\n");
+    return 2;
+  }
+  if (inject_diverge && engine_options.divergenceHpwlRatio <= 0.0) {
+    std::fprintf(stderr,
+                 "error: --inject-diverge requires --divergence-ratio\n");
     return 2;
   }
 
   std::vector<std::unique_ptr<Database>> designs;
   std::vector<PlacementJob> jobs;
+  std::map<std::string, const char*> expected;  // injected job -> status
   for (int i = 0; i < num_jobs; ++i) {
     GeneratorConfig cfg;
     cfg.designName = "batch" + std::to_string(i);
@@ -56,7 +145,57 @@ int main(int argc, char** argv) {
     jobs.push_back(std::move(job));
   }
 
-  EngineOptions engine_options;
+  if (inject_diverge) {
+    // SGD with an absurd learning rate: positions explode within a few
+    // iterations, so the published HPWL blows past the running best (or
+    // goes non-finite) and the watchdog must deliver `diverged` long
+    // before the iteration cap or any --timeout.
+    GeneratorConfig cfg;
+    cfg.designName = "diverge";
+    cfg.numCells = 400;
+    cfg.utilization = 0.7;
+    cfg.seed = 101;
+    designs.push_back(generateNetlist(cfg));
+
+    PlacementJob job;
+    job.db = designs.back().get();
+    job.name = cfg.designName;
+    job.options.gp.solver = SolverKind::kSgdMomentum;
+    job.options.gp.lr = 1.0e6;
+    job.options.gp.maxIterations = 100000;
+    job.options.gp.binsMax = 64;
+    job.options.telemetryLabel = cfg.designName;
+    jobs.push_back(std::move(job));
+    expected[cfg.designName] = "diverged";
+  }
+
+  if (inject_stall) {
+    // The attempt hook runs with the job's FlowContext installed and
+    // never returns on its own; the watchdog's stall policy must cancel
+    // it (the hook polls throwIfInterrupted, the cooperative cancel
+    // point).
+    GeneratorConfig cfg;
+    cfg.designName = "stall";
+    cfg.numCells = 400;
+    cfg.utilization = 0.7;
+    cfg.seed = 102;
+    designs.push_back(generateNetlist(cfg));
+
+    PlacementJob job;
+    job.db = designs.back().get();
+    job.name = cfg.designName;
+    job.options.gp.binsMax = 64;
+    job.options.telemetryLabel = cfg.designName;
+    job.attemptHook = [](int) {
+      while (true) {
+        std::this_thread::sleep_for(std::chrono::milliseconds(10));
+        FlowContext::current().throwIfInterrupted();
+      }
+    };
+    jobs.push_back(std::move(job));
+    expected[cfg.designName] = "stalled";
+  }
+
   engine_options.maxConcurrentJobs = concurrent;
   PlacementEngine engine(engine_options);
   const BatchReport batch = engine.run(std::move(jobs));
@@ -69,19 +208,28 @@ int main(int argc, char** argv) {
   out << batch.toJson() << '\n';
   out.close();
 
-  bool ok = batch.allSucceeded();
+  bool ok = true;
   for (const JobReport& job : batch.jobs) {
+    const auto it = expected.find(job.name);
+    const char* want = it == expected.end() ? "succeeded" : it->second;
+    const bool matched = std::string(statusName(job.status)) == want;
     std::printf("%-10s %-10s attempts=%d hpwl=%.6e overflow=%.4f legal=%d "
-                "wall=%.1fs\n",
+                "wall=%.1fs%s\n",
                 job.name.c_str(), statusName(job.status), job.attempts,
                 job.result.hpwl, job.result.overflow,
-                job.result.legal ? 1 : 0, job.wallSeconds);
+                job.result.legal ? 1 : 0, job.wallSeconds,
+                matched ? "" : "  [UNEXPECTED]");
+    if (!matched) {
+      ok = false;
+    }
     if (job.status == JobStatus::kSucceeded && !job.result.legal) {
       ok = false;
     }
   }
-  std::printf("batch: %d/%zu succeeded, wall %.1fs aggregate %.1fs -> %s\n",
-              batch.succeeded, batch.jobs.size(), batch.wallSeconds,
-              batch.aggregateSeconds, out_path.c_str());
+  std::printf("batch: %d/%zu succeeded (%d diverged, %d stalled), "
+              "wall %.1fs aggregate %.1fs -> %s\n",
+              batch.succeeded, batch.jobs.size(), batch.diverged,
+              batch.stalled, batch.wallSeconds, batch.aggregateSeconds,
+              out_path.c_str());
   return ok ? 0 : 1;
 }
