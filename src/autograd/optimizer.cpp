@@ -19,6 +19,19 @@ double norm2(const std::vector<T>& a, const std::vector<T>& b) {
   return std::sqrt(acc);
 }
 
+/// Reads a checkpointed vector, enforcing the size the optimizer was
+/// constructed with — a snapshot from a different problem must not load.
+template <typename V>
+void readVec(ByteReader& r, std::vector<V>& out) {
+  const std::size_t expected = out.size();
+  out = r.f64Vec<V>();
+  if (out.size() != expected) {
+    throw std::runtime_error(
+        "optimizer: snapshot vector size " + std::to_string(out.size()) +
+        " does not match problem size " + std::to_string(expected));
+  }
+}
+
 }  // namespace
 
 // ---------------------------------------------------------------------------
@@ -138,6 +151,36 @@ double NesterovOptimizer<T>::step() {
   return value;
 }
 
+template <typename T>
+void NesterovOptimizer<T>::saveState(ByteWriter& w) const {
+  // v_cand_/grad_cand_/u_cand_ are per-step scratch (fully overwritten
+  // before any read), so only the committed state is serialized.
+  w.f64Vec(u_);
+  w.f64Vec(u_prev_);
+  w.f64Vec(v_);
+  w.f64Vec(v_prev_);
+  w.f64Vec(grad_v_);
+  w.f64Vec(grad_v_prev_);
+  w.f64(a_);
+  w.f64(alpha_);
+  w.u8(first_step_ ? 1 : 0);
+  w.i64(evaluations_);
+}
+
+template <typename T>
+void NesterovOptimizer<T>::loadState(ByteReader& r) {
+  readVec(r, u_);
+  readVec(r, u_prev_);
+  readVec(r, v_);
+  readVec(r, v_prev_);
+  readVec(r, grad_v_);
+  readVec(r, grad_v_prev_);
+  a_ = r.f64();
+  alpha_ = r.f64();
+  first_step_ = r.u8() != 0;
+  evaluations_ = static_cast<long>(r.i64());
+}
+
 // ---------------------------------------------------------------------------
 // AdamOptimizer
 // ---------------------------------------------------------------------------
@@ -183,6 +226,24 @@ double AdamOptimizer<T>::step() {
   return value;
 }
 
+template <typename T>
+void AdamOptimizer<T>::saveState(ByteWriter& w) const {
+  w.f64Vec(params_);
+  w.f64Vec(m_);
+  w.f64Vec(v_);
+  w.f64(lr_);
+  w.i64(t_);
+}
+
+template <typename T>
+void AdamOptimizer<T>::loadState(ByteReader& r) {
+  readVec(r, params_);
+  readVec(r, m_);
+  readVec(r, v_);
+  lr_ = r.f64();
+  t_ = static_cast<long>(r.i64());
+}
+
 // ---------------------------------------------------------------------------
 // SgdMomentumOptimizer
 // ---------------------------------------------------------------------------
@@ -218,6 +279,20 @@ double SgdMomentumOptimizer<T>::step() {
   }
   lr_ *= options_.lrDecay;
   return value;
+}
+
+template <typename T>
+void SgdMomentumOptimizer<T>::saveState(ByteWriter& w) const {
+  w.f64Vec(params_);
+  w.f64Vec(velocity_);
+  w.f64(lr_);
+}
+
+template <typename T>
+void SgdMomentumOptimizer<T>::loadState(ByteReader& r) {
+  readVec(r, params_);
+  readVec(r, velocity_);
+  lr_ = r.f64();
 }
 
 // ---------------------------------------------------------------------------
@@ -256,6 +331,20 @@ double RmsPropOptimizer<T>::step() {
   }
   lr_ *= options_.lrDecay;
   return value;
+}
+
+template <typename T>
+void RmsPropOptimizer<T>::saveState(ByteWriter& w) const {
+  w.f64Vec(params_);
+  w.f64Vec(meanSquare_);
+  w.f64(lr_);
+}
+
+template <typename T>
+void RmsPropOptimizer<T>::loadState(ByteReader& r) {
+  readVec(r, params_);
+  readVec(r, meanSquare_);
+  lr_ = r.f64();
 }
 
 // ---------------------------------------------------------------------------

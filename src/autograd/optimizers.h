@@ -13,6 +13,7 @@
 #include <vector>
 
 #include "autograd/objective.h"
+#include "common/serialize.h"
 
 namespace dreamplace {
 
@@ -34,6 +35,14 @@ class Optimizer {
   /// step for Nesterov, the (decayed) learning rate for the others.
   /// Telemetry-only; 0 before the first step.
   virtual double stepSize() const { return 0.0; }
+
+  /// Checkpoint hooks (flow resume, docs/FLOW.md): saveState serializes
+  /// everything step() depends on — parameter and momentum vectors plus
+  /// scalar schedule state — as f64, so a loadState'd optimizer continues
+  /// bit-identically for float64 flows. loadState expects a snapshot from
+  /// the same solver over the same problem size and throws on mismatch.
+  virtual void saveState(ByteWriter& w) const = 0;
+  virtual void loadState(ByteReader& r) = 0;
 };
 
 /// Nesterov's method with Lipschitz step-size estimation (ePlace).
@@ -59,6 +68,8 @@ class NesterovOptimizer final : public Optimizer<T> {
   std::string name() const override { return "nesterov"; }
   void reset() override;
   double stepSize() const override { return alpha_; }
+  void saveState(ByteWriter& w) const override;
+  void loadState(ByteReader& r) override;
 
   /// Number of objective evaluations so far (line search costs extra).
   long evaluations() const { return evaluations_; }
@@ -107,6 +118,8 @@ class AdamOptimizer final : public Optimizer<T> {
   std::string name() const override { return "adam"; }
   void reset() override;
   double stepSize() const override { return lr_; }
+  void saveState(ByteWriter& w) const override;
+  void loadState(ByteReader& r) override;
 
  private:
   ObjectiveFunction<T>& objective_;
@@ -140,6 +153,8 @@ class SgdMomentumOptimizer final : public Optimizer<T> {
   std::string name() const override { return "sgd_momentum"; }
   void reset() override;
   double stepSize() const override { return lr_; }
+  void saveState(ByteWriter& w) const override;
+  void loadState(ByteReader& r) override;
 
  private:
   ObjectiveFunction<T>& objective_;
@@ -172,6 +187,8 @@ class RmsPropOptimizer final : public Optimizer<T> {
   std::string name() const override { return "rmsprop"; }
   void reset() override;
   double stepSize() const override { return lr_; }
+  void saveState(ByteWriter& w) const override;
+  void loadState(ByteReader& r) override;
 
  private:
   ObjectiveFunction<T>& objective_;

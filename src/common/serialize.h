@@ -1,0 +1,113 @@
+// Minimal binary serialization for flow checkpoints (place/checkpoint.h).
+//
+// ByteWriter appends fixed-width little-layout primitives to a string;
+// ByteReader consumes them in the same order and throws on truncation or
+// absurd sizes, so a corrupt checkpoint fails loudly instead of resuming
+// a flow from garbage. Values are stored in host byte order: checkpoints
+// are same-machine restart artifacts, not an interchange format
+// (docs/FLOW.md).
+#pragma once
+
+#include <cstdint>
+#include <cstring>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+namespace dreamplace {
+
+class ByteWriter {
+ public:
+  void u8(std::uint8_t v) { out_.push_back(static_cast<char>(v)); }
+  void u32(std::uint32_t v) { raw(&v, sizeof(v)); }
+  void i32(std::int32_t v) { raw(&v, sizeof(v)); }
+  void u64(std::uint64_t v) { raw(&v, sizeof(v)); }
+  void i64(std::int64_t v) { raw(&v, sizeof(v)); }
+  void f64(double v) { raw(&v, sizeof(v)); }
+
+  void str(const std::string& s) {
+    u64(s.size());
+    out_.append(s);
+  }
+
+  /// Element-wise f64 vector (exact for float inputs too: every float is
+  /// representable as a double, so the round trip is bit-preserving).
+  template <typename T>
+  void f64Vec(const std::vector<T>& v) {
+    u64(v.size());
+    for (const T x : v) {
+      f64(static_cast<double>(x));
+    }
+  }
+
+  const std::string& data() const { return out_; }
+  std::string take() { return std::move(out_); }
+
+ private:
+  void raw(const void* p, std::size_t n) {
+    out_.append(static_cast<const char*>(p), n);
+  }
+
+  std::string out_;
+};
+
+class ByteReader {
+ public:
+  explicit ByteReader(const std::string& data) : data_(data) {}
+
+  std::uint8_t u8() {
+    need(1);
+    return static_cast<std::uint8_t>(data_[pos_++]);
+  }
+  std::uint32_t u32() { return rawAs<std::uint32_t>(); }
+  std::int32_t i32() { return rawAs<std::int32_t>(); }
+  std::uint64_t u64() { return rawAs<std::uint64_t>(); }
+  std::int64_t i64() { return rawAs<std::int64_t>(); }
+  double f64() { return rawAs<double>(); }
+
+  std::string str() {
+    const std::uint64_t n = u64();
+    need(n);
+    std::string s(data_.data() + pos_, static_cast<std::size_t>(n));
+    pos_ += static_cast<std::size_t>(n);
+    return s;
+  }
+
+  template <typename T>
+  std::vector<T> f64Vec() {
+    const std::uint64_t n = u64();
+    need(n * sizeof(double));
+    std::vector<T> v(static_cast<std::size_t>(n));
+    for (std::uint64_t i = 0; i < n; ++i) {
+      v[i] = static_cast<T>(f64());
+    }
+    return v;
+  }
+
+  bool atEnd() const { return pos_ == data_.size(); }
+  std::size_t remaining() const { return data_.size() - pos_; }
+
+ private:
+  template <typename T>
+  T rawAs() {
+    need(sizeof(T));
+    T v;
+    std::memcpy(&v, data_.data() + pos_, sizeof(T));
+    pos_ += sizeof(T);
+    return v;
+  }
+
+  void need(std::uint64_t n) const {
+    if (n > data_.size() - pos_) {
+      throw std::runtime_error(
+          "serialize: truncated or corrupt data (need " + std::to_string(n) +
+          " bytes at offset " + std::to_string(pos_) + " of " +
+          std::to_string(data_.size()) + ")");
+    }
+  }
+
+  const std::string& data_;
+  std::size_t pos_ = 0;
+};
+
+}  // namespace dreamplace

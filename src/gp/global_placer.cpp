@@ -2,10 +2,13 @@
 
 #include <algorithm>
 #include <cmath>
+#include <cstdint>
+#include <stdexcept>
 
 #include "common/flow_context.h"
 #include "common/log.h"
 #include "common/parallel.h"
+#include "common/serialize.h"
 #include "common/timer.h"
 
 namespace dreamplace {
@@ -118,45 +121,16 @@ GlobalPlacerResult GlobalPlacer<T>::run(const Callback& callback) {
   Timer run_timer;
   TelemetrySink* telemetry = options_.telemetry;
   const Index n = num_nodes_;
-
-  // --- Initial placement -----------------------------------------------------
-  std::vector<T> x;
-  std::vector<T> y;
-  if (has_initial_positions_) {
-    x = init_x_;
-    y = init_y_;
-  } else {
-    initializePlacement<T>(db_, n, options_.init, options_.seed,
-                           options_.noiseRatio, x, y);
-  }
-  std::vector<T> params(2 * static_cast<size_t>(n));
-  std::copy(x.begin(), x.end(), params.begin());
-  std::copy(y.begin(), y.end(), params.begin() + n);
-
-  // --- Initial density weight (ePlace lambda0) --------------------------------
-  std::vector<T> wl_grad(params.size());
-  std::vector<T> density_grad(params.size());
-  wirelength_->setGamma(
-      GammaScheduler(0.5 * (grid().binW + grid().binH)).gamma(1.0));
-  wirelength_->evaluate(std::span<const T>(params), std::span<T>(wl_grad));
-  density_->evaluate(std::span<const T>(params), std::span<T>(density_grad));
-  double wl_abs = 0.0;
-  double d_abs = 0.0;
-  for (std::size_t i = 0; i < params.size(); ++i) {
-    wl_abs += std::abs(static_cast<double>(wl_grad[i]));
-    d_abs += std::abs(static_cast<double>(density_grad[i]));
-  }
-  double lambda = options_.initialDensityWeight > 0
-                      ? options_.initialDensityWeight
-                      : DensityWeightScheduler::initialWeight(wl_abs, d_abs);
-  objective_->setDensityWeight(lambda);
+  const bool resuming =
+      options_.resumeState != nullptr && !options_.resumeState->empty();
 
   // --- Schedulers --------------------------------------------------------------
+  // Stateless given the iteration index, so a resumed loop reconstructs
+  // them instead of checkpointing them.
   const double bin_size = 0.5 * (grid().binW + grid().binH);
   GammaScheduler gamma_scheduler(bin_size);
   DensityWeightScheduler::Options lam_opts;
   lam_opts.tcadMuVariant = options_.tcadMuVariant;
-  const double hpwl0 = wirelength_->hpwl(std::span<const T>(params));
   DensityWeightScheduler lambda_scheduler(lam_opts);
   // The paper's reference HPWL delta (3.5e5) is ~0.5% of an ISPD-design
   // HPWL; we keep that ratio relative to the *current* HPWL so the
@@ -166,9 +140,8 @@ GlobalPlacerResult GlobalPlacer<T>::run(const Callback& callback) {
   // and mu returns to mu_max, which is what breaks the stall.
   constexpr double kRefRatio = 5e-3;
   constexpr double kEmaAlpha = 0.3;
-  double ema_hpwl = hpwl0;
 
-  // --- Optimizer with feasibility projection ------------------------------------
+  // --- Feasibility projection ---------------------------------------------------
   // Nodes are clamped into the die — or into their fence box when fence
   // regions are active (fences are axis-aligned boxes, so the projection
   // is an exact Euclidean projection per node).
@@ -196,43 +169,85 @@ GlobalPlacerResult GlobalPlacer<T>::run(const Callback& callback) {
     });
   };
 
-  switch (options_.solver) {
-    case SolverKind::kNesterov: {
-      typename NesterovOptimizer<T>::Options opt;
-      opt.projection = projection;
-      optimizer_ = std::make_unique<NesterovOptimizer<T>>(*objective_,
-                                                          params, opt);
-      break;
+  double lambda = 0.0;
+  double ema_hpwl = 0.0;
+  double overflow = 0.0;
+  /// HPWL seeding the heartbeat: the initial placement's on a fresh run,
+  /// the last pre-snapshot iteration's on a resume.
+  double hpwl_seed = 0.0;
+  int start_iter = 0;
+
+  if (resuming) {
+    // Restore the loop state exactly as serializeRunState() wrote it; the
+    // initial-placement and lambda0 computations are skipped entirely (the
+    // fresh run already performed them, so re-running would double their
+    // counters and diverge from the uninterrupted baseline).
+    ByteReader r(*options_.resumeState);
+    const std::uint32_t version = r.u32();
+    if (version != 1) {
+      throw std::runtime_error("gp resume: unsupported snapshot version " +
+                               std::to_string(version));
     }
-    case SolverKind::kAdam: {
-      typename AdamOptimizer<T>::Options opt;
-      // Scale the learning rate to the die so solver settings transfer
-      // across design sizes (PyTorch defaults assume O(1) parameters).
-      opt.lr = options_.lr * bin_size;
-      opt.lrDecay = options_.lrDecay;
-      opt.projection = projection;
-      optimizer_ =
-          std::make_unique<AdamOptimizer<T>>(*objective_, params, opt);
-      break;
+    const std::uint8_t solver = r.u8();
+    if (solver != static_cast<std::uint8_t>(options_.solver)) {
+      throw std::runtime_error("gp resume: solver mismatch");
     }
-    case SolverKind::kSgdMomentum: {
-      typename SgdMomentumOptimizer<T>::Options opt;
-      opt.lr = options_.lr * bin_size;
-      opt.lrDecay = options_.lrDecay;
-      opt.projection = projection;
-      optimizer_ = std::make_unique<SgdMomentumOptimizer<T>>(*objective_,
-                                                             params, opt);
-      break;
+    const Index nodes = r.i32();
+    if (nodes != n) {
+      throw std::runtime_error(
+          "gp resume: node count mismatch (snapshot " + std::to_string(nodes) +
+          ", placer " + std::to_string(n) + ")");
     }
-    case SolverKind::kRmsProp: {
-      typename RmsPropOptimizer<T>::Options opt;
-      opt.lr = options_.lr * bin_size;
-      opt.lrDecay = options_.lrDecay;
-      opt.projection = projection;
-      optimizer_ =
-          std::make_unique<RmsPropOptimizer<T>>(*objective_, params, opt);
-      break;
+    start_iter = r.i32();
+    lambda = r.f64();
+    ema_hpwl = r.f64();
+    overflow = r.f64();
+    hpwl_seed = r.f64();
+    makeSolver(std::vector<T>(2 * static_cast<std::size_t>(n)), projection);
+    optimizer_->loadState(r);
+    if (!r.atEnd()) {
+      throw std::runtime_error("gp resume: trailing bytes in snapshot");
     }
+    objective_->setDensityWeight(lambda);
+    logInfo("gp: resuming at iteration %d (lambda %.3e, overflow %.4f)",
+            start_iter, lambda, overflow);
+  } else {
+    // --- Initial placement ---------------------------------------------------
+    std::vector<T> x;
+    std::vector<T> y;
+    if (has_initial_positions_) {
+      x = init_x_;
+      y = init_y_;
+    } else {
+      initializePlacement<T>(db_, n, options_.init, options_.seed,
+                             options_.noiseRatio, x, y);
+    }
+    std::vector<T> params(2 * static_cast<size_t>(n));
+    std::copy(x.begin(), x.end(), params.begin());
+    std::copy(y.begin(), y.end(), params.begin() + n);
+
+    // --- Initial density weight (ePlace lambda0) ------------------------------
+    std::vector<T> wl_grad(params.size());
+    std::vector<T> density_grad(params.size());
+    wirelength_->setGamma(gamma_scheduler.gamma(1.0));
+    wirelength_->evaluate(std::span<const T>(params), std::span<T>(wl_grad));
+    density_->evaluate(std::span<const T>(params),
+                       std::span<T>(density_grad));
+    double wl_abs = 0.0;
+    double d_abs = 0.0;
+    for (std::size_t i = 0; i < params.size(); ++i) {
+      wl_abs += std::abs(static_cast<double>(wl_grad[i]));
+      d_abs += std::abs(static_cast<double>(density_grad[i]));
+    }
+    lambda = options_.initialDensityWeight > 0
+                 ? options_.initialDensityWeight
+                 : DensityWeightScheduler::initialWeight(wl_abs, d_abs);
+    objective_->setDensityWeight(lambda);
+
+    hpwl_seed = wirelength_->hpwl(std::span<const T>(params));
+    ema_hpwl = hpwl_seed;
+    overflow = density_->overflow(std::span<const T>(params));
+    makeSolver(std::move(params), projection);
   }
 
   // --- Kernel GP iterations ---------------------------------------------------------
@@ -247,8 +262,7 @@ GlobalPlacerResult GlobalPlacer<T>::run(const Callback& callback) {
   }
   TimingRegistry& timing = currentTimingRegistry();
   GlobalPlacerResult result;
-  double overflow = density_->overflow(std::span<const T>(params));
-  int iter = 0;
+  int iter = start_iter;
   FlowContext& flow = FlowContext::current();
   // Liveness heartbeat (common/heartbeat.h): the pre-loop publish seeds
   // the running-best HPWL with the initial placement, so the engine
@@ -256,7 +270,7 @@ GlobalPlacerResult GlobalPlacer<T>::run(const Callback& callback) {
   // its first sample lands iterations into the loop.
   HeartbeatState& heartbeat = flow.heartbeat();
   heartbeat.beginStage(FlowStage::kGlobalPlacement);
-  heartbeat.publishIteration(-1, hpwl0, overflow);
+  heartbeat.publishIteration(start_iter - 1, hpwl_seed, overflow);
   for (; iter < options_.maxIterations; ++iter) {
     // Cooperative timeout/cancel point: once per iteration keeps engine
     // job deadlines responsive without per-kernel checks.
@@ -316,6 +330,15 @@ GlobalPlacerResult GlobalPlacer<T>::run(const Callback& callback) {
       ++iter;
       break;
     }
+    // Mid-run checkpoint, last so a terminating iteration is not
+    // snapshotted (the stage-boundary checkpoint supersedes it). The
+    // snapshot captures the post-update state; a resume re-enters the
+    // loop at iter+1 with it, bit-identical to never having stopped.
+    if (options_.checkpointEveryIterations > 0 && options_.checkpointSink &&
+        (iter + 1) % options_.checkpointEveryIterations == 0) {
+      options_.checkpointSink(
+          serializeRunState(iter + 1, lambda, ema_hpwl, overflow, cur_hpwl));
+    }
   }
 
   final_params_ = optimizer_->params();
@@ -336,6 +359,67 @@ GlobalPlacerResult GlobalPlacer<T>::run(const Callback& callback) {
   logInfo("gp: done after %d iterations, hpwl %.4e, overflow %.4f",
           result.iterations, result.hpwl, result.overflow);
   return result;
+}
+
+template <typename T>
+void GlobalPlacer<T>::makeSolver(
+    std::vector<T> initial, std::function<void(std::vector<T>&)> projection) {
+  switch (options_.solver) {
+    case SolverKind::kNesterov: {
+      typename NesterovOptimizer<T>::Options opt;
+      opt.projection = std::move(projection);
+      optimizer_ =
+          std::make_unique<NesterovOptimizer<T>>(*objective_, initial, opt);
+      break;
+    }
+    case SolverKind::kAdam: {
+      typename AdamOptimizer<T>::Options opt;
+      // Scale the learning rate to the die so solver settings transfer
+      // across design sizes (PyTorch defaults assume O(1) parameters).
+      opt.lr = options_.lr * 0.5 * (grid().binW + grid().binH);
+      opt.lrDecay = options_.lrDecay;
+      opt.projection = std::move(projection);
+      optimizer_ =
+          std::make_unique<AdamOptimizer<T>>(*objective_, initial, opt);
+      break;
+    }
+    case SolverKind::kSgdMomentum: {
+      typename SgdMomentumOptimizer<T>::Options opt;
+      opt.lr = options_.lr * 0.5 * (grid().binW + grid().binH);
+      opt.lrDecay = options_.lrDecay;
+      opt.projection = std::move(projection);
+      optimizer_ = std::make_unique<SgdMomentumOptimizer<T>>(*objective_,
+                                                             initial, opt);
+      break;
+    }
+    case SolverKind::kRmsProp: {
+      typename RmsPropOptimizer<T>::Options opt;
+      opt.lr = options_.lr * 0.5 * (grid().binW + grid().binH);
+      opt.lrDecay = options_.lrDecay;
+      opt.projection = std::move(projection);
+      optimizer_ =
+          std::make_unique<RmsPropOptimizer<T>>(*objective_, initial, opt);
+      break;
+    }
+  }
+}
+
+template <typename T>
+std::string GlobalPlacer<T>::serializeRunState(int next_iter, double lambda,
+                                               double ema_hpwl,
+                                               double overflow,
+                                               double cur_hpwl) const {
+  ByteWriter w;
+  w.u32(1);  // snapshot version
+  w.u8(static_cast<std::uint8_t>(options_.solver));
+  w.i32(num_nodes_);
+  w.i32(next_iter);
+  w.f64(lambda);
+  w.f64(ema_hpwl);
+  w.f64(overflow);
+  w.f64(cur_hpwl);
+  optimizer_->saveState(w);
+  return w.take();
 }
 
 template <typename T>

@@ -64,6 +64,18 @@ struct GlobalPlacerOptions {
   TelemetrySink* telemetry = nullptr;
   /// Label forwarded to the telemetry sink (design / config name).
   std::string telemetryLabel;
+
+  // --- Checkpoint / resume hooks (place/pipeline.h wires these) -----------
+  /// Every N iterations, serialize the loop state (optimizer vectors,
+  /// lambda, EMA, overflow) and hand it to checkpointSink. 0 (default)
+  /// disables. Requires checkpointSink.
+  int checkpointEveryIterations = 0;
+  std::function<void(const std::string&)> checkpointSink;
+  /// Non-null resumes the loop from a snapshot previously produced for
+  /// checkpointSink: skips initial placement / lambda0 seeding and
+  /// restores the optimizer, continuing bit-identically from the saved
+  /// iteration. Must come from the same design, solver, and options.
+  const std::string* resumeState = nullptr;
 };
 
 struct GlobalPlacerResult {
@@ -100,6 +112,14 @@ class GlobalPlacer {
  private:
   void buildOps();
   void commit(const std::vector<T>& params);
+  /// Constructs optimizer_ for options_.solver over `initial` with the
+  /// given projection (the switch formerly inlined in run()).
+  void makeSolver(std::vector<T> initial,
+                  std::function<void(std::vector<T>&)> projection);
+  /// Loop snapshot handed to options_.checkpointSink: versioned blob of
+  /// the next iteration index, schedule state, and optimizer state.
+  std::string serializeRunState(int next_iter, double lambda, double ema_hpwl,
+                                double overflow, double cur_hpwl) const;
 
   Database& db_;
   GlobalPlacerOptions options_;

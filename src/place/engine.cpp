@@ -7,6 +7,7 @@
 #include <cmath>
 #include <cstdio>
 #include <exception>
+#include <fstream>
 #include <stdexcept>
 #include <thread>
 #include <utility>
@@ -18,6 +19,7 @@
 #include "common/metrics_export.h"
 #include "common/parallel.h"
 #include "common/timer.h"
+#include "place/checkpoint.h"
 
 namespace dreamplace {
 
@@ -109,6 +111,34 @@ std::map<std::string, CounterRegistry::Value> deterministicCounters(
   return out;
 }
 
+bool isResumeVariantCounter(std::string_view key) {
+  if (isOrderDependentCounter(key)) return true;
+  // Checkpoint bookkeeping: the uninterrupted baseline loads nothing and
+  // may save a different number of snapshots than the interrupted run.
+  if (key.substr(0, 11) == "checkpoint/") return true;
+  // Lazy workspace counters: ops allocate scratch on first use and reuse
+  // it afterwards. A resumed segment is a fresh process state, so it
+  // re-allocates once more (alloc N -> N+1, reuse M -> M-1) even though
+  // the algorithmic work is identical.
+  const auto ends_with = [&key](std::string_view suffix) {
+    return key.size() >= suffix.size() &&
+           key.substr(key.size() - suffix.size()) == suffix;
+  };
+  if (ends_with("_alloc") || ends_with("_reuse")) return true;
+  return key == "fft/scratch_grow";
+}
+
+std::map<std::string, CounterRegistry::Value> resumeComparableCounters(
+    const std::map<std::string, CounterRegistry::Value>& counters) {
+  std::map<std::string, CounterRegistry::Value> out;
+  for (const auto& [key, value] : counters) {
+    if (!isResumeVariantCounter(key)) {
+      out.emplace(key, value);
+    }
+  }
+  return out;
+}
+
 std::string BatchReport::toJson() const {
   json::Json j;
   j.openObject();
@@ -134,6 +164,7 @@ std::string BatchReport::toJson() const {
     j.key("name"); j.value(job.name);
     j.key("status"); j.value(statusName(job.status));
     j.key("attempts"); j.value(job.attempts);
+    j.key("resumed"); j.value(job.resumed);
     j.key("wall_s"); j.value(job.wallSeconds);
     if (!job.error.empty()) {
       j.key("error"); j.value(job.error);
@@ -414,9 +445,28 @@ JobReport PlacementEngine::runJob(PlacementJob& job) {
   // Flow-scoped options only: a job must not resize the shared engine
   // pool under its sibling jobs.
   options.threads = 0;
+  if (!options.checkpointDir.empty() && options.checkpointName.empty()) {
+    options.checkpointName = out.name;
+  }
+  const std::string checkpoint_path = checkpointFilePath(options);
 
   for (int attempt = 1; attempt <= options_.maxJobAttempts; ++attempt) {
     out.attempts = attempt;
+    if (attempt > 1 && !checkpoint_path.empty()) {
+      // Resume instead of restart: the failed attempt left a checkpoint
+      // at its last stage boundary (or mid-GP snapshot); continuing from
+      // it keeps already-spent GP iterations instead of repaying them
+      // against the same deadline. Absent file (crash before the first
+      // snapshot) falls back to a clean restart.
+      std::ifstream probe(checkpoint_path, std::ios::binary);
+      if (probe.good()) {
+        options.resumeFrom = checkpoint_path;
+        out.resumed = true;
+        logInfo("engine: resuming job from %s", checkpoint_path.c_str());
+      } else {
+        options.resumeFrom.clear();
+      }
+    }
     logInfo("engine: job start (attempt %d/%d)", attempt,
             options_.maxJobAttempts);
     FlowContext::Config config;

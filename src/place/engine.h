@@ -151,6 +151,9 @@ struct JobReport {
   std::string name;
   JobStatus status = JobStatus::kFailed;
   int attempts = 0;        ///< Attempts actually made (>= 1).
+  /// A retry attempt continued from a flow checkpoint instead of
+  /// restarting from scratch (requires PlacerOptions::checkpointDir).
+  bool resumed = false;
   std::string error;       ///< Last failure message; empty on success.
   FlowResult result;       ///< Valid only when status == kSucceeded.
   RunReport report;        ///< Valid only when status == kSucceeded.
@@ -196,6 +199,21 @@ bool isOrderDependentCounter(std::string_view key);
 /// Copy of `counters` with the order-dependent keys removed — the subset
 /// a determinism comparison may EXPECT_EQ across concurrency levels.
 std::map<std::string, CounterRegistry::Value> deterministicCounters(
+    const std::map<std::string, CounterRegistry::Value>& counters);
+
+/// True for counter keys whose values legitimately differ between an
+/// uninterrupted flow and the same flow interrupted and resumed from a
+/// checkpoint: the order-dependent set above, checkpoint bookkeeping
+/// itself, and lazy workspace allocation/reuse counters (a resumed
+/// segment re-allocates scratch the original run reused). All
+/// *algorithmic-work* counters — op evaluations, optimizer steps,
+/// parallel/jobs — are resume-invariant and excluded from this set.
+bool isResumeVariantCounter(std::string_view key);
+
+/// Copy of `counters` with the resume-variant keys removed — the subset a
+/// resume-determinism comparison may EXPECT_EQ against an uninterrupted
+/// baseline.
+std::map<std::string, CounterRegistry::Value> resumeComparableCounters(
     const std::map<std::string, CounterRegistry::Value>& counters);
 
 /// The long-lived engine. Owns its worker pool; safe to run() multiple

@@ -10,7 +10,7 @@
 #include "common/timer.h"
 #include "common/trace.h"
 #include "db/metrics.h"
-#include "lg/macro_legalizer.h"
+#include "place/pipeline.h"
 #include "place/report.h"
 
 namespace dreamplace {
@@ -61,13 +61,29 @@ class FlowTelemetry {
   }
 
   ~FlowTelemetry() {
-    if (!trace_file_.empty()) {
-      TraceRecorder& trace = currentTraceRecorder();
-      trace.setEnabled(false);
-      if (!trace.writeJson(trace_file_)) {
-        logWarn("trace: cannot write %s", trace_file_.c_str());
-      }
+    // Backstop for flows that fail before reaching finishTrace(); a
+    // write failure here can only be logged.
+    finishTrace();
+  }
+
+  /// Stops recording and writes the trace file. Returns "" on success or
+  /// when no trace was requested; on failure logs and returns the message
+  /// so the caller can surface it (RunReport warnings — a silently
+  /// missing trace looks identical to a flow that never emitted scopes).
+  /// Idempotent: the file is written (and the failure reported) once.
+  std::string finishTrace() {
+    if (trace_file_.empty()) {
+      return {};
     }
+    const std::string trace_file = std::exchange(trace_file_, {});
+    TraceRecorder& trace = currentTraceRecorder();
+    trace.setEnabled(false);
+    if (!trace.writeJson(trace_file)) {
+      const std::string error = "trace: cannot write " + trace_file;
+      logWarn("%s", error.c_str());
+      return error;
+    }
+    return {};
   }
 
   /// Null when no sink is configured, so the GP loop skips all telemetry.
@@ -91,80 +107,9 @@ template <typename T>
 FlowResult runFlow(Database& db, const PlacerOptions& options,
                    FlowTelemetry& telemetry) {
   FlowResult result;
-  Timer total;
-
-  GlobalPlacerOptions gp_options = options.gp;
-  gp_options.telemetry = telemetry.sink();
-  gp_options.telemetryLabel = options.telemetryLabel;
-
-  // --- Global placement -------------------------------------------------
-  Timer gp_timer;
-  if (options.routability) {
-    RoutabilityOptions ropts = options.routabilityOptions;
-    ropts.gp = gp_options;
-    RoutabilityDrivenPlacer<T> placer(db, ropts);
-    const RoutabilityResult r = placer.run();
-    result.gpIterations = r.gp.iterations;
-    result.overflow = r.gp.overflow;
-    result.nlSeconds = r.nlSeconds;
-    result.grSeconds = r.grSeconds;
-    result.rc = r.congestion.rc;
-  } else {
-    GlobalPlacer<T> placer(db, gp_options);
-    const GlobalPlacerResult r = placer.run();
-    result.gpIterations = r.iterations;
-    result.overflow = r.overflow;
-  }
-  result.gpSeconds = gp_timer.elapsed();
-  result.hpwlGp = hpwl(db);
-  FlowContext::current().throwIfInterrupted();
-  FlowContext::current().heartbeat().beginStage(FlowStage::kLegalization);
-
-  // --- Legalization ------------------------------------------------------
-  Timer lg_timer;
-  {
-    ScopedTimer t("lg");
-    // Movable macros (mixed-size placement) first; they become obstacles
-    // for the standard-cell legalizers.
-    MacroLegalizer macro_lg;
-    macro_lg.run(db);
-    // Abacus legalizes directly from the GP positions (minimal movement).
-    // If any cell fails to fit (pathological fragmentation), fall back to
-    // the Tetris-like greedy packing and re-run Abacus from there.
-    AbacusLegalizer abacus(options.abacus);
-    LegalizerResult lg = abacus.run(db);
-    if (lg.failed > 0) {
-      GreedyLegalizer greedy(options.greedy);
-      greedy.run(db);
-      abacus.run(db);
-    }
-  }
-  result.lgSeconds = lg_timer.elapsed();
-  result.hpwlLegal = hpwl(db);
-  FlowContext::current().throwIfInterrupted();
-  FlowContext::current().heartbeat().beginStage(FlowStage::kDetailedPlacement);
-
-  // --- Detailed placement ---------------------------------------------------
-  Timer dp_timer;
-  if (options.runDetailedPlacement) {
-    DetailedPlacer dp(options.dp);
-    dp.run(db);
-  }
-  result.dpSeconds = dp_timer.elapsed();
-
-  result.hpwl = hpwl(db);
-  result.legal = checkLegality(db).legal;
-  result.totalSeconds = total.elapsed();
-  FlowContext::current().heartbeat().beginStage(FlowStage::kDone);
-
-  if (options.routability) {
-    // Re-estimate congestion on the final legalized placement.
-    GlobalRouter router(options.routabilityOptions.router);
-    const CongestionReport report = computeCongestion(router.route(db));
-    result.rc = report.rc;
-    result.sHpwl = scaledHpwl(result.hpwl, result.rc);
-  }
-
+  FlowPipeline pipeline = buildFlowPipeline<T>(options);
+  StageContext context{db, options, result, telemetry.sink()};
+  pipeline.run(context);
   logInfo("flow: hpwl gp %.4e -> legal %.4e -> final %.4e, legal=%d, "
           "gp %.1fs lg %.1fs dp %.1fs",
           result.hpwlGp, result.hpwlLegal, result.hpwl, result.legal ? 1 : 0,
@@ -242,6 +187,19 @@ void PlacerOptions::validate() const {
       break;
     }
   }
+  if (!runGlobalPlacement && routability) {
+    fail("runGlobalPlacement=false is incompatible with routability mode; "
+         "the inflation loop *is* a GP loop");
+  }
+  if (checkpointEveryIterations < 0) {
+    fail("checkpointEveryIterations must be >= 0 (got " +
+         std::to_string(checkpointEveryIterations) +
+         "); 0 checkpoints at stage boundaries only");
+  }
+  if (checkpointEveryIterations > 0 && checkpointDir.empty()) {
+    fail("checkpointEveryIterations requires checkpointDir; mid-GP "
+         "snapshots need somewhere to go");
+  }
   if (routability) {
     const RouterOptions& router = routabilityOptions.router;
     if (router.gridX <= 0 || router.gridY <= 0) {
@@ -306,6 +264,14 @@ FlowResult placeDesign(Database& db, const PlacerOptions& options,
   if (want_report) {
     RunReport report = buildRunReport(db, options, result,
                                       telemetry.gpSummaries(), context);
+    // Write the trace now (instead of in FlowTelemetry's destructor) so a
+    // failed export lands in the report's warnings array — a run report
+    // that looks clean while the trace silently vanished is the bug this
+    // closes.
+    const std::string trace_error = telemetry.finishTrace();
+    if (!trace_error.empty()) {
+      report.warnings.push_back(trace_error);
+    }
     std::string error;
     if (!writeRunReport(report, options.reportJson, options.reportText,
                         &error)) {

@@ -38,9 +38,36 @@ struct PlacerOptions {
   GreedyLegalizer::Options greedy;
   AbacusLegalizer::Options abacus;
   DetailedPlacer::Options dp;
+  /// Partial-flow switch: false skips global placement and legalizes /
+  /// refines the database's *current* positions (warm-start LG+DP-only
+  /// re-runs; docs/FLOW.md). Incompatible with routability mode, whose
+  /// inflation loop is a GP loop.
+  bool runGlobalPlacement = true;
   bool runDetailedPlacement = true;
   bool routability = false;          ///< Table V mode.
   RoutabilityOptions routabilityOptions;
+
+  // --- Checkpoint / resume (docs/FLOW.md) ---------------------------------
+  /// Directory for flow checkpoints. Empty (default) disables
+  /// checkpointing; non-empty writes a versioned binary snapshot
+  /// (place/checkpoint.h) at every stage boundary, atomically replacing
+  /// the previous one. The file is deleted when the flow completes.
+  std::string checkpointDir;
+  /// Checkpoint file stem inside checkpointDir ("<name>.dpck"); empty
+  /// defaults to "flow". PlacementEngine sets it to the job name.
+  std::string checkpointName;
+  /// Additionally checkpoint mid-GP every N iterations (0 = stage
+  /// boundaries only). Requires checkpointDir. Ignored in routability
+  /// mode, whose GP restarts carry inflation state a mid-run snapshot
+  /// does not cover — routability flows checkpoint at stage boundaries.
+  int checkpointEveryIterations = 0;
+  /// Path of a checkpoint to resume from. The flow restores positions,
+  /// counters, and partial results, then continues at the saved stage
+  /// (mid-GP when the checkpoint was taken there). A float64 resumed run
+  /// is bit-identical to an uninterrupted one (docs/FLOW.md lists the
+  /// few allocation-bookkeeping counters that legitimately differ).
+  /// Must target the same design, options, and precision.
+  std::string resumeFrom;
 
   // --- Observability exports (all off by default; see
   // docs/OBSERVABILITY.md) -------------------------------------------------
@@ -81,6 +108,12 @@ struct FlowResult {
   double overflow = 0.0;
   int gpIterations = 0;
   bool legal = false;
+  /// Legalization took the greedy-fallback path (the first Abacus pass
+  /// left cells unplaced, so greedy packing ran and Abacus re-ran).
+  bool lgFallback = false;
+  /// Cells the *final* legalization pass still could not place (0 on a
+  /// healthy flow; >0 means the placement is not legal).
+  int lgFailedCells = 0;
   double gpSeconds = 0.0;
   double lgSeconds = 0.0;
   double dpSeconds = 0.0;

@@ -87,6 +87,7 @@ std::string PlacerOptions::toJson() const {
   j.openObject();
   j.key("precision"); j.value(precisionName(precision));
   j.key("threads"); j.value(threads);
+  j.key("run_global_placement"); j.value(runGlobalPlacement);
   j.key("run_detailed_placement"); j.value(runDetailedPlacement);
   j.key("routability"); j.value(routability);
   j.key("telemetry_label"); j.value(telemetryLabel);
@@ -167,6 +168,14 @@ std::string PlacerOptions::toJson() const {
     j.closeObject();
     j.closeObject();
   }
+
+  j.key("checkpoint");
+  j.openObject();
+  j.key("dir"); j.value(checkpointDir);
+  j.key("name"); j.value(checkpointName);
+  j.key("every_iterations"); j.value(checkpointEveryIterations);
+  j.key("resume_from"); j.value(resumeFrom);
+  j.closeObject();
 
   j.key("exports");
   j.openObject();
@@ -322,6 +331,8 @@ std::string RunReport::toJson() const {
   j.key("overflow"); j.value(result.overflow);
   j.key("gp_iterations"); j.value(result.gpIterations);
   j.key("legal"); j.value(result.legal);
+  j.key("lg_fallback"); j.value(result.lgFallback);
+  j.key("lg_failed_cells"); j.value(result.lgFailedCells);
   j.closeObject();
 
   j.key("stages");
@@ -439,6 +450,13 @@ std::string RunReport::toText() const {
                 result.hpwl, result.hpwlGp, result.hpwlLegal, result.overflow,
                 result.gpIterations, result.legal ? "legal" : "NOT LEGAL");
   add();
+  if (result.lgFallback || result.lgFailedCells > 0) {
+    std::snprintf(line, sizeof(line),
+                  "legalization: greedy fallback taken, %d cells unplaced "
+                  "after final pass\n",
+                  result.lgFailedCells);
+    add();
+  }
 
   out += "\nstages:\n";
   const double total = std::max(result.totalSeconds, 1e-12);

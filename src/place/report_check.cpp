@@ -5,6 +5,9 @@
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <string_view>
+
+#include "place/engine.h"
 
 namespace dreamplace {
 
@@ -339,6 +342,27 @@ bool isBatchReport(const FlatJson& document) {
          it->second == "dreamplace.batch_report.v1";
 }
 
+namespace {
+
+/// Re-roots "jobs.N.report.*" leaves to "*" for one job of a batch.
+FlatJson extractJobReport(const FlatJson& batch, int index) {
+  const std::string prefix = "jobs." + std::to_string(index) + ".report.";
+  FlatJson report;
+  for (const auto& [path, value] : batch.numbers) {
+    if (path.compare(0, prefix.size(), prefix) == 0) {
+      report.numbers.emplace(path.substr(prefix.size()), value);
+    }
+  }
+  for (const auto& [path, value] : batch.strings) {
+    if (path.compare(0, prefix.size(), prefix) == 0) {
+      report.strings.emplace(path.substr(prefix.size()), value);
+    }
+  }
+  return report;
+}
+
+}  // namespace
+
 bool checkBatchReport(const FlatJson& batch, const FlatJson& baseline,
                       std::vector<BatchJobCheck>& jobs, std::string* error,
                       const BatchCheckOptions& options) {
@@ -368,18 +392,7 @@ bool checkBatchReport(const FlatJson& batch, const FlatJson& baseline,
     if (status == "succeeded") {
       // Re-root the embedded run report ("jobs.N.report.*" -> "*") and
       // apply the per-run baseline to it unchanged.
-      const std::string reportPrefix = prefix + "report.";
-      FlatJson report;
-      for (const auto& [path, value] : batch.numbers) {
-        if (path.compare(0, reportPrefix.size(), reportPrefix) == 0) {
-          report.numbers.emplace(path.substr(reportPrefix.size()), value);
-        }
-      }
-      for (const auto& [path, value] : batch.strings) {
-        if (path.compare(0, reportPrefix.size(), reportPrefix) == 0) {
-          report.strings.emplace(path.substr(reportPrefix.size()), value);
-        }
-      }
+      const FlatJson report = extractJobReport(batch, i);
       if (!checkReport(report, baseline, job.results, error)) {
         return false;
       }
@@ -390,6 +403,116 @@ bool checkBatchReport(const FlatJson& batch, const FlatJson& baseline,
   if (jobs.empty()) {
     if (error != nullptr) {
       *error = "batch report contains no jobs";
+    }
+    return false;
+  }
+  return true;
+}
+
+bool compareBatchJobsForResume(const FlatJson& batch, const std::string& jobA,
+                               const std::string& jobB,
+                               std::vector<CheckResult>& results,
+                               std::string* error) {
+  results.clear();
+
+  const auto findJob = [&batch, error](const std::string& name, int& index) {
+    for (int i = 0;; ++i) {
+      const std::string prefix = "jobs." + std::to_string(i) + ".";
+      const auto nameIt = batch.strings.find(prefix + "name");
+      if (nameIt == batch.strings.end()) {
+        break;
+      }
+      if (nameIt->second != name) {
+        continue;
+      }
+      const auto statusIt = batch.strings.find(prefix + "status");
+      const std::string status =
+          statusIt == batch.strings.end() ? "" : statusIt->second;
+      if (status != "succeeded") {
+        if (error != nullptr) {
+          *error = "job '" + name + "' has status '" + status +
+                   "', need succeeded to compare reports";
+        }
+        return false;
+      }
+      index = i;
+      return true;
+    }
+    if (error != nullptr) {
+      *error = "batch report has no job named '" + name + "'";
+    }
+    return false;
+  };
+
+  int indexA = -1;
+  int indexB = -1;
+  if (!findJob(jobA, indexA) || !findJob(jobB, indexB)) {
+    return false;
+  }
+  const FlatJson a = extractJobReport(batch, indexA);
+  const FlatJson b = extractJobReport(batch, indexB);
+
+  // A path participates when it is the outcome of the flow (result/design)
+  // or a resume-comparable counter; wall-time leaves are machine noise and
+  // a resumed run's cover only the resumed segment.
+  const auto compared = [](const std::string& path) {
+    const auto endsWith = [&path](const char* suffix) {
+      const std::size_t n = std::strlen(suffix);
+      return path.size() >= n && path.compare(path.size() - n, n, suffix) == 0;
+    };
+    if (endsWith("_s") || endsWith("_seconds")) {
+      return false;
+    }
+    if (path.compare(0, 7, "result.") == 0 ||
+        path.compare(0, 7, "design.") == 0) {
+      return true;
+    }
+    constexpr std::size_t kCountersLen = 9;  // "counters."
+    if (path.compare(0, kCountersLen, "counters.") == 0) {
+      return !isResumeVariantCounter(
+          std::string_view(path).substr(kCountersLen));
+    }
+    return false;
+  };
+
+  int comparedPaths = 0;
+  for (const auto& [path, valueA] : a.numbers) {
+    if (!compared(path)) {
+      continue;
+    }
+    ++comparedPaths;
+    CheckResult result;
+    result.description = path + " identical across " + jobA + "/" + jobB;
+    const auto it = b.numbers.find(path);
+    if (it == b.numbers.end()) {
+      result.passed = false;
+      result.detail = "present in '" + jobA + "' but missing from '" + jobB +
+                      "'";
+    } else {
+      // Bit-identical resume is the contract: exact equality, no epsilon.
+      result.passed = valueA == it->second;
+      result.detail = jobA + " " + formatNumber(valueA) + ", " + jobB + " " +
+                      formatNumber(it->second);
+    }
+    results.push_back(std::move(result));
+  }
+  for (const auto& [path, valueB] : b.numbers) {
+    if (!compared(path) || a.numbers.find(path) != a.numbers.end()) {
+      continue;
+    }
+    ++comparedPaths;
+    CheckResult result;
+    result.description = path + " identical across " + jobA + "/" + jobB;
+    result.passed = false;
+    result.detail = "present in '" + jobB + "' but missing from '" + jobA +
+                    "'";
+    results.push_back(std::move(result));
+  }
+
+  if (comparedPaths == 0) {
+    if (error != nullptr) {
+      *error = "jobs '" + jobA + "' and '" + jobB +
+               "' have no comparable report paths";
     }
     return false;
   }

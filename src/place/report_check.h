@@ -94,4 +94,17 @@ bool checkBatchReport(const FlatJson& batch, const FlatJson& baseline,
                       std::string* error = nullptr,
                       const BatchCheckOptions& options = {});
 
+/// Resume-determinism gate: compares two succeeded jobs of a batch report
+/// and requires their embedded run reports to agree bit-for-bit on every
+/// "result.*" and "design.*" leaf and on every resume-comparable counter
+/// ("counters.*" minus isResumeVariantCounter, place/engine.h). Wall-time
+/// leaves (suffix "_s") are skipped — a resumed run's timings cover only
+/// the resumed segment. A path present on one side but not the other is a
+/// failure. Returns false (with `error`) when either job is absent or not
+/// succeeded; per-path outcomes land in `results`.
+bool compareBatchJobsForResume(const FlatJson& batch, const std::string& jobA,
+                               const std::string& jobB,
+                               std::vector<CheckResult>& results,
+                               std::string* error = nullptr);
+
 }  // namespace dreamplace

@@ -127,6 +127,39 @@ TEST(EngineTest, OrderDependentCounterFilter) {
   EXPECT_EQ(filtered.count("fft/dct2d"), 1u);
 }
 
+TEST(EngineTest, ResumeVariantCounterFilter) {
+  // Everything order-dependent is also resume-variant...
+  EXPECT_TRUE(isResumeVariantCounter("fft/plan/create"));
+  EXPECT_TRUE(isResumeVariantCounter("parallel/steals"));
+  EXPECT_TRUE(isResumeVariantCounter("health/checks"));
+  // ...plus checkpoint bookkeeping and workspace allocation splits (a
+  // resumed segment re-allocates what the original already had).
+  EXPECT_TRUE(isResumeVariantCounter("checkpoint/saves"));
+  EXPECT_TRUE(isResumeVariantCounter("checkpoint/loads"));
+  EXPECT_TRUE(isResumeVariantCounter("ops/electrostatics/ws_alloc"));
+  EXPECT_TRUE(isResumeVariantCounter("ops/electrostatics/ws_reuse"));
+  EXPECT_TRUE(isResumeVariantCounter("ops/wirelength/scratch_alloc"));
+  EXPECT_TRUE(isResumeVariantCounter("fft/scratch_grow"));
+  // Work counters stay comparable: original segment + resumed segment
+  // must equal the uninterrupted totals.
+  EXPECT_FALSE(isResumeVariantCounter("optimizer/nesterov/steps"));
+  EXPECT_FALSE(isResumeVariantCounter("ops/wirelength/evaluate"));
+  EXPECT_FALSE(isResumeVariantCounter("fft/dct2d"));
+  EXPECT_FALSE(isResumeVariantCounter("parallel/jobs"));
+  EXPECT_FALSE(isResumeVariantCounter("lg/fallback"));
+
+  const std::map<std::string, CounterRegistry::Value> mixed = {
+      {"fft/dct2d", 10},
+      {"checkpoint/saves", 3},
+      {"ops/electrostatics/ws_alloc", 2},
+      {"fft/scratch_grow", 1},
+      {"optimizer/nesterov/steps", 200}};
+  const auto filtered = resumeComparableCounters(mixed);
+  EXPECT_EQ(filtered.size(), 2u);
+  EXPECT_EQ(filtered.count("fft/dct2d"), 1u);
+  EXPECT_EQ(filtered.count("optimizer/nesterov/steps"), 1u);
+}
+
 // The tentpole acceptance test: three jobs run concurrently produce
 // per-job results and reports bit-identical (float64) to the same jobs
 // run serially — outside wall-times and the order-dependent counters.
@@ -290,6 +323,73 @@ TEST(EngineTest, FailingAttemptIsRetriedThenSucceeds) {
   EXPECT_EQ(batch.jobs[0].attempts, 2);
   EXPECT_TRUE(batch.jobs[0].error.empty());
   EXPECT_EQ(batch.succeeded, 1);
+}
+
+// A flow cancelled mid-GP on its first attempt leaves a checkpoint
+// behind; the retry must resume from it (attempt 2, resumed=true) and
+// still reproduce an uncheckpointed clean run bit-for-bit.
+TEST(EngineTest, RetryResumesFromCheckpointAndMatchesClean) {
+  const fs::path dir = fs::temp_directory_path() / "dp_engine_resume_test";
+  fs::remove_all(dir);
+  fs::create_directories(dir);
+
+  auto cleanDb = engineDesign(7);
+  FlowContext cleanContext;
+  const FlowResult clean =
+      placeDesign(*cleanDb, engineFlow(), cleanContext);
+
+  /// Cancels the current flow once, the first time GP reaches iteration
+  /// 60 — the resumed attempt re-passes that index unharmed.
+  class CancelOnce final : public TelemetrySink {
+   public:
+    void onIteration(const IterationStats& stats) override {
+      if (!fired_ && stats.iteration >= 60) {
+        fired_ = true;
+        FlowContext::current().requestCancel();
+      }
+    }
+
+   private:
+    bool fired_ = false;
+  } cancel;
+
+  auto db = engineDesign(7);
+  EngineOptions engineOptions;
+  engineOptions.maxJobAttempts = 2;
+  PlacementEngine engine(engineOptions);
+
+  PlacementJob job;
+  job.db = db.get();
+  job.name = "ckpt_job";
+  job.options = engineFlow();
+  job.options.checkpointDir = dir.string();
+  job.options.checkpointEveryIterations = 25;
+  job.options.telemetry = &cancel;
+
+  const BatchReport batch = engine.run({std::move(job)});
+  ASSERT_EQ(batch.jobs.size(), 1u);
+  const JobReport& report = batch.jobs[0];
+  EXPECT_EQ(report.status, JobStatus::kSucceeded);
+  EXPECT_EQ(report.attempts, 2);
+  EXPECT_TRUE(report.resumed);
+
+  EXPECT_EQ(report.result.hpwlGp, clean.hpwlGp);
+  EXPECT_EQ(report.result.hpwlLegal, clean.hpwlLegal);
+  EXPECT_EQ(report.result.hpwl, clean.hpwl);
+  EXPECT_EQ(report.result.overflow, clean.overflow);
+  EXPECT_EQ(report.result.gpIterations, clean.gpIterations);
+  EXPECT_EQ(report.result.legal, clean.legal);
+
+  // The completed attempt deleted its checkpoint (engine names it after
+  // the job).
+  EXPECT_FALSE(fs::exists(dir / "ckpt_job.dpck"));
+
+  // The BatchReport JSON carries the resume marker.
+  FlatJson flat;
+  std::string error;
+  ASSERT_TRUE(parseJsonFlat(batch.toJson(), flat, &error)) << error;
+  EXPECT_EQ(flat.numbers.at("jobs.0.resumed"), 1.0);
+  EXPECT_EQ(flat.numbers.at("jobs.0.attempts"), 2.0);
 }
 
 TEST(EngineTest, ExhaustedRetriesReportFailed) {

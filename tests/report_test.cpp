@@ -105,16 +105,26 @@ TEST(ReportTest, JsonSchemaGolden) {
   // complete, consistent with the summary fields, and faithful to the
   // requesting options.
   for (const char* path : {
-           "config.options.threads", "config.options.run_detailed_placement",
+           "config.options.threads", "config.options.run_global_placement",
+           "config.options.run_detailed_placement",
            "config.options.routability", "config.options.gp.target_density",
            "config.options.gp.max_iterations", "config.options.gp.seed",
            "config.options.gp.bins_max", "config.options.gp.lr",
            "config.options.dp.passes", "config.options.dp.enable_ism",
            "config.options.greedy.row_search_window",
            "config.options.abacus.row_search_window",
+           "config.options.checkpoint.every_iterations",
        }) {
     EXPECT_TRUE(report.hasNumber(path)) << path;
   }
+  // Checkpointing was off: the config echoes the empty paths, and the
+  // result records a fallback-free legalization.
+  EXPECT_EQ(report.strings.at("config.options.checkpoint.dir"), "");
+  EXPECT_EQ(report.strings.at("config.options.checkpoint.name"), "");
+  EXPECT_EQ(report.strings.at("config.options.checkpoint.resume_from"), "");
+  EXPECT_EQ(report.numbers.at("config.options.run_global_placement"), 1.0);
+  EXPECT_EQ(report.numbers.at("result.lg_fallback"), 0.0);
+  EXPECT_EQ(report.numbers.at("result.lg_failed_cells"), 0.0);
   EXPECT_EQ(report.strings.at("config.options.precision"),
             report.strings.at("config.precision"));
   EXPECT_EQ(report.strings.at("config.options.gp.solver"),

@@ -21,6 +21,20 @@
 //   --inject-stall           add a job that hangs before the flow
 //                            (expects: stalled; requires --stall-seconds)
 //
+// Resume-gate flags (docs/FLOW.md):
+//   --checkpoint-dir=DIR     flow checkpoints for every job (stage
+//                            boundaries; enables engine retry-resume)
+//   --checkpoint-every=N     additional mid-GP checkpoint period
+//   --max-attempts=N         engine maxJobAttempts
+//   --inject-interrupt       add a job "resume" running batch0's exact
+//                            design that cancels itself once mid-GP; the
+//                            retry must resume from the checkpoint and
+//                            succeed (expects: succeeded, attempts 2,
+//                            resumed). check_report --compare-jobs=
+//                            batch0,resume then asserts bit-identical
+//                            results. Requires --checkpoint-dir and
+//                            --max-attempts >= 2.
+//
 // Injected jobs are EXPECTED to end in their watchdog verdict: the exit
 // code treats "diverge ended diverged" as success and anything else as
 // failure, so CI can assert the watchdog actually fired.
@@ -51,6 +65,26 @@ bool parseFlagValue(const std::string& arg, const char* name,
   return true;
 }
 
+/// Cancels its own flow the first time GP reaches `iteration` — and only
+/// that once, so the engine's resumed retry sails past the same iteration
+/// untouched. onIteration runs on the flow's thread with its context
+/// installed, which is exactly what requestCancel needs.
+class CancelOnceAtIteration final : public dreamplace::TelemetrySink {
+ public:
+  explicit CancelOnceAtIteration(int iteration) : iteration_(iteration) {}
+
+  void onIteration(const dreamplace::IterationStats& stats) override {
+    if (!fired_ && stats.iteration >= iteration_) {
+      fired_ = true;
+      dreamplace::FlowContext::current().requestCancel();
+    }
+  }
+
+ private:
+  int iteration_;
+  bool fired_ = false;
+};
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -62,6 +96,9 @@ int main(int argc, char** argv) {
   EngineOptions engine_options;
   bool inject_diverge = false;
   bool inject_stall = false;
+  bool inject_interrupt = false;
+  std::string checkpoint_dir;
+  int checkpoint_every = 0;
   std::vector<std::string> positional;
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
@@ -70,6 +107,14 @@ int main(int argc, char** argv) {
       inject_diverge = true;
     } else if (arg == "--inject-stall") {
       inject_stall = true;
+    } else if (arg == "--inject-interrupt") {
+      inject_interrupt = true;
+    } else if (parseFlagValue(arg, "--checkpoint-dir", value)) {
+      checkpoint_dir = value;
+    } else if (parseFlagValue(arg, "--checkpoint-every", value)) {
+      checkpoint_every = std::atoi(value.c_str());
+    } else if (parseFlagValue(arg, "--max-attempts", value)) {
+      engine_options.maxJobAttempts = std::atoi(value.c_str());
     } else if (parseFlagValue(arg, "--stall-seconds", value)) {
       engine_options.stallSeconds = std::atof(value.c_str());
     } else if (parseFlagValue(arg, "--divergence-ratio", value)) {
@@ -123,6 +168,13 @@ int main(int argc, char** argv) {
                  "error: --inject-diverge requires --divergence-ratio\n");
     return 2;
   }
+  if (inject_interrupt &&
+      (checkpoint_dir.empty() || engine_options.maxJobAttempts < 2)) {
+    std::fprintf(stderr,
+                 "error: --inject-interrupt requires --checkpoint-dir and "
+                 "--max-attempts >= 2\n");
+    return 2;
+  }
 
   std::vector<std::unique_ptr<Database>> designs;
   std::vector<PlacementJob> jobs;
@@ -142,6 +194,36 @@ int main(int argc, char** argv) {
     job.options.gp.binsMax = 64;
     job.options.dp.passes = 1;
     job.options.telemetryLabel = cfg.designName;
+    job.options.checkpointDir = checkpoint_dir;
+    job.options.checkpointEveryIterations = checkpoint_every;
+    jobs.push_back(std::move(job));
+  }
+
+  std::unique_ptr<CancelOnceAtIteration> interrupt_sink;
+  if (inject_interrupt) {
+    // Exactly batch0's design and flow options (generator seed 7), so the
+    // resumed run's report must be bit-identical to batch0's — that is
+    // what check_report --compare-jobs=batch0,resume asserts. Only the
+    // names differ (distinct checkpoint file, distinct report label),
+    // plus the sink that cancels the first attempt mid-GP.
+    GeneratorConfig cfg;
+    cfg.designName = "resume";
+    cfg.numCells = 600;
+    cfg.utilization = 0.7;
+    cfg.seed = 7;
+    designs.push_back(generateNetlist(cfg));
+
+    interrupt_sink = std::make_unique<CancelOnceAtIteration>(60);
+    PlacementJob job;
+    job.db = designs.back().get();
+    job.name = cfg.designName;
+    job.options.gp.maxIterations = 300;
+    job.options.gp.binsMax = 64;
+    job.options.dp.passes = 1;
+    job.options.telemetryLabel = cfg.designName;
+    job.options.checkpointDir = checkpoint_dir;
+    job.options.checkpointEveryIterations = checkpoint_every;
+    job.options.telemetry = interrupt_sink.get();
     jobs.push_back(std::move(job));
   }
 
@@ -212,11 +294,18 @@ int main(int argc, char** argv) {
   for (const JobReport& job : batch.jobs) {
     const auto it = expected.find(job.name);
     const char* want = it == expected.end() ? "succeeded" : it->second;
-    const bool matched = std::string(statusName(job.status)) == want;
-    std::printf("%-10s %-10s attempts=%d hpwl=%.6e overflow=%.4f legal=%d "
-                "wall=%.1fs%s\n",
+    bool matched = std::string(statusName(job.status)) == want;
+    if (inject_interrupt && job.name == "resume" &&
+        (job.attempts < 2 || !job.resumed)) {
+      // The injected cancel must have cost an attempt AND the retry must
+      // have continued from the checkpoint; a silent from-scratch restart
+      // would still "succeed" but prove nothing about resume.
+      matched = false;
+    }
+    std::printf("%-10s %-10s attempts=%d resumed=%d hpwl=%.6e overflow=%.4f "
+                "legal=%d wall=%.1fs%s\n",
                 job.name.c_str(), statusName(job.status), job.attempts,
-                job.result.hpwl, job.result.overflow,
+                job.resumed ? 1 : 0, job.result.hpwl, job.result.overflow,
                 job.result.legal ? 1 : 0, job.wallSeconds,
                 matched ? "" : "  [UNEXPECTED]");
     if (!matched) {
