@@ -6,10 +6,13 @@
 // config uses the iterative spread initial placement, which is the GP-IP
 // phase being measured.
 #include "bench_util.h"
+#include "common/rng.h"
 #include "common/timer.h"
 #include "db/metrics.h"
+#include "dp/detailed_placer.h"
 #include "gen/netlist_generator.h"
 #include "io/bookshelf_writer.h"
+#include "lg/abacus_legalizer.h"
 
 #include <filesystem>
 
@@ -62,5 +65,60 @@ int main(int argc, char** argv) {
               "(paper: ~90%%), GP-IP share of GP = %.1f%% "
               "(paper: 25-30%%)\n",
               pct(gp_total), 100.0 * gp_ip / gp_total);
+
+  // Back-end thread scaling on the same workload: LG+DP timed at 1 and 4
+  // threads over identical jittered starts (rebuilt per run). The
+  // parallel back-end is bit-identical across thread counts, so both
+  // runs perform the same moves and the ratio is pure runtime.
+  auto backendRun = [&](int threads, double& out_hpwl) {
+    auto bdb = generateNetlist(entry.config);
+    Rng rng(2026);
+    const Coord h = bdb->rowHeight();
+    for (Index i = 0; i < bdb->numMovable(); ++i) {
+      bdb->setCellPosition(i, bdb->cellX(i) + rng.uniform(-5 * h, 5 * h),
+                           bdb->cellY(i) + rng.uniform(-5 * h, 5 * h));
+    }
+    ThreadPool::instance().setThreads(threads);
+    Timer t;
+    AbacusLegalizer().run(*bdb);
+    DetailedPlacer().run(*bdb);
+    const double seconds = t.elapsed();
+    out_hpwl = hpwl(*bdb);
+    return seconds;
+  };
+  double hpwl_t1 = 0.0, hpwl_t4 = 0.0;
+  const double lg_dp_t1 = backendRun(1, hpwl_t1);
+  const double lg_dp_t4 = backendRun(4, hpwl_t4);
+  ThreadPool::instance().setThreads(flags.threads > 0 ? flags.threads : 0);
+  std::printf("\nback-end scaling (LG+DP, jittered start): 1 thread %.3fs, "
+              "4 threads %.3fs (%.2fx)%s\n",
+              lg_dp_t1, lg_dp_t4,
+              lg_dp_t4 > 0 ? lg_dp_t1 / lg_dp_t4 : 0.0,
+              hpwl_t1 == hpwl_t4 ? "" : "  [HPWL MISMATCH]");
+
+  const std::string json_path = benchJsonPath(argc, argv, "BENCH_fig3.json");
+  if (!json_path.empty()) {
+    BenchJsonWriter writer("fig3_breakdown");
+    const auto n = static_cast<std::int64_t>(entry.config.numCells);
+    writer.addResult("gp_ip", n, gp_ip * 1000);
+    writer.addResult("gp_nl", n, gp_nl * 1000);
+    writer.addResult("gp", n, gp_total * 1000);
+    writer.addResult("lg", n, result.lgSeconds * 1000);
+    writer.addResult("dp", n, result.dpSeconds * 1000);
+    writer.addResult("io", n, io * 1000);
+    writer.addResult("total", n, grand * 1000);
+    writer.addResult("lg_dp_t1", n, lg_dp_t1 * 1000);
+    writer.addResult("lg_dp_t4", n, lg_dp_t4 * 1000);
+    for (const auto& [key, value] : report.counters) {
+      if (key.compare(0, 3, "lg/") == 0 || key.compare(0, 3, "dp/") == 0) {
+        writer.addCounter(key, value);
+      }
+    }
+    if (writer.write(json_path)) {
+      std::printf("bench json written to %s\n", json_path.c_str());
+    } else {
+      std::printf("bench json: cannot write %s\n", json_path.c_str());
+    }
+  }
   return 0;
 }

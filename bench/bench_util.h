@@ -269,6 +269,13 @@ class BenchJsonWriter {
     results_.push_back({name, n, ms});
   }
 
+  /// Records one explicit counter row. Flows run under private
+  /// FlowContexts, so their counters never reach the global registry —
+  /// benches copy the keys they need out of the flow's RunReport.
+  void addCounter(const std::string& key, CounterRegistry::Value value) {
+    counters_.push_back({key, value});
+  }
+
   /// Records every counter whose key starts with `prefix` (call multiple
   /// times to merge several subsystems into the snapshot).
   void addCounterPrefix(const std::string& prefix) {

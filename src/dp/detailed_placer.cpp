@@ -2,85 +2,51 @@
 
 #include <algorithm>
 #include <cmath>
+#include <cstdint>
 #include <limits>
 #include <numeric>
-#include <unordered_set>
 
+#include "common/counters.h"
 #include "common/log.h"
+#include "common/parallel.h"
 #include "common/timer.h"
 #include "db/metrics.h"
 #include "dp/independent_set.h"
+#include "dp/net_bbox.h"
 #include "lg/macro_legalizer.h"
+
+// Parallelization scheme (see docs/PARALLEL.md, "Parallel back-end"):
+// both DP phases are speculative propose + sequential commit. The propose
+// phase evaluates every window (reorder) or cell (swap) against a frozen
+// snapshot of positions in parallel; the commit pass then walks the same
+// items in the serial order, *stamping* every cell and net a committed
+// move touches. An item whose footprint (its cells, its incident-net
+// union, and — for reorder — the window's right span neighbour) contains
+// no stamp provably saw identical inputs in the propose phase, so its
+// precomputed result is reused; a stamped ("stale") item is re-evaluated
+// against live state. Either way each item resolves to exactly what the
+// serial loop would have computed, so results are bit-identical at any
+// thread count, including the threads==1 path that skips proposals
+// entirely.
 
 namespace dreamplace {
 
 namespace {
 
-/// Evaluates the HPWL of the given nets with up to two cells' positions
-/// overridden (the candidate move), without touching the database.
-class DeltaEvaluator {
- public:
-  explicit DeltaEvaluator(const Database& db) : db_(db) {}
-
-  void setOverride(int slot, Index cell, Coord x, Coord y) {
-    cells_[slot] = cell;
-    xs_[slot] = x;
-    ys_[slot] = y;
-  }
-  void clearOverrides() { cells_[0] = cells_[1] = kInvalidIndex; }
-
-  double netsHpwl(const std::vector<Index>& nets) const {
-    double total = 0.0;
-    for (Index e : nets) {
-      const Index begin = db_.netPinBegin(e);
-      const Index end = db_.netPinEnd(e);
-      if (end - begin < 2) {
-        continue;
-      }
-      double xl = std::numeric_limits<double>::infinity();
-      double xh = -xl, yl = xl, yh = -xl;
-      for (Index p = begin; p < end; ++p) {
-        const Index c = db_.pinCell(p);
-        double base_x = db_.cellX(c);
-        double base_y = db_.cellY(c);
-        if (c == cells_[0]) {
-          base_x = xs_[0];
-          base_y = ys_[0];
-        } else if (c == cells_[1]) {
-          base_x = xs_[1];
-          base_y = ys_[1];
-        }
-        const double px = base_x + db_.cellWidth(c) / 2 + db_.pinOffsetX(p);
-        const double py = base_y + db_.cellHeight(c) / 2 + db_.pinOffsetY(p);
-        xl = std::min(xl, px);
-        xh = std::max(xh, px);
-        yl = std::min(yl, py);
-        yh = std::max(yh, py);
-      }
-      total += db_.netWeight(e) * ((xh - xl) + (yh - yl));
-    }
-    return total;
-  }
-
- private:
-  const Database& db_;
-  Index cells_[2] = {kInvalidIndex, kInvalidIndex};
-  Coord xs_[2] = {0, 0};
-  Coord ys_[2] = {0, 0};
-};
-
-/// Union of the nets incident to the given cells, deduplicated.
-std::vector<Index> incidentNets(const Database& db,
-                                std::initializer_list<Index> cells) {
-  std::vector<Index> nets;
-  for (Index c : cells) {
+/// Union of the nets incident to `cells`, sorted ascending and
+/// deduplicated, written into `out` (no allocation when capacity
+/// suffices).
+void incidentNetsInto(const Database& db, const Index* cells, int count,
+                      std::vector<Index>& out) {
+  out.clear();
+  for (int i = 0; i < count; ++i) {
+    const Index c = cells[i];
     for (Index s = db.cellPinBegin(c); s < db.cellPinEnd(c); ++s) {
-      nets.push_back(db.pinNet(db.cellPinAt(s)));
+      out.push_back(db.pinNet(db.cellPinAt(s)));
     }
   }
-  std::sort(nets.begin(), nets.end());
-  nets.erase(std::unique(nets.begin(), nets.end()), nets.end());
-  return nets;
+  std::sort(out.begin(), out.end());
+  out.erase(std::unique(out.begin(), out.end()), out.end());
 }
 
 /// Row occupancy: cells of each row sorted by x. Fixed cells (pads,
@@ -116,11 +82,17 @@ struct RowIndex {
         rows[r].push_back(i);
       }
     }
-    for (auto& row : rows) {
-      std::sort(row.begin(), row.end(), [&](Index a, Index b) {
-        return db.cellX(a) < db.cellX(b);
-      });
-    }
+    // Rows sort independently; each row's input sequence (push order) is
+    // thread-count-invariant, so the sorted order is too.
+    parallelForBlocked("dp/row_sort", num_rows, 8,
+                       [&](Index lo, Index hi, int) {
+                         for (Index r = lo; r < hi; ++r) {
+                           std::sort(rows[r].begin(), rows[r].end(),
+                                     [&](Index a, Index b) {
+                                       return db.cellX(a) < db.cellX(b);
+                                     });
+                         }
+                       });
   }
 
   Index rowOf(Coord y) const {
@@ -129,14 +101,272 @@ struct RowIndex {
   }
 };
 
-/// Free space to the left/right of position `k` in a sorted row (bounded
-/// by neighbours or infinity at the ends; fixed obstacles are handled by
-/// the conservative "neighbour" bound because legalized placements keep
-/// fixed cells out of the movable order — moves are additionally validated
-/// against the candidate cell's current span).
-struct Gap {
-  Coord xl = 0;
-  Coord xh = 0;
+// ---- Intra-row reordering -------------------------------------------------
+
+struct ReorderScratch {
+  NetBboxEval eval;
+  std::vector<Index> window;
+  std::vector<int> perm;
+  std::vector<int> bestPerm;
+  std::vector<Index> nets;
+
+  ReorderScratch(const Database& db, const NetBboxCache& cache, int w)
+      : eval(db, cache), window(w), perm(w), bestPerm(w) {}
+};
+
+struct WindowEval {
+  bool evaluated = false;  ///< Passed the fixed/feasibility gates.
+  bool improved = false;   ///< Best permutation beats base by > 1e-9.
+  Coord spanXl = 0;        ///< Packing origin (first cell's x).
+};
+
+/// Evaluates one reorder window against the current database state:
+/// exhaustively permutes the w cells, packed from the span start, and
+/// records the best ordering in `s.bestPerm` (net union in `s.nets`,
+/// composition in `s.window`). Read-only; safe to run speculatively.
+WindowEval evaluateWindow(const Database& db, const RowIndex& rowIndex,
+                          const std::vector<Index>& row, std::size_t start,
+                          int w, ReorderScratch& s) {
+  WindowEval out;
+  bool has_fixed = false;
+  for (int k = 0; k < w; ++k) {
+    s.window[k] = row[start + k];
+    has_fixed |= !rowIndex.isMovableEntry(s.window[k]);
+  }
+  if (has_fixed) {
+    return out;
+  }
+  // Window span: from first cell's x to the next cell (or +inf);
+  // permutations are packed from the span start.
+  out.spanXl = db.cellX(s.window[0]);
+  Coord span_xh;
+  if (start + w < row.size()) {
+    span_xh = db.cellX(row[start + w]);
+  } else {
+    span_xh = std::numeric_limits<Coord>::infinity();
+  }
+  Coord total_w = 0;
+  for (int k = 0; k < w; ++k) {
+    total_w += db.cellWidth(s.window[k]);
+  }
+  if (out.spanXl + total_w > span_xh) {
+    return out;  // no room to repack (should not happen)
+  }
+  incidentNetsInto(db, s.window.data(), w, s.nets);
+  out.evaluated = true;
+
+  std::iota(s.perm.begin(), s.perm.end(), 0);
+  s.eval.clearOverrides();
+  const double base = s.eval.netsHpwl(s.nets);
+  double best = base;
+  std::copy(s.perm.begin(), s.perm.end(), s.bestPerm.begin());
+  const Coord orig_y = db.cellY(s.window[0]);
+  // The override cell set is the window for every permutation — slot k
+  // holds s.window[k] — so after the first refresh each permutation only
+  // re-positions slots (no moved-pin rebuild+sort per candidate).
+  for (int k = 0; k < w; ++k) {
+    s.eval.setOverride(s.window[k], db.cellX(s.window[k]), orig_y);
+  }
+  while (std::next_permutation(s.perm.begin(), s.perm.end())) {
+    Coord x = out.spanXl;
+    for (int k = 0; k < w; ++k) {
+      const Index c = s.window[s.perm[k]];
+      s.eval.updateOverride(s.perm[k], x, orig_y);
+      x += db.cellWidth(c);
+    }
+    const double cost = s.eval.netsHpwl(s.nets);
+    if (cost < best - 1e-9) {
+      best = cost;
+      std::copy(s.perm.begin(), s.perm.end(), s.bestPerm.begin());
+    }
+  }
+  s.eval.clearOverrides();
+  out.improved = best < base - 1e-9;
+  return out;
+}
+
+/// Applies a winning permutation: moves the w cells to their packed
+/// positions (updating the bbox cache move-by-move so its rescans always
+/// see a database consistent with the cache) and rewrites the row order.
+void commitWindow(Database& db, NetBboxCache& cache, std::vector<Index>& row,
+                  std::size_t start, int w, const std::vector<int>& perm,
+                  Coord span_xl) {
+  Index cells[NetBboxEval::kMaxOverrides];
+  for (int k = 0; k < w; ++k) {
+    cells[k] = row[start + k];
+  }
+  const Coord orig_y = db.cellY(cells[0]);
+  Coord x = span_xl;
+  for (int k = 0; k < w; ++k) {
+    const Index c = cells[perm[k]];
+    const Coord old_x = db.cellX(c);
+    const Coord old_y = db.cellY(c);
+    db.setCellPosition(c, x, orig_y);
+    cache.moveCell(db, c, old_x, old_y);
+    row[start + k] = c;
+    x += db.cellWidth(c);
+  }
+}
+
+struct WindowRef {
+  Index row = 0;
+  Index start = 0;
+};
+
+struct ReorderProposal {
+  WindowEval ev;
+  std::vector<Index> nets;  ///< Net union (cleanliness check + stamping).
+  std::vector<int> perm;    ///< Best permutation, when ev.improved.
+};
+
+// ---- Global swap ----------------------------------------------------------
+
+struct SwapScratch {
+  NetBboxEval eval;
+  std::vector<double> lx, hx, ly, hy;
+  std::vector<Index> nets;
+
+  SwapScratch(const Database& db, const NetBboxCache& cache)
+      : eval(db, cache) {}
+};
+
+struct SwapRegion {
+  bool skip = true;
+  double ox = 0;
+  Index targetRow = 0;
+};
+
+/// Optimal region of `cell`: median of the bounding boxes of its nets
+/// with the cell itself excluded. skip is set when the cell has no
+/// external pins or already sits in its optimal region.
+SwapRegion computeSwapRegion(const Database& db, const RowIndex& rows,
+                             Index cell, SwapScratch& s) {
+  SwapRegion region;
+  s.lx.clear();
+  s.hx.clear();
+  s.ly.clear();
+  s.hy.clear();
+  for (Index ps = db.cellPinBegin(cell); ps < db.cellPinEnd(cell); ++ps) {
+    const Index pin = db.cellPinAt(ps);
+    const Index e = db.pinNet(pin);
+    double xl = std::numeric_limits<double>::infinity();
+    double xh = -xl, yl = xl, yh = -xl;
+    bool any = false;
+    for (Index p = db.netPinBegin(e); p < db.netPinEnd(e); ++p) {
+      if (db.pinCell(p) == cell) {
+        continue;
+      }
+      any = true;
+      xl = std::min(xl, db.pinX(p));
+      xh = std::max(xh, db.pinX(p));
+      yl = std::min(yl, db.pinY(p));
+      yh = std::max(yh, db.pinY(p));
+    }
+    if (any) {
+      s.lx.push_back(xl);
+      s.hx.push_back(xh);
+      s.ly.push_back(yl);
+      s.hy.push_back(yh);
+    }
+  }
+  if (s.lx.empty()) {
+    return region;
+  }
+  auto median = [](std::vector<double>& v) {
+    std::nth_element(v.begin(), v.begin() + v.size() / 2, v.end());
+    return v[v.size() / 2];
+  };
+  region.ox = 0.5 * (median(s.lx) + median(s.hx));
+  const double oy = 0.5 * (median(s.ly) + median(s.hy));
+  region.targetRow = rows.rowOf(oy - db.rowHeight() / 2);
+
+  // Already close to optimal? Skip.
+  region.skip = std::abs(db.cellX(cell) - region.ox) < db.rowHeight() &&
+                rows.rowOf(db.cellY(cell)) == region.targetRow;
+  return region;
+}
+
+/// Walks the swap candidates of `cell` around its optimal region in the
+/// serial order (rows by distance from the target, nearest-x probes per
+/// row), invoking tryCand(other) for each admissible candidate until it
+/// returns true (committed) or the candidate budget is exhausted.
+/// Read-only with respect to `rows` and the database.
+template <typename TryFn>
+void enumerateSwapCandidates(const Database& db, const RowIndex& rows,
+                             Index cell, double ox, Index target_row,
+                             const DetailedPlacer::Options& opt,
+                             TryFn&& tryCand) {
+  int tried = 0;
+  const auto max_row_delta = static_cast<Index>(opt.swapRadiusRows);
+  for (Index dr = 0; dr <= max_row_delta && tried < opt.maxCandidates;
+       ++dr) {
+    for (int sign : {+1, -1}) {
+      if (sign < 0 && dr == 0) {
+        continue;
+      }
+      const Index r = target_row + sign * dr;
+      if (r < 0 || r >= static_cast<Index>(rows.rows.size())) {
+        continue;
+      }
+      const auto& row = rows.rows[r];
+      if (row.empty()) {
+        continue;
+      }
+      // Binary search the cell nearest ox.
+      const auto it = std::lower_bound(
+          row.begin(), row.end(), ox,
+          [&](Index a, double v) { return db.cellX(a) < v; });
+      for (int probe = -1; probe <= 1; ++probe) {
+        const std::ptrdiff_t j = (it - row.begin()) + probe;
+        if (j < 0 || j >= static_cast<std::ptrdiff_t>(row.size())) {
+          continue;
+        }
+        const Index other = row[j];
+        if (other == cell || !rows.isMovableEntry(other) ||
+            db.cellWidth(other) != db.cellWidth(cell)) {
+          continue;  // only equal-width movable swaps stay legal
+        }
+        if (rows.rowOf(db.cellY(other)) == rows.rowOf(db.cellY(cell)) &&
+            std::abs(db.cellX(other) - db.cellX(cell)) <
+                4 * db.rowHeight()) {
+          continue;  // near same-row swaps are covered by reordering
+        }
+        ++tried;
+        if (tryCand(other)) {
+          tried = opt.maxCandidates;  // move on to next cell
+          break;
+        }
+      }
+      if (tried >= opt.maxCandidates) {
+        break;
+      }
+    }
+  }
+}
+
+/// HPWL of the {cell, other} net union before and after exchanging the
+/// two cells' positions (union left in s.nets).
+void evalSwap(const Database& db, Index cell, Index other, SwapScratch& s,
+              double& before, double& after) {
+  const Index pair[2] = {cell, other};
+  incidentNetsInto(db, pair, 2, s.nets);
+  s.eval.clearOverrides();
+  before = s.eval.netsHpwl(s.nets);
+  s.eval.setOverride(cell, db.cellX(other), db.cellY(other));
+  s.eval.setOverride(other, db.cellX(cell), db.cellY(cell));
+  after = s.eval.netsHpwl(s.nets);
+  s.eval.clearOverrides();
+}
+
+struct SwapProposal {
+  bool skip = true;
+  double ox = 0;
+  Index targetRow = 0;
+  // Candidate evals recorded along the frozen-state trajectory, reused in
+  // the commit pass as a value memo keyed by the candidate cell.
+  std::vector<Index> candOther;
+  std::vector<double> candBefore;
+  std::vector<double> candAfter;
 };
 
 }  // namespace
@@ -146,235 +376,293 @@ DetailedPlacerResult DetailedPlacer::run(Database& db) const {
   DetailedPlacerResult result;
   result.initialHpwl = hpwl(db);
 
-  DeltaEvaluator eval(db);
+  const int w = options_.windowSize;
+  DP_ASSERT_MSG(w >= 2 && w <= NetBboxEval::kMaxOverrides,
+                "windowSize must be in [2, %d]", NetBboxEval::kMaxOverrides);
+
+  const int pool_threads = currentThreadPool().threads();
+  const bool parallel_mode = pool_threads > 1;
+
+  NetBboxCache cache;
   RowIndex rows;
+
+  // Per-worker scratch; worker 0's doubles as the commit-pass evaluator.
+  std::vector<ReorderScratch> rscratch;
+  std::vector<SwapScratch> sscratch;
+  rscratch.reserve(pool_threads);
+  sscratch.reserve(pool_threads);
+  for (int t = 0; t < pool_threads; ++t) {
+    rscratch.emplace_back(db, cache, w);
+    sscratch.emplace_back(db, cache);
+  }
+
+  std::int64_t reorder_windows = 0, swap_candidates = 0;
+  std::int64_t reorder_stale = 0, swap_stale = 0;
+  std::int64_t bbox_deltas = 0, bbox_rescans = 0;
+  const auto drainEval = [&](NetBboxEval& e) {
+    bbox_deltas += e.deltas;
+    bbox_rescans += e.rescans;
+    e.deltas = 0;
+    e.rescans = 0;
+  };
+
+  // Commit-pass stamps: cells moved and nets perturbed by commits so far
+  // in the current phase (parallel mode only).
+  std::vector<char> cell_stamp, net_stamp;
+  std::vector<WindowRef> window_refs;
+  std::vector<ReorderProposal> rprops;
+  std::vector<SwapProposal> sprops;
 
   double pass_start_hpwl = result.initialHpwl;
   for (int pass = 0; pass < options_.passes; ++pass) {
     rows.build(db);
+    cache.build(db);  // ISM (below) moves cells outside the cache's view
 
     // ---- Intra-row local reordering ------------------------------------
     {
       ScopedTimer t("dp/reorder");
-      const int w = options_.windowSize;
-      std::vector<Index> window(w);
-      std::vector<int> perm(w);
-      for (auto& row : rows.rows) {
+      window_refs.clear();
+      for (Index r = 0; r < static_cast<Index>(rows.rows.size()); ++r) {
+        const auto& row = rows.rows[r];
         if (static_cast<int>(row.size()) < w) {
           continue;
         }
-        for (size_t start = 0; start + w <= row.size(); ++start) {
-          bool has_fixed = false;
-          for (int k = 0; k < w; ++k) {
-            window[k] = row[start + k];
-            has_fixed |= !rows.isMovableEntry(window[k]);
-          }
-          if (has_fixed) {
-            continue;
-          }
-          // Window span: from first cell's x to the next cell (or +inf);
-          // permutations are packed from the span start.
-          const Coord span_xl = db.cellX(window[0]);
-          Coord span_xh;
-          if (start + w < row.size()) {
-            span_xh = db.cellX(row[start + w]);
-          } else {
-            span_xh = std::numeric_limits<Coord>::infinity();
-          }
-          Coord total_w = 0;
-          for (int k = 0; k < w; ++k) {
-            total_w += db.cellWidth(window[k]);
-          }
-          if (span_xl + total_w > span_xh) {
-            continue;  // no room to repack (should not happen)
-          }
-          const std::vector<Index> nets = incidentNets(
-              db, {window[0], window[1], window[w - 1]});
-          // For w==3 all three are covered above; generalize for w>3.
-          std::vector<Index> all_nets = nets;
-          if (w > 3) {
-            all_nets = incidentNets(db, {window[0], window[1]});
-            for (int k = 2; k < w; ++k) {
-              auto more = incidentNets(db, {window[k]});
-              all_nets.insert(all_nets.end(), more.begin(), more.end());
-            }
-            std::sort(all_nets.begin(), all_nets.end());
-            all_nets.erase(std::unique(all_nets.begin(), all_nets.end()),
-                           all_nets.end());
-          }
+        for (std::size_t start = 0; start + w <= row.size(); ++start) {
+          window_refs.push_back({r, static_cast<Index>(start)});
+        }
+      }
 
-          std::iota(perm.begin(), perm.end(), 0);
-          const double base = eval.netsHpwl(all_nets);
-          double best = base;
-          std::vector<int> best_perm = perm;
-          std::vector<Coord> orig_x(w);
-          const Coord orig_y = db.cellY(window[0]);
-          for (int k = 0; k < w; ++k) {
-            orig_x[k] = db.cellX(window[k]);
+      if (parallel_mode) {
+        rprops.assign(window_refs.size(), {});
+        parallelForBlocked(
+            "dp/reorder_propose", static_cast<Index>(window_refs.size()), 8,
+            [&](Index lo, Index hi, int worker) {
+              ReorderScratch& s = rscratch[worker];
+              for (Index i = lo; i < hi; ++i) {
+                const WindowRef& wr = window_refs[i];
+                ReorderProposal& p = rprops[i];
+                p.ev = evaluateWindow(db, rows, rows.rows[wr.row], wr.start,
+                                      w, s);
+                if (p.ev.evaluated) {
+                  p.nets = s.nets;
+                  if (p.ev.improved) {
+                    p.perm.assign(s.bestPerm.begin(), s.bestPerm.end());
+                  }
+                }
+              }
+            });
+        for (auto& s : rscratch) {
+          drainEval(s.eval);
+        }
+        cell_stamp.assign(db.numCells(), 0);
+        net_stamp.assign(db.numNets(), 0);
+      }
+
+      ReorderScratch& live = rscratch[0];
+      for (std::size_t i = 0; i < window_refs.size(); ++i) {
+        std::vector<Index>& row = rows.rows[window_refs[i].row];
+        const auto start = static_cast<std::size_t>(window_refs[i].start);
+        // Clean = no commit so far touched this window's cells, its right
+        // span neighbour, or any net of its union; the proposal then saw
+        // exactly the live state and its result is reused verbatim.
+        bool clean = parallel_mode;
+        if (clean) {
+          for (int k = 0; k < w && clean; ++k) {
+            clean = !cell_stamp[row[start + k]];
           }
-          // Try all permutations by temporarily committing to the db
-          // (cheap: w cells), evaluating, and restoring.
-          auto apply_perm = [&](const std::vector<int>& p) {
-            Coord x = span_xl;
-            for (int k = 0; k < w; ++k) {
-              db.setCellPosition(window[p[k]], x, orig_y);
-              x += db.cellWidth(window[p[k]]);
-            }
-          };
-          while (std::next_permutation(perm.begin(), perm.end())) {
-            apply_perm(perm);
-            const double cost = eval.netsHpwl(all_nets);
-            if (cost < best - 1e-9) {
-              best = cost;
-              best_perm = perm;
-            }
+          if (clean && start + w < row.size()) {
+            clean = !cell_stamp[row[start + w]];
           }
-          if (best < base - 1e-9) {
-            apply_perm(best_perm);
-            // Keep the row order array consistent.
-            std::vector<Index> reordered(w);
-            for (int k = 0; k < w; ++k) {
-              reordered[k] = window[best_perm[k]];
-            }
-            for (int k = 0; k < w; ++k) {
-              row[start + k] = reordered[k];
-            }
-            ++result.reorderMoves;
-          } else {
-            for (int k = 0; k < w; ++k) {
-              db.setCellPosition(window[k], orig_x[k], orig_y);
+          if (clean && rprops[i].ev.evaluated) {
+            for (Index e : rprops[i].nets) {
+              if (net_stamp[e]) {
+                clean = false;
+                break;
+              }
             }
           }
         }
+        WindowEval ev;
+        const std::vector<Index>* nets = nullptr;
+        const std::vector<int>* perm = nullptr;
+        if (clean) {
+          ev = rprops[i].ev;
+          nets = &rprops[i].nets;
+          perm = &rprops[i].perm;
+        } else {
+          if (parallel_mode) {
+            ++reorder_stale;
+          }
+          ev = evaluateWindow(db, rows, row, start, w, live);
+          nets = &live.nets;
+          perm = &live.bestPerm;
+        }
+        if (!ev.evaluated) {
+          continue;
+        }
+        ++reorder_windows;
+        if (!ev.improved) {
+          continue;
+        }
+        commitWindow(db, cache, row, start, w, *perm, ev.spanXl);
+        if (parallel_mode) {
+          for (int k = 0; k < w; ++k) {
+            cell_stamp[row[start + k]] = 1;
+          }
+          for (Index e : *nets) {
+            net_stamp[e] = 1;
+          }
+        }
+        ++result.reorderMoves;
       }
+      drainEval(live.eval);
     }
 
     // ---- Global swap / relocation ----------------------------------------
     {
       ScopedTimer t("dp/swap");
       rows.build(db);
+
+      if (parallel_mode) {
+        sprops.assign(db.numMovable(), {});
+        parallelForBlocked(
+            "dp/swap_propose", db.numMovable(), 16,
+            [&](Index lo, Index hi, int worker) {
+              SwapScratch& s = sscratch[worker];
+              for (Index cell = lo; cell < hi; ++cell) {
+                if (isMovableMacro(db, cell)) {
+                  continue;
+                }
+                SwapProposal& p = sprops[cell];
+                const SwapRegion region =
+                    computeSwapRegion(db, rows, cell, s);
+                p.skip = region.skip;
+                p.ox = region.ox;
+                p.targetRow = region.targetRow;
+                if (region.skip) {
+                  continue;
+                }
+                enumerateSwapCandidates(
+                    db, rows, cell, region.ox, region.targetRow, options_,
+                    [&](Index other) {
+                      double before = 0, after = 0;
+                      evalSwap(db, cell, other, s, before, after);
+                      p.candOther.push_back(other);
+                      p.candBefore.push_back(before);
+                      p.candAfter.push_back(after);
+                      return after < before - 1e-9;
+                    });
+              }
+            });
+        for (auto& s : sscratch) {
+          drainEval(s.eval);
+        }
+        cell_stamp.assign(db.numCells(), 0);
+        net_stamp.assign(db.numNets(), 0);
+      }
+
+      SwapScratch& live = sscratch[0];
       for (Index cell = 0; cell < db.numMovable(); ++cell) {
         if (isMovableMacro(db, cell)) {
-          continue;  // macros are frozen after macro legalization
-        }
-        // Optimal region: median of the bounding boxes of this cell's nets
-        // with the cell itself excluded.
-        std::vector<double> lx, hx, ly, hy;
-        for (Index s = db.cellPinBegin(cell); s < db.cellPinEnd(cell); ++s) {
-          const Index pin = db.cellPinAt(s);
-          const Index e = db.pinNet(pin);
-          double xl = std::numeric_limits<double>::infinity();
-          double xh = -xl, yl = xl, yh = -xl;
-          bool any = false;
-          for (Index p = db.netPinBegin(e); p < db.netPinEnd(e); ++p) {
-            if (db.pinCell(p) == cell) {
-              continue;
-            }
-            any = true;
-            xl = std::min(xl, db.pinX(p));
-            xh = std::max(xh, db.pinX(p));
-            yl = std::min(yl, db.pinY(p));
-            yh = std::max(yh, db.pinY(p));
-          }
-          if (any) {
-            lx.push_back(xl);
-            hx.push_back(xh);
-            ly.push_back(yl);
-            hy.push_back(yh);
-          }
-        }
-        if (lx.empty()) {
           continue;
         }
-        auto median = [](std::vector<double>& v) {
-          std::nth_element(v.begin(), v.begin() + v.size() / 2, v.end());
-          return v[v.size() / 2];
-        };
-        const double ox = 0.5 * (median(lx) + median(hx));
-        const double oy = 0.5 * (median(ly) + median(hy));
-        const Index target_row = rows.rowOf(oy - db.rowHeight() / 2);
-
-        // Already close to optimal? Skip.
-        if (std::abs(db.cellX(cell) - ox) < db.rowHeight() &&
-            rows.rowOf(db.cellY(cell)) == target_row) {
-          continue;
-        }
-        const auto max_row_delta =
-            static_cast<Index>(options_.swapRadiusRows);
-
-        const std::vector<Index> my_nets = incidentNets(db, {cell});
-        int tried = 0;
-        for (Index dr = 0;
-             dr <= max_row_delta && tried < options_.maxCandidates; ++dr) {
-          for (int sign : {+1, -1}) {
-            if (sign < 0 && dr == 0) {
-              continue;
-            }
-            const Index r = target_row + sign * dr;
-            if (r < 0 || r >= static_cast<Index>(rows.rows.size())) {
-              continue;
-            }
-            auto& row = rows.rows[r];
-            if (row.empty()) {
-              continue;
-            }
-            // Binary search the cell nearest ox.
-            auto it = std::lower_bound(
-                row.begin(), row.end(), ox, [&](Index a, double v) {
-                  return db.cellX(a) < v;
-                });
-            for (int probe = -1; probe <= 1; ++probe) {
-              auto jt = it + probe;
-              if (jt < row.begin() || jt >= row.end()) {
-                continue;
-              }
-              const Index other = *jt;
-              if (other == cell || !rows.isMovableEntry(other) ||
-                  db.cellWidth(other) != db.cellWidth(cell)) {
-                continue;  // only equal-width movable swaps stay legal
-              }
-              if (rows.rowOf(db.cellY(other)) ==
-                  rows.rowOf(db.cellY(cell)) &&
-                  std::abs(db.cellX(other) - db.cellX(cell)) <
-                      4 * db.rowHeight()) {
-                continue;  // near same-row swaps are covered by reordering
-              }
-              ++tried;
-              std::vector<Index> nets = my_nets;
-              const auto other_nets = incidentNets(db, {other});
-              nets.insert(nets.end(), other_nets.begin(), other_nets.end());
-              std::sort(nets.begin(), nets.end());
-              nets.erase(std::unique(nets.begin(), nets.end()), nets.end());
-
-              eval.clearOverrides();
-              const double before = eval.netsHpwl(nets);
-              eval.setOverride(0, cell, db.cellX(other), db.cellY(other));
-              eval.setOverride(1, other, db.cellX(cell), db.cellY(cell));
-              const double after = eval.netsHpwl(nets);
-              eval.clearOverrides();
-              if (after < before - 1e-9) {
-                const Coord cx = db.cellX(cell);
-                const Coord cy = db.cellY(cell);
-                db.setCellPosition(cell, db.cellX(other), db.cellY(other));
-                db.setCellPosition(other, cx, cy);
-                // Update row occupancy.
-                const Index cell_row = rows.rowOf(db.cellY(other));
-                const Index other_row = rows.rowOf(db.cellY(cell));
-                std::replace(rows.rows[cell_row].begin(),
-                             rows.rows[cell_row].end(), cell, other);
-                std::replace(rows.rows[other_row].begin(),
-                             rows.rows[other_row].end(), other, cell);
-                ++result.swapMoves;
-                tried = options_.maxCandidates;  // move on to next cell
-                break;
-              }
-            }
-            if (tried >= options_.maxCandidates) {
+        // The region memo is valid when neither the cell nor any of its
+        // nets saw a commit: position, medians, and skip state are then
+        // unchanged from the propose snapshot.
+        bool memo_valid = parallel_mode && !cell_stamp[cell];
+        if (memo_valid) {
+          for (Index ps = db.cellPinBegin(cell); ps < db.cellPinEnd(cell);
+               ++ps) {
+            if (net_stamp[db.pinNet(db.cellPinAt(ps))]) {
+              memo_valid = false;
               break;
             }
           }
         }
+        bool skip;
+        double ox;
+        Index target_row;
+        if (memo_valid) {
+          skip = sprops[cell].skip;
+          ox = sprops[cell].ox;
+          target_row = sprops[cell].targetRow;
+        } else {
+          if (parallel_mode) {
+            ++swap_stale;
+          }
+          const SwapRegion region = computeSwapRegion(db, rows, cell, live);
+          skip = region.skip;
+          ox = region.ox;
+          target_row = region.targetRow;
+        }
+        if (skip) {
+          continue;
+        }
+        const SwapProposal* memo = memo_valid ? &sprops[cell] : nullptr;
+        enumerateSwapCandidates(
+            db, rows, cell, ox, target_row, options_, [&](Index other) {
+              ++swap_candidates;
+              double before = 0, after = 0;
+              bool hit = false;
+              if (memo != nullptr && !cell_stamp[other]) {
+                for (std::size_t j = 0; j < memo->candOther.size(); ++j) {
+                  if (memo->candOther[j] != other) {
+                    continue;
+                  }
+                  // The recorded values are live values iff every net of
+                  // the {cell, other} union is unstamped.
+                  const Index pair[2] = {cell, other};
+                  incidentNetsInto(db, pair, 2, live.nets);
+                  bool ok = true;
+                  for (Index e : live.nets) {
+                    if (net_stamp[e]) {
+                      ok = false;
+                      break;
+                    }
+                  }
+                  if (ok) {
+                    before = memo->candBefore[j];
+                    after = memo->candAfter[j];
+                    hit = true;
+                  }
+                  break;
+                }
+              }
+              if (!hit) {
+                evalSwap(db, cell, other, live, before, after);
+              }
+              if (!(after < before - 1e-9)) {
+                return false;
+              }
+              const Coord cx = db.cellX(cell);
+              const Coord cy = db.cellY(cell);
+              const Coord ox2 = db.cellX(other);
+              const Coord oy2 = db.cellY(other);
+              db.setCellPosition(cell, ox2, oy2);
+              cache.moveCell(db, cell, cx, cy);
+              db.setCellPosition(other, cx, cy);
+              cache.moveCell(db, other, ox2, oy2);
+              // Update row occupancy.
+              const Index cell_row = rows.rowOf(db.cellY(other));
+              const Index other_row = rows.rowOf(db.cellY(cell));
+              std::replace(rows.rows[cell_row].begin(),
+                           rows.rows[cell_row].end(), cell, other);
+              std::replace(rows.rows[other_row].begin(),
+                           rows.rows[other_row].end(), other, cell);
+              if (parallel_mode) {
+                cell_stamp[cell] = 1;
+                cell_stamp[other] = 1;
+                const Index pair[2] = {cell, other};
+                incidentNetsInto(db, pair, 2, live.nets);
+                for (Index e : live.nets) {
+                  net_stamp[e] = 1;
+                }
+              }
+              ++result.swapMoves;
+              return true;
+            });
       }
+      drainEval(live.eval);
     }
 
     // ---- Independent-set matching ----------------------------------------
@@ -396,6 +684,20 @@ DetailedPlacerResult DetailedPlacer::run(Database& db) const {
   }
 
   result.finalHpwl = hpwl(db);
+
+  CounterRegistry& reg = currentCounterRegistry();
+  reg.add("dp/reorder_windows", reorder_windows);
+  reg.add("dp/swap_candidates", swap_candidates);
+  reg.add("dp/reorder_moves", result.reorderMoves);
+  reg.add("dp/swap_moves", result.swapMoves);
+  reg.add("dp/ism_moves", result.ismMoves);
+  reg.add("dp/bbox_delta", bbox_deltas);
+  reg.add("dp/bbox_rescan", bbox_rescans + cache.maintenanceRescans);
+  if (parallel_mode) {
+    reg.add("dp/reorder_stale", reorder_stale);
+    reg.add("dp/swap_stale", swap_stale);
+  }
+
   logInfo("dp: hpwl %.4e -> %.4e (%.2f%%), %ld reorders, %ld swaps, "
           "%ld ism moves",
           result.initialHpwl, result.finalHpwl,

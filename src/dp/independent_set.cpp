@@ -6,9 +6,12 @@
 #include <map>
 #include <unordered_set>
 
+#include "common/counters.h"
 #include "common/log.h"
+#include "common/parallel.h"
 #include "common/timer.h"
 #include "db/metrics.h"
+#include "dp/net_bbox.h"
 #include "lg/macro_legalizer.h"
 
 namespace dreamplace {
@@ -73,25 +76,17 @@ namespace {
 
 /// Cost of placing `cell` with lower-left (x, y): sum of its incident
 /// nets' HPWL with the cell moved there and everything else in place.
-double moveCost(const Database& db, Index cell, Coord x, Coord y) {
+/// Deliberately iterates the cell's pins (a net shared by two of the
+/// cell's pins counts twice), matching the original full-scan cost; each
+/// per-net value comes from the bbox cache's exact delta/rescan path.
+/// The caller establishes `cell` as override slot 0 once per matrix row;
+/// updateOverride then skips the moved-pin rebuild per entry.
+double moveCost(const Database& db, NetBboxEval& eval, Index cell, Coord x,
+                Coord y) {
+  eval.updateOverride(0, x, y);
   double total = 0.0;
   for (Index s = db.cellPinBegin(cell); s < db.cellPinEnd(cell); ++s) {
-    const Index pin = db.cellPinAt(s);
-    const Index e = db.pinNet(pin);
-    double xl = std::numeric_limits<double>::infinity();
-    double xh = -xl, yl = xl, yh = -xl;
-    for (Index p = db.netPinBegin(e); p < db.netPinEnd(e); ++p) {
-      const Index c = db.pinCell(p);
-      const double base_x = (c == cell) ? x : db.cellX(c);
-      const double base_y = (c == cell) ? y : db.cellY(c);
-      const double px = base_x + db.cellWidth(c) / 2 + db.pinOffsetX(p);
-      const double py = base_y + db.cellHeight(c) / 2 + db.pinOffsetY(p);
-      xl = std::min(xl, px);
-      xh = std::max(xh, px);
-      yl = std::min(yl, py);
-      yh = std::max(yh, py);
-    }
-    total += db.netWeight(e) * ((xh - xl) + (yh - yl));
+    total += eval.netHpwl(db.pinNet(db.cellPinAt(s)));
   }
   return total;
 }
@@ -111,6 +106,25 @@ IsmResult independentSetMatching(Database& db, const IsmOptions& options) {
       by_width[{db.cellWidth(i), db.cellHeight(i)}].push_back(i);
     }
   }
+
+  NetBboxCache cache;
+  cache.build(db);
+  const int pool_threads = currentThreadPool().threads();
+  std::vector<NetBboxEval> evals;
+  evals.reserve(pool_threads);
+  for (int t = 0; t < pool_threads; ++t) {
+    evals.emplace_back(db, cache);
+  }
+  const auto flushCounters = [&]() {
+    std::int64_t deltas = 0, rescans = 0;
+    for (NetBboxEval& e : evals) {
+      deltas += e.deltas;
+      rescans += e.rescans;
+    }
+    CounterRegistry& reg = currentCounterRegistry();
+    reg.add("dp/bbox_delta", deltas);
+    reg.add("dp/bbox_rescan", rescans + cache.maintenanceRescans);
+  };
 
   std::unordered_set<Index> used_nets;
   std::vector<Index> set;
@@ -147,14 +161,25 @@ IsmResult independentSetMatching(Database& db, const IsmOptions& options) {
       if (k < 2) {
         continue;
       }
-      // Cost matrix: cell i at slot j (= cell j's current position).
+      // Cost matrix: cell i at slot j (= cell j's current position). Rows
+      // are independent pure reads of the live positions, so they fill in
+      // parallel; each entry's value is thread-count-invariant.
       std::vector<std::vector<double>> cost(k, std::vector<double>(k));
+      parallelForBlocked(
+          "dp/ism_cost", k, 1, [&](Index lo, Index hi, int worker) {
+            NetBboxEval& eval = evals[worker];
+            for (Index i = lo; i < hi; ++i) {
+              eval.clearOverrides();
+              eval.setOverride(set[i], db.cellX(set[i]), db.cellY(set[i]));
+              for (int j = 0; j < k; ++j) {
+                cost[i][j] = moveCost(db, eval, set[i], db.cellX(set[j]),
+                                      db.cellY(set[j]));
+              }
+              eval.clearOverrides();
+            }
+          });
       double identity_cost = 0.0;
       for (int i = 0; i < k; ++i) {
-        for (int j = 0; j < k; ++j) {
-          cost[i][j] =
-              moveCost(db, set[i], db.cellX(set[j]), db.cellY(set[j]));
-        }
         identity_cost += cost[i][i];
       }
       const std::vector<int> assignment = solveAssignment(cost);
@@ -164,7 +189,8 @@ IsmResult independentSetMatching(Database& db, const IsmOptions& options) {
       }
       ++result.setsSolved;
       if (best_cost < identity_cost - 1e-9) {
-        // Apply the permutation.
+        // Apply the permutation, keeping the bbox cache in lockstep so
+        // later sets' cost rows stay exact.
         std::vector<std::pair<Coord, Coord>> slots(k);
         for (int j = 0; j < k; ++j) {
           slots[j] = {db.cellX(set[j]), db.cellY(set[j])};
@@ -175,15 +201,18 @@ IsmResult independentSetMatching(Database& db, const IsmOptions& options) {
           }
           db.setCellPosition(set[i], slots[assignment[i]].first,
                              slots[assignment[i]].second);
+          cache.moveCell(db, set[i], slots[i].first, slots[i].second);
         }
         result.hpwlGain += identity_cost - best_cost;
       }
       if (options.maxSetsPerPass > 0 &&
           result.setsSolved >= options.maxSetsPerPass) {
+        flushCounters();
         return result;
       }
     }
   }
+  flushCounters();
   return result;
 }
 

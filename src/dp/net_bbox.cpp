@@ -1,0 +1,253 @@
+#include "dp/net_bbox.h"
+
+#include <algorithm>
+#include <limits>
+
+#include "common/log.h"
+
+namespace dreamplace {
+
+namespace {
+
+inline void foldPin(NetBboxCache::Box& b, double px, double py) {
+  if (px < b.xl) {
+    b.xl = px;
+    b.nxl = 1;
+  } else if (px == b.xl) {
+    ++b.nxl;
+  }
+  if (px > b.xh) {
+    b.xh = px;
+    b.nxh = 1;
+  } else if (px == b.xh) {
+    ++b.nxh;
+  }
+  if (py < b.yl) {
+    b.yl = py;
+    b.nyl = 1;
+  } else if (py == b.yl) {
+    ++b.nyl;
+  }
+  if (py > b.yh) {
+    b.yh = py;
+    b.nyh = 1;
+  } else if (py == b.yh) {
+    ++b.nyh;
+  }
+}
+
+inline NetBboxCache::Box scanNet(const Database& db, Index net) {
+  constexpr double kInfinity = std::numeric_limits<double>::infinity();
+  NetBboxCache::Box b{kInfinity, -kInfinity, kInfinity, -kInfinity,
+                      0, 0, 0, 0};
+  for (Index p = db.netPinBegin(net); p < db.netPinEnd(net); ++p) {
+    foldPin(b, db.pinX(p), db.pinY(p));
+  }
+  return b;
+}
+
+}  // namespace
+
+void NetBboxCache::build(const Database& db) {
+  boxes_.resize(db.numNets());
+  for (Index e = 0; e < db.numNets(); ++e) {
+    boxes_[e] = scanNet(db, e);
+  }
+}
+
+void NetBboxCache::rescanNet(const Database& db, Index net) {
+  boxes_[net] = scanNet(db, net);
+  ++maintenanceRescans;
+}
+
+void NetBboxCache::moveCell(const Database& db, Index cell, Coord oldX,
+                            Coord oldY) {
+  const Coord halfW = db.cellWidth(cell) / 2;
+  const Coord halfH = db.cellHeight(cell) / 2;
+  for (Index s = db.cellPinBegin(cell); s < db.cellPinEnd(cell); ++s) {
+    const Index pin = db.cellPinAt(s);
+    const Index net = db.pinNet(pin);
+    // Same arithmetic as Database::pinX/pinY, so equal inputs give equal
+    // coordinates bit-for-bit.
+    const double oldPx = oldX + halfW + db.pinOffsetX(pin);
+    const double oldPy = oldY + halfH + db.pinOffsetY(pin);
+    const double newPx = db.pinX(pin);
+    const double newPy = db.pinY(pin);
+    Box& b = boxes_[net];
+    // Remove the old coordinate: a pin that solely held a boundary may
+    // shrink the box, which only a rescan can answer exactly.
+    if ((oldPx == b.xl && b.nxl <= 1) || (oldPx == b.xh && b.nxh <= 1) ||
+        (oldPy == b.yl && b.nyl <= 1) || (oldPy == b.yh && b.nyh <= 1)) {
+      rescanNet(db, net);
+      continue;
+    }
+    if (oldPx == b.xl) --b.nxl;
+    if (oldPx == b.xh) --b.nxh;
+    if (oldPy == b.yl) --b.nyl;
+    if (oldPy == b.yh) --b.nyh;
+    foldPin(b, newPx, newPy);
+  }
+}
+
+double NetBboxCache::netsHpwl(const Database& db,
+                              const std::vector<Index>& nets) const {
+  double total = 0.0;
+  for (Index e : nets) {
+    total += netHpwl(db, e);
+  }
+  return total;
+}
+
+void NetBboxEval::setOverride(Index cell, Coord x, Coord y) {
+  DP_ASSERT_MSG(numOverrides_ < kMaxOverrides,
+                "NetBboxEval: more than %d overridden cells", kMaxOverrides);
+  cells_[numOverrides_] = cell;
+  xs_[numOverrides_] = x;
+  ys_[numOverrides_] = y;
+  ++numOverrides_;
+  movedDirty_ = true;
+}
+
+void NetBboxEval::updateOverride(int slot, Coord x, Coord y) {
+  DP_ASSERT_MSG(slot >= 0 && slot < numOverrides_,
+                "NetBboxEval: updateOverride slot %d out of range", slot);
+  xs_[slot] = x;
+  ys_[slot] = y;
+  if (movedDirty_) {
+    return;  // the pending refresh reads xs_/ys_ anyway
+  }
+  const Index cell = cells_[slot];
+  const Coord halfW = db_.cellWidth(cell) / 2;
+  const Coord halfH = db_.cellHeight(cell) / 2;
+  for (MovedPin& m : moved_) {
+    if (m.slot == slot) {
+      m.newX = x + halfW + db_.pinOffsetX(m.pin);
+      m.newY = y + halfH + db_.pinOffsetY(m.pin);
+    }
+  }
+}
+
+void NetBboxEval::refreshMovedPins() {
+  moved_.clear();
+  groups_.clear();
+  for (int k = 0; k < numOverrides_; ++k) {
+    const Index cell = cells_[k];
+    const Coord halfW = db_.cellWidth(cell) / 2;
+    const Coord halfH = db_.cellHeight(cell) / 2;
+    for (Index s = db_.cellPinBegin(cell); s < db_.cellPinEnd(cell); ++s) {
+      const Index pin = db_.cellPinAt(s);
+      MovedPin m;
+      m.net = db_.pinNet(pin);
+      m.pin = pin;
+      m.slot = k;
+      m.newX = xs_[k] + halfW + db_.pinOffsetX(pin);
+      m.newY = ys_[k] + halfH + db_.pinOffsetY(pin);
+      moved_.push_back(m);
+    }
+  }
+  std::sort(moved_.begin(), moved_.end(),
+            [](const MovedPin& a, const MovedPin& b) { return a.net < b.net; });
+  // One complement-box scan per distinct touched net: the bbox of the
+  // net's pins that do NOT sit on an overridden cell. Positions of the
+  // overridden cells never enter it, so it survives updateOverride().
+  constexpr double kInfinity = std::numeric_limits<double>::infinity();
+  for (std::size_t i = 0; i < moved_.size();) {
+    std::size_t j = i;
+    while (j < moved_.size() && moved_[j].net == moved_[i].net) {
+      ++j;
+    }
+    NetGroup g;
+    g.net = moved_[i].net;
+    g.begin = static_cast<std::int32_t>(i);
+    g.count = static_cast<std::int32_t>(j - i);
+    g.xl = kInfinity;
+    g.xh = -kInfinity;
+    g.yl = kInfinity;
+    g.yh = -kInfinity;
+    for (Index p = db_.netPinBegin(g.net); p < db_.netPinEnd(g.net); ++p) {
+      const Index c = db_.pinCell(p);
+      bool overridden = false;
+      for (int k = 0; k < numOverrides_; ++k) {
+        if (cells_[k] == c) {
+          overridden = true;
+          break;
+        }
+      }
+      if (overridden) {
+        continue;
+      }
+      const double px = db_.pinX(p);
+      const double py = db_.pinY(p);
+      g.xl = std::min(g.xl, px);
+      g.xh = std::max(g.xh, px);
+      g.yl = std::min(g.yl, py);
+      g.yh = std::max(g.yh, py);
+    }
+    ++rescans;
+    groups_.push_back(g);
+    i = j;
+  }
+  movedDirty_ = false;
+}
+
+double NetBboxEval::evalGroup(const NetGroup& g) {
+  if (db_.netPinEnd(g.net) - db_.netPinBegin(g.net) < 2) {
+    return 0.0;
+  }
+  // Full box = complement box extended by the moved pins' new positions;
+  // min/max selection is order-independent, so this equals a full scan
+  // bit-for-bit.
+  double xl = g.xl, xh = g.xh, yl = g.yl, yh = g.yh;
+  const MovedPin* m = moved_.data() + g.begin;
+  for (std::int32_t i = 0; i < g.count; ++i) {
+    xl = std::min(xl, m[i].newX);
+    xh = std::max(xh, m[i].newX);
+    yl = std::min(yl, m[i].newY);
+    yh = std::max(yh, m[i].newY);
+  }
+  ++deltas;
+  return db_.netWeight(g.net) * ((xh - xl) + (yh - yl));
+}
+
+double NetBboxEval::evalUntouched(Index net) {
+  if (db_.netPinEnd(net) - db_.netPinBegin(net) < 2) {
+    return 0.0;
+  }
+  const NetBboxCache::Box& b = cache_.box(net);
+  ++deltas;
+  return db_.netWeight(net) * ((b.xh - b.xl) + (b.yh - b.yl));
+}
+
+double NetBboxEval::netsHpwl(const std::vector<Index>& nets) {
+  if (movedDirty_) {
+    refreshMovedPins();
+  }
+  double total = 0.0;
+  std::size_t cursor = 0;
+  for (Index e : nets) {
+    while (cursor < groups_.size() && groups_[cursor].net < e) {
+      ++cursor;
+    }
+    if (cursor < groups_.size() && groups_[cursor].net == e) {
+      total += evalGroup(groups_[cursor]);
+    } else {
+      total += evalUntouched(e);
+    }
+  }
+  return total;
+}
+
+double NetBboxEval::netHpwl(Index net) {
+  if (movedDirty_) {
+    refreshMovedPins();
+  }
+  const auto it = std::lower_bound(
+      groups_.begin(), groups_.end(), net,
+      [](const NetGroup& g, Index e) { return g.net < e; });
+  if (it != groups_.end() && it->net == net) {
+    return evalGroup(*it);
+  }
+  return evalUntouched(net);
+}
+
+}  // namespace dreamplace

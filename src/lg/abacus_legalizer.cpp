@@ -5,7 +5,9 @@
 #include <limits>
 #include <numeric>
 
+#include "common/counters.h"
 #include "common/log.h"
+#include "common/parallel.h"
 #include "common/timer.h"
 #include "lg/segments.h"
 
@@ -29,30 +31,54 @@ struct SegmentCells {
   RowSegment seg;
   std::vector<Index> members;    ///< Cells in insertion (x) order.
   std::vector<Cluster> clusters;
+  Coord usedWidth = 0;           ///< Total width of committed members.
 };
 
-/// Simulates (or commits) appending `cell` with target x `tx` and width
-/// `width` into the segment's cluster list. Returns the final x of the
-/// cell, or infinity if it does not fit.
-Coord placeRow(SegmentCells& segment, double weight, Coord tx, Coord width,
-               bool commit, std::vector<Cluster>& scratch) {
+/// Simulates appending a cell with target x `tx` and width `width` into
+/// the segment, returning the final x of the cell (or infinity if it does
+/// not fit) without modifying the segment. The append can only merge the
+/// tail run of existing clusters, so the simulation walks backwards over
+/// them carrying a virtual merged cluster — no copy, no allocation. The
+/// arithmetic mirrors commitPlace's collapse expression-for-expression so
+/// trial and commit agree bit-for-bit.
+Coord trialPlace(const SegmentCells& segment, double weight, Coord tx,
+                 Coord width) {
   const Coord xl = segment.seg.xl;
   const Coord xh = segment.seg.xh;
-  Coord used = 0;
-  for (const Cluster& c : segment.clusters) {
-    used += c.w;
-  }
-  if (used + width > xh - xl) {
+  if (segment.usedWidth + width > xh - xl) {
     return std::numeric_limits<Coord>::infinity();
   }
-
-  std::vector<Cluster>* clusters = &segment.clusters;
-  if (!commit) {
-    scratch = segment.clusters;
-    clusters = &scratch;
+  double e = weight;
+  double q = weight * tx;
+  Coord w = width;
+  std::size_t i = segment.clusters.size();
+  for (;;) {
+    const Coord x = std::clamp(static_cast<Coord>(q / e), xl, xh - w);
+    if (i == 0) {
+      return x + w - width;
+    }
+    const Cluster& prev = segment.clusters[i - 1];
+    if (prev.x + prev.w <= x) {
+      return x + w - width;
+    }
+    // Merge prev into the virtual tail cluster: members of the tail sit
+    // after prev's, offset by prev.w; their targets shift accordingly in q.
+    q = prev.q + (q - e * prev.w);
+    e = prev.e + e;
+    w = prev.w + w;
+    --i;
   }
+}
 
-  // New singleton cluster at the clamped target.
+/// Commits the append the trial simulated: pushes a singleton cluster and
+/// collapses overlapping tail clusters in place.
+void commitPlace(SegmentCells& segment, double weight, Coord tx,
+                 Coord width) {
+  const Coord xl = segment.seg.xl;
+  const Coord xh = segment.seg.xh;
+  DP_ASSERT(segment.usedWidth + width <= xh - xl);
+  std::vector<Cluster>& clusters = segment.clusters;
+
   Cluster fresh;
   fresh.e = weight;
   fresh.q = weight * tx;
@@ -60,35 +86,27 @@ Coord placeRow(SegmentCells& segment, double weight, Coord tx, Coord width,
   fresh.x = std::clamp(tx, xl, xh - width);
   fresh.first = static_cast<int>(segment.members.size());
   fresh.count = 1;
-  clusters->push_back(fresh);
+  clusters.push_back(fresh);
 
   // Collapse: while the last cluster overlaps its predecessor, merge.
-  auto collapse = [&]() {
-    for (;;) {
-      Cluster& last = clusters->back();
-      last.x = std::clamp(static_cast<Coord>(last.q / last.e), xl,
-                          xh - last.w);
-      if (clusters->size() < 2) {
-        return;
-      }
-      Cluster& prev = (*clusters)[clusters->size() - 2];
-      if (prev.x + prev.w <= last.x) {
-        return;
-      }
-      // Merge last into prev: members of last sit after prev's, offset by
-      // prev.w; their targets shift accordingly in q.
-      prev.q += last.q - last.e * prev.w;
-      prev.e += last.e;
-      prev.w += last.w;
-      prev.count += last.count;
-      clusters->pop_back();
+  for (;;) {
+    Cluster& last = clusters.back();
+    last.x = std::clamp(static_cast<Coord>(last.q / last.e), xl,
+                        xh - last.w);
+    if (clusters.size() < 2) {
+      break;
     }
-  };
-  collapse();
-
-  // The appended cell is the final member of the final cluster.
-  const Cluster& tail = clusters->back();
-  return tail.x + tail.w - width;
+    Cluster& prev = clusters[clusters.size() - 2];
+    if (prev.x + prev.w <= last.x) {
+      break;
+    }
+    prev.q += last.q - last.e * prev.w;
+    prev.e += last.e;
+    prev.w += last.w;
+    prev.count += last.count;
+    clusters.pop_back();
+  }
+  segment.usedWidth += width;
 }
 
 }  // namespace
@@ -99,7 +117,7 @@ LegalizerResult AbacusLegalizer::run(Database& db) const {
 
   std::vector<SegmentCells> segments;
   for (const RowSegment& seg : buildRowSegments(db)) {
-    segments.push_back({seg, {}, {}});
+    segments.push_back({seg, {}, {}, 0});
   }
   DP_ASSERT_MSG(!segments.empty(), "no free row segments to legalize into");
 
@@ -122,7 +140,29 @@ LegalizerResult AbacusLegalizer::run(Database& db) const {
     return db.cellX(a) < db.cellX(b);
   });
 
-  std::vector<Cluster> scratch;
+  // Candidate segments are scored in fixed *distance waves*: wave d holds
+  // the segments of rows want_row+d then want_row-d, waves are grouped
+  // into chunks of kChunkDistances, and each chunk's trials run as one
+  // parallel job followed by an ordered min-fold. The fold applies the
+  // same wave-boundary stopping rule the serial scan used, and the
+  // distance-based prune only ever skips candidates whose displacement
+  // lower bound already meets the incumbent (which can never win the
+  // strict-< argmin), so the selected segment — and therefore every final
+  // position — is identical to the one-candidate-at-a-time serial scan at
+  // any thread count.
+  constexpr Index kChunkDistances = 8;
+  constexpr std::size_t kParallelThreshold = 32;
+  const int poolThreads = currentThreadPool().threads();
+  constexpr double kInfinity = std::numeric_limits<double>::infinity();
+
+  std::vector<int> candidates;       ///< Segment index per candidate.
+  std::vector<std::size_t> waveEnd;  ///< Candidate count after each wave.
+  std::vector<Index> waveD;          ///< Distance of each wave.
+  std::vector<char> waveAny;         ///< Wave had at least one row in range.
+  std::vector<double> costs;
+  std::vector<char> tried;
+  std::int64_t segments_tried = 0;
+
   for (Index cell : order) {
     const Coord want_x = db.cellX(cell);
     const Coord want_y = db.cellY(cell);
@@ -131,54 +171,95 @@ LegalizerResult AbacusLegalizer::run(Database& db) const {
         std::clamp<double>(std::round((want_y - y_base) / row_height), 0,
                            num_rows - 1));
 
-    double best_cost = std::numeric_limits<double>::infinity();
+    double best_cost = kInfinity;
     int best_seg = -1;
 
-    auto try_row = [&](Index r) {
-      for (int s : by_row[r]) {
-        SegmentCells& segment = segments[s];
+    bool done = false;
+    for (Index d = 0; d < num_rows && !done; d += kChunkDistances) {
+      const Index d_end = std::min<Index>(d + kChunkDistances, num_rows);
+      candidates.clear();
+      waveEnd.clear();
+      waveD.clear();
+      waveAny.clear();
+      for (Index dd = d; dd < d_end; ++dd) {
+        bool any = false;
+        if (want_row + dd < num_rows) {
+          for (int s : by_row[want_row + dd]) {
+            candidates.push_back(s);
+          }
+          any = true;
+        }
+        if (dd > 0 && want_row - dd >= 0) {
+          for (int s : by_row[want_row - dd]) {
+            candidates.push_back(s);
+          }
+          any = true;
+        }
+        waveD.push_back(dd);
+        waveAny.push_back(any);
+        waveEnd.push_back(candidates.size());
+      }
+
+      const std::size_t n = candidates.size();
+      costs.resize(n);
+      tried.assign(n, 0);
+      const double chunk_best = best_cost;
+      const auto score = [&](std::size_t i) {
+        const SegmentCells& segment = segments[candidates[i]];
         if (want_x + width < segment.seg.xl || want_x > segment.seg.xh) {
-          // Far-away segment in this row; displacement cost still computed
-          // via the clamped trial, so do not skip entirely — but skip if
-          // clearly worse than the incumbent.
+          // Far-away segment: its displacement cannot beat the chunk-start
+          // incumbent, so skip the trial (a skipped candidate's true cost
+          // is >= the incumbent, so it can never win the strict-< fold).
           const double lower_bound =
               std::max<double>(segment.seg.xl - want_x - width,
                                want_x - segment.seg.xh) +
               std::abs(segment.seg.y - want_y);
-          if (lower_bound >= best_cost) {
-            continue;
+          if (lower_bound >= chunk_best) {
+            costs[i] = kInfinity;
+            return;
           }
         }
-        const Coord x =
-            placeRow(segment, 1.0, want_x, width, /*commit=*/false, scratch);
-        if (!std::isfinite(x)) {
-          continue;
-        }
-        const double cost =
-            std::abs(x - want_x) + std::abs(segment.seg.y - want_y);
-        if (cost < best_cost) {
-          best_cost = cost;
-          best_seg = s;
+        tried[i] = 1;
+        const Coord x = trialPlace(segment, 1.0, want_x, width);
+        costs[i] = std::isfinite(x)
+                       ? std::abs(x - want_x) + std::abs(segment.seg.y - want_y)
+                       : kInfinity;
+      };
+      if (poolThreads > 1 && n >= kParallelThreshold) {
+        parallelForBlocked("lg/score", static_cast<Index>(n), 8,
+                           [&](Index lo, Index hi, int) {
+                             for (Index i = lo; i < hi; ++i) {
+                               score(static_cast<std::size_t>(i));
+                             }
+                           });
+      } else {
+        for (std::size_t i = 0; i < n; ++i) {
+          score(i);
         }
       }
-    };
+      for (std::size_t i = 0; i < n; ++i) {
+        segments_tried += tried[i];
+      }
 
-    for (Index d = 0; d < num_rows; ++d) {
-      bool any = false;
-      if (want_row + d < num_rows) {
-        try_row(want_row + d);
-        any = true;
-      }
-      if (d > 0 && want_row - d >= 0) {
-        try_row(want_row - d);
-        any = true;
-      }
-      if (!any) {
-        break;
-      }
-      if (best_seg >= 0 && d > options_.rowSearchWindow &&
-          d * row_height > best_cost) {
-        break;
+      // Ordered fold: replay the serial scan's wave order and stopping
+      // rule over the precomputed costs.
+      std::size_t i = 0;
+      for (std::size_t wave = 0; wave < waveEnd.size() && !done; ++wave) {
+        for (; i < waveEnd[wave]; ++i) {
+          if (costs[i] < best_cost) {
+            best_cost = costs[i];
+            best_seg = candidates[i];
+          }
+        }
+        if (!waveAny[wave]) {
+          done = true;
+          break;
+        }
+        if (best_seg >= 0 && waveD[wave] > options_.rowSearchWindow &&
+            waveD[wave] * row_height > best_cost) {
+          done = true;
+          break;
+        }
       }
     }
 
@@ -187,12 +268,13 @@ LegalizerResult AbacusLegalizer::run(Database& db) const {
       continue;
     }
     SegmentCells& segment = segments[best_seg];
-    placeRow(segment, 1.0, want_x, width, /*commit=*/true, scratch);
+    commitPlace(segment, 1.0, want_x, width);
     segment.members.push_back(cell);
     ++result.placed;
     result.totalDisplacement += best_cost;
     result.maxDisplacement = std::max(result.maxDisplacement, best_cost);
   }
+  currentCounterRegistry().add("lg/segments_tried", segments_tried);
 
   // Commit final coordinates: walk each segment's clusters, snapping to the
   // site grid (cells have integral site widths, so packing is preserved).

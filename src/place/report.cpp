@@ -360,6 +360,26 @@ std::string RunReport::toJson() const {
   j.key("width_f64"); j.value(simdWidthF64);
   j.closeObject();
 
+  // Back-end (LG/DP) work summary, lifted out of the counter table so the
+  // report states the post-GP effort at a glance.
+  {
+    const auto counterOr0 = [this](const char* key) -> std::int64_t {
+      const auto it = counters.find(key);
+      return it == counters.end() ? 0 : it->second;
+    };
+    j.key("backend");
+    j.openObject();
+    j.key("lg_segments_tried"); j.value(counterOr0("lg/segments_tried"));
+    j.key("dp_reorder_windows"); j.value(counterOr0("dp/reorder_windows"));
+    j.key("dp_reorder_moves"); j.value(counterOr0("dp/reorder_moves"));
+    j.key("dp_swap_candidates"); j.value(counterOr0("dp/swap_candidates"));
+    j.key("dp_swap_moves"); j.value(counterOr0("dp/swap_moves"));
+    j.key("dp_ism_moves"); j.value(counterOr0("dp/ism_moves"));
+    j.key("dp_bbox_delta"); j.value(counterOr0("dp/bbox_delta"));
+    j.key("dp_bbox_rescan"); j.value(counterOr0("dp/bbox_rescan"));
+    j.closeObject();
+  }
+
   j.key("gp_runs");
   j.openArray();
   for (const TelemetryRunSummary& run : gpRuns) {
@@ -485,6 +505,25 @@ std::string RunReport::toText() const {
                 simdEnabled ? "on" : "off", simdIsa.c_str(), simdWidthF32,
                 simdWidthF64);
   add();
+
+  {
+    const auto counterOr0 = [this](const char* key) -> std::int64_t {
+      const auto it = counters.find(key);
+      return it == counters.end() ? 0 : it->second;
+    };
+    const std::int64_t lg_tried = counterOr0("lg/segments_tried");
+    const std::int64_t windows = counterOr0("dp/reorder_windows");
+    const std::int64_t cands = counterOr0("dp/swap_candidates");
+    if (lg_tried > 0 || windows > 0 || cands > 0) {
+      std::snprintf(line, sizeof(line),
+                    "backend: lg %" PRId64 " segment trials; dp %" PRId64
+                    " windows, %" PRId64 " swap candidates, bbox %" PRId64
+                    " delta / %" PRId64 " rescan\n",
+                    lg_tried, windows, cands, counterOr0("dp/bbox_delta"),
+                    counterOr0("dp/bbox_rescan"));
+      add();
+    }
+  }
 
   if (!gpRuns.empty()) {
     out += "\ngp runs:\n";

@@ -7,7 +7,11 @@
 #include <vector>
 
 #include "common/parallel.h"
+#include "common/rng.h"
+#include "db/metrics.h"
+#include "dp/detailed_placer.h"
 #include "gen/netlist_generator.h"
+#include "lg/abacus_legalizer.h"
 #include "ops/wirelength.h"
 #include "place/placer.h"
 
@@ -63,6 +67,51 @@ TEST(DeterminismTest, FlowIsBitIdenticalAcrossThreadCounts) {
     EXPECT_EQ(t1.hpwl, t.hpwl) << threads << " threads";
     EXPECT_EQ(t1.overflow, t.overflow) << threads << " threads";
     EXPECT_EQ(t1.iterations, t.iterations) << threads << " threads";
+  }
+  ThreadPool::instance().setThreads(0);
+}
+
+TEST(DeterminismTest, BackendBitIdenticalAcrossThreadCounts) {
+  // LG + DP only: the parallel back-end (speculative Abacus candidate
+  // scoring, DP propose+commit reorder/swap, bbox-cache evaluation) must
+  // reproduce the serial results bit-for-bit — every final position and
+  // the HPWL compare with EXPECT_EQ, no tolerance. The same jittered
+  // start is rebuilt per run so each thread count legalizes identical
+  // input.
+  auto runBackend = [](int threads, std::vector<double>& xs,
+                       std::vector<double>& ys) {
+    auto db = synthDesign(1234, 600);
+    Rng rng(99);
+    const Coord h = db->rowHeight();
+    for (Index i = 0; i < db->numMovable(); ++i) {
+      db->setCellPosition(i, db->cellX(i) + rng.uniform(-5 * h, 5 * h),
+                          db->cellY(i) + rng.uniform(-5 * h, 5 * h));
+    }
+    ThreadPool::instance().setThreads(threads);
+    AbacusLegalizer().run(*db);
+    DetailedPlacer::Options options;
+    options.passes = 2;
+    DetailedPlacer(options).run(*db);
+    xs.clear();
+    ys.clear();
+    for (Index i = 0; i < db->numCells(); ++i) {
+      xs.push_back(db->cellX(i));
+      ys.push_back(db->cellY(i));
+    }
+    return hpwl(*db);
+  };
+  std::vector<double> x1, y1, x, y;
+  const double hpwl1 = runBackend(1, x1, y1);
+  for (const int threads : {2, 4}) {
+    const double hpwlT = runBackend(threads, x, y);
+    EXPECT_EQ(hpwl1, hpwlT) << threads << " threads";
+    ASSERT_EQ(x1.size(), x.size());
+    for (std::size_t i = 0; i < x1.size(); ++i) {
+      ASSERT_EQ(x1[i], x[i]) << "cell " << i << " x at " << threads
+                             << " threads";
+      ASSERT_EQ(y1[i], y[i]) << "cell " << i << " y at " << threads
+                             << " threads";
+    }
   }
   ThreadPool::instance().setThreads(0);
 }
